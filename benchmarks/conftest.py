@@ -1,0 +1,58 @@
+"""Benchmark fixtures: full paper-length runs, shared per session.
+
+Every benchmark regenerates one paper table/figure from the *full*
+(Table I durations) workloads.  The expensive comparisons are memoized
+in :mod:`repro.experiments.testbed`, so the first benchmark touching a
+workload pays for its four policy runs and the rest reuse them.  Each
+benchmark prints its paper-vs-measured table; the session also appends
+them to ``benchmarks/latest_report.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.testbed import comparison
+
+REPORT_PATH = Path(__file__).parent / "latest_report.txt"
+_sections: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def fileserver_results():
+    return comparison("fileserver", full=True)
+
+
+@pytest.fixture(scope="session")
+def tpcc_results():
+    return comparison("tpcc", full=True)
+
+
+@pytest.fixture(scope="session")
+def tpch_results():
+    return comparison("tpch", full=True)
+
+
+@pytest.fixture()
+def report():
+    """Collect a rendered section and echo it to the console."""
+
+    def _add(text: str) -> None:
+        _sections.append(text)
+        print()
+        print(text)
+
+    return _add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _sections:
+        REPORT_PATH.write_text("\n\n".join(_sections) + "\n")
+
+
+def saving(results, policy: str) -> float:
+    """Measured power-saving percentage of one policy."""
+    base = results["no-power-saving"].enclosure_watts
+    return 100.0 * (base - results[policy].enclosure_watts) / base

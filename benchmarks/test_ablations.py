@@ -1,0 +1,54 @@
+"""Ablations — how much each mechanism of the proposed method matters.
+
+Not a paper figure; DESIGN.md's experiment index calls for quantifying
+the design choices the paper motivates qualitatively: data placement
+(Algorithms 2-3), preload, write delay, the adaptive period, and the
+§V-D triggers.  Runs on the smoke-sized workloads.
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.ablations import ABLATIONS, rows_for, run_ablation
+
+
+def test_ablation_rows_render(benchmark, report):
+    rows = benchmark.pedantic(
+        rows_for, args=("fileserver",), rounds=1, iterations=1
+    )
+    report(render_table("Ablations — File Server", rows))
+    assert len(rows) == len(ABLATIONS)
+
+
+def test_migration_matters_for_fileserver(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    full = run_ablation("fileserver", "full")
+    no_migration = run_ablation("fileserver", "no-migration")
+    # Without consolidation the cold enclosures keep their P3 items and
+    # cannot sleep: power must rise measurably.
+    assert no_migration.enclosure_watts > full.enclosure_watts + 20.0
+
+
+def test_preload_matters_for_fileserver(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    full = run_ablation("fileserver", "full")
+    no_preload = run_ablation("fileserver", "no-preload")
+    # Preload absorbs the popular files' reads; without it the cache hit
+    # ratio drops.
+    assert (
+        no_preload.replay.cache_hit_ratio < full.replay.cache_hit_ratio
+    )
+
+
+def test_write_delay_matters_for_tpch(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    full = run_ablation("tpch", "full")
+    no_wd = run_ablation("tpch", "no-write-delay")
+    # TPC-H's work files are the P2 population; without write delay
+    # their spills hit the log enclosure directly.
+    assert no_wd.replay.cache_hit_ratio <= full.replay.cache_hit_ratio
+    assert no_wd.enclosure_watts >= full.enclosure_watts - 5.0
+
+
+def test_ablation_report_all_workloads(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in ("tpcc", "tpch"):
+        report(render_table(f"Ablations — {name}", rows_for(name)))

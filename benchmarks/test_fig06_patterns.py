@@ -1,0 +1,52 @@
+"""Fig 6 — logical I/O patterns of the three applications.
+
+Shape assertions: the measured pattern mix of each generated workload
+must land within a few points of the paper's measurement (File Server
+89.6 % P1 / 9.9 % P3; TPC-C 76.2 % P3 / 23.3 % P1; TPC-H 61.5 % P1 /
+38.5 % P2; no P0 anywhere).
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.patterns import IOPattern
+from repro.experiments import fig06_patterns
+from repro.experiments.paper_values import FIG6_PATTERN_MIX
+from repro.experiments.testbed import build_workload
+
+TOLERANCE = 0.05  # five percentage points
+
+
+def measure(name):
+    return fig06_patterns.measure_pattern_mix(build_workload(name, full=True))
+
+
+def test_fig06_pattern_mix(benchmark, report):
+    rows = benchmark.pedantic(
+        fig06_patterns.run, kwargs={"full": True}, rounds=1, iterations=1
+    )
+    report(rows)
+
+    for name in ("fileserver", "tpcc", "tpch"):
+        mix = measure(name)
+        paper = FIG6_PATTERN_MIX[name]
+        for pattern in IOPattern:
+            assert mix[pattern] == pytest.approx(
+                paper[pattern.value] / 100.0, abs=TOLERANCE
+            ), f"{name} {pattern.value}"
+        # "There are no P0 data items, since ... all data items are
+        # accessed at least once."
+        assert mix[IOPattern.P0] == 0.0, name
+
+
+def test_fig06_dominant_patterns(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fs = measure("fileserver")
+    tpcc = measure("tpcc")
+    tpch = measure("tpch")
+    # The qualitative statement of §VI-C.
+    assert max(fs, key=fs.get) is IOPattern.P1
+    assert max(tpcc, key=tpcc.get) is IOPattern.P3
+    assert max(tpch, key=tpch.get) is IOPattern.P1
+    assert tpch[IOPattern.P3] == 0.0
+    assert tpch[IOPattern.P2] > 0.3

@@ -1,0 +1,39 @@
+"""Fig 8 — File Server power consumption.
+
+Paper: proposed −25.8 %, PDC −3.5 %, DDR −3.6 %.  Shape assertions: the
+proposed method saves substantially (>15 %), PDC/DDR save little
+(<15 %), and the proposed method beats both by a wide margin.
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.comparisons import power_rows
+
+from conftest import saving
+
+
+def test_fig08_fileserver_power(benchmark, report, fileserver_results):
+    rows = benchmark.pedantic(
+        power_rows,
+        args=("fileserver", fileserver_results),
+        rounds=1,
+        iterations=1,
+    )
+    report(render_table("Fig 8 — File Server power", rows))
+
+    ours = saving(fileserver_results, "proposed")
+    pdc = saving(fileserver_results, "pdc")
+    ddr = saving(fileserver_results, "ddr")
+    assert ours > 15.0, f"proposed saved only {ours:.1f} % (paper 25.8 %)"
+    assert ours < 45.0
+    assert pdc < 15.0, f"PDC saved {pdc:.1f} % (paper 3.5 %)"
+    assert abs(ddr) < 3.0, f"DDR saved {ddr:.1f} % (paper 3.6 %)"
+    assert ours > pdc + 10.0
+    assert ours > ddr + 10.0
+
+
+def test_fig08_baseline_magnitude(benchmark, fileserver_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # The no-power-saving run should land near the paper's 2977.9 W
+    # (12 enclosures mostly idle/active).
+    base = fileserver_results["no-power-saving"].enclosure_watts
+    assert 2600.0 < base < 3250.0

@@ -1,0 +1,42 @@
+"""Fig 9 — File Server average I/O response time.
+
+Paper: proposed 17.1 ms < PDC 22.6 ms < DDR 27.0 ms; the proposed method
+even beats the no-power-saving run thanks to preloading.  At simulation
+scale the ordering among power-saving methods must hold (proposed best);
+the absolute advantage over no-power-saving does not reproduce because
+each synthetic wake-up burst queues behind a spin-up that is ~20 service
+times long (see EXPERIMENTS.md, "Known deviations").
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.comparisons import response_rows
+from repro.experiments.paper_values import FIG9_RESPONSE_SECONDS
+
+
+def test_fig09_fileserver_response(benchmark, report, fileserver_results):
+    rows = benchmark.pedantic(
+        response_rows,
+        args=("fileserver", fileserver_results, FIG9_RESPONSE_SECONDS),
+        rounds=1,
+        iterations=1,
+    )
+    report(render_table("Fig 9 — File Server response", rows))
+
+    proposed = fileserver_results["proposed"].mean_response
+    pdc = fileserver_results["pdc"].mean_response
+    base = fileserver_results["no-power-saving"].mean_response
+    # Proposed beats PDC (paper: 17.1 vs 22.6 ms).
+    assert proposed < pdc
+    # And stays within 2x of the no-power-saving response.
+    assert proposed < 2.0 * base
+
+
+def test_fig09_preload_absorbs_reads(benchmark, fileserver_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # The mechanism behind the paper's Fig 9 claim: the proposed
+    # method's cache hit ratio rises because P1 items are preloaded.
+    assert (
+        fileserver_results["proposed"].replay.cache_hit_ratio
+        > fileserver_results["no-power-saving"].replay.cache_hit_ratio
+    )
+    assert fileserver_results["proposed"].replay.cache_hit_ratio > 0.1

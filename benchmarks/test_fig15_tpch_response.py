@@ -1,0 +1,40 @@
+"""Fig 15 — TPC-H query response times (Q2, Q7, Q21).
+
+Paper: "query response times become worse for all methods, but the
+proposed method's query response is faster than those of PDC and DDR";
+DDR runs about 3x slower than the proposed method.  Shape: per-query
+responses degrade for every power-saving method, with the proposed
+method the least degraded of the three.
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.fig14_16_tpch import fig15_rows, query_responses
+from repro.experiments.paper_values import FIG15_QUERIES
+
+
+def test_fig15_tpch_query_response(benchmark, report, tpch_results):
+    rows = benchmark.pedantic(
+        fig15_rows, kwargs={"full": True}, rounds=1, iterations=1
+    )
+    report(render_table("Fig 15 — TPC-H query response", rows))
+
+    responses = query_responses(full=True)
+    for query in FIG15_QUERIES:
+        base = responses["no-power-saving"][query]
+        ours = responses["proposed"][query]
+        pdc = responses["pdc"][query]
+        ddr = responses["ddr"][query]
+        # Every method degrades the query...
+        assert ours > base
+        assert ddr > base
+        # ...the proposed method least among the saving methods.
+        assert ours <= pdc, f"{query}: proposed {ours:.0f} vs pdc {pdc:.0f}"
+        assert ours <= ddr * 1.05, (
+            f"{query}: proposed {ours:.0f} vs ddr {ddr:.0f}"
+        )
+
+
+def test_fig15_all_queries_covered(benchmark, tpch_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    names = {w.name for w in tpch_results["proposed"].window_responses}
+    assert names == {f"Q{i}" for i in range(1, 23)}

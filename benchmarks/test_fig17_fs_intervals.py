@@ -1,0 +1,39 @@
+"""Fig 17 — File Server cumulative I/O intervals (§VII-E).
+
+Paper: "the total length of I/O intervals in the proposed method is
+approximately twice as long as that compared with other methods".
+"""
+
+from repro.analysis.intervals import curve_summary_rows
+from repro.analysis.report import PaperRow, render_table
+from repro.experiments.fig17_19_intervals import curves, total_lengths
+
+
+def test_fig17_fileserver_intervals(benchmark, report, fileserver_results):
+    totals = benchmark.pedantic(
+        total_lengths,
+        args=("fileserver",),
+        kwargs={"full": True},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        PaperRow(
+            label=f"fig17 total {policy}",
+            paper="proposed ~2x others" if policy == "proposed" else "-",
+            measured=f"{total:,.0f} s",
+        )
+        for policy, total in totals.items()
+    ]
+    report(render_table("Fig 17 — File Server cumulative intervals", rows))
+
+    assert totals["proposed"] > 1.4 * max(totals["pdc"], 1.0)
+    assert totals["proposed"] > totals["ddr"]
+    assert totals["no-power-saving"] == 0.0
+
+
+def test_fig17_curve_is_cumulative(benchmark, fileserver_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    curve = curves("fileserver", full=True)["proposed"]
+    assert list(curve.cumulative) == sorted(curve.cumulative)
+    assert curve.total_length == curve.cumulative[-1]

@@ -1,0 +1,35 @@
+"""Fig 18 — TPC-C cumulative I/O intervals (§VII-E).
+
+Paper: "the I/O intervals of the method are longer than those of PDC and
+DDR.  There are no I/O intervals longer than the break-even time in
+DDR."
+"""
+
+from repro.analysis.report import PaperRow, render_table
+from repro.experiments.fig17_19_intervals import total_lengths
+
+
+def test_fig18_tpcc_intervals(benchmark, report, tpcc_results):
+    totals = benchmark.pedantic(
+        total_lengths,
+        args=("tpcc",),
+        kwargs={"full": True},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        PaperRow(
+            label=f"fig18 total {policy}",
+            paper="0 s" if policy == "ddr" else "-",
+            measured=f"{total:,.0f} s",
+        )
+        for policy, total in totals.items()
+    ]
+    report(render_table("Fig 18 — TPC-C cumulative intervals", rows))
+
+    # DDR creates no interval above the break-even time at all.
+    assert totals["ddr"] == 0.0
+    # The proposed method creates plenty (preload + write delay +
+    # consolidation work even on a busy OLTP system).
+    assert totals["proposed"] > 5_000.0
+    assert totals["no-power-saving"] == 0.0

@@ -1,0 +1,35 @@
+"""Fig 19 — TPC-H cumulative I/O intervals (§VII-E).
+
+Paper: "PDC and DDR could enlarge the I/O intervals.  However, the
+proposed method can enlarge I/O intervals much longer than PDC and DDR."
+"""
+
+from repro.analysis.report import PaperRow, render_table
+from repro.experiments.fig17_19_intervals import total_lengths
+
+
+def test_fig19_tpch_intervals(benchmark, report, tpch_results):
+    totals = benchmark.pedantic(
+        total_lengths,
+        args=("tpch",),
+        kwargs={"full": True},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        PaperRow(
+            label=f"fig19 total {policy}",
+            paper="-",
+            measured=f"{total:,.0f} s",
+        )
+        for policy, total in totals.items()
+    ]
+    report(render_table("Fig 19 — TPC-H cumulative intervals", rows))
+
+    # Unlike TPC-C, every method accumulates long intervals on DSS —
+    # even without power saving the compute tails are long.
+    for policy, total in totals.items():
+        assert total > 50_000.0, policy
+    # The proposed method's intervals are at least as long as DDR's
+    # (preload removes small-table scan wake-ups).
+    assert totals["proposed"] >= totals["ddr"] * 0.99

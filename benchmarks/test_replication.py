@@ -1,0 +1,25 @@
+"""Seed-replication robustness — the shape claims hold across traces."""
+
+from repro.experiments.replication import DEFAULT_SEEDS, replicate, run
+
+
+def test_replication_study(benchmark, report):
+    text = benchmark.pedantic(
+        run, args=(DEFAULT_SEEDS,), rounds=1, iterations=1
+    )
+    report(text)
+
+    fs_mean, fs_spread, _ = replicate("fileserver")
+    tpcc_mean, tpcc_spread, _ = replicate("tpcc")
+    tpch_mean, tpch_spread, _ = replicate("tpch")
+    # The proposed method saves on every replicate of every workload...
+    assert fs_mean > 8.0
+    assert tpcc_mean > 8.0
+    assert tpch_mean > 40.0
+    # ...and the spread across seeds is small relative to the effect.
+    assert fs_spread < fs_mean / 2
+    assert tpcc_spread < tpcc_mean / 2
+    assert tpch_spread < tpch_mean / 4
+    # The cross-workload ordering (DSS >> OLTP/FS) is seed-independent.
+    assert tpch_mean > fs_mean + 15.0
+    assert tpch_mean > tpcc_mean + 15.0

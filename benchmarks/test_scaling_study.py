@@ -1,0 +1,18 @@
+"""Configuration-scaling study (paper §IX future work)."""
+
+from repro.experiments.scaling import ENCLOSURE_SWEEP, run, sweep
+
+
+def test_scaling_study(benchmark, report):
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(text)
+
+    savings = sweep()
+    assert set(savings) == set(ENCLOSURE_SWEEP)
+    # The method keeps saving double digits at every array size...
+    for count, saving in savings.items():
+        assert saving > 8.0, f"{count} enclosures: {saving:.1f} %"
+    # ...and the relative effectiveness is stable across configurations
+    # (no collapse as the array grows).
+    values = list(savings.values())
+    assert max(values) - min(values) < 12.0

@@ -1,0 +1,67 @@
+"""Simulator throughput benchmarks (pytest-benchmark timings).
+
+Not a paper figure: these track the replay engine's own performance so
+regressions in the hot path (enclosure state machine, cache, pattern
+classification) show up in the benchmark log.
+"""
+
+import pytest
+
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.config import DEFAULT_CONFIG
+from repro.core.manager import EnergyEfficientPolicy
+from repro.core.patterns import build_profiles
+from repro.experiments.testbed import build_workload
+from repro.simulation import build_context
+from repro.trace.replay import TraceReplayer
+
+
+@pytest.fixture(scope="module")
+def smoke_workload():
+    return build_workload("tpcc", full=False)
+
+
+def replay_once(workload, policy_factory):
+    context = build_context(DEFAULT_CONFIG, workload.enclosure_count)
+    workload.install(context)
+    return TraceReplayer(context, policy_factory()).run(
+        workload.records, duration=workload.duration
+    )
+
+
+def test_replay_throughput_baseline(benchmark, smoke_workload):
+    result = benchmark.pedantic(
+        replay_once,
+        args=(smoke_workload, NoPowerSavingPolicy),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.io_count == len(smoke_workload.records)
+
+
+def test_replay_throughput_proposed(benchmark, smoke_workload):
+    result = benchmark.pedantic(
+        replay_once,
+        args=(smoke_workload, EnergyEfficientPolicy),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.io_count == len(smoke_workload.records)
+
+
+def test_pattern_classification_speed(benchmark, smoke_workload):
+    sizes = {i.item_id: i.size_bytes for i in smoke_workload.items}
+    locations = {i.item_id: "e0" for i in smoke_workload.items}
+
+    def classify():
+        return build_profiles(
+            smoke_workload.records,
+            0.0,
+            smoke_workload.duration,
+            DEFAULT_CONFIG.break_even_time,
+            sizes,
+            locations,
+        )
+
+    profiles = benchmark(classify)
+    assert len(profiles) == len(smoke_workload.items)

@@ -1,0 +1,32 @@
+"""SSD extension study (paper §VIII-D) — see repro/experiments/ssd_study.py."""
+
+from repro.experiments.ssd_study import run, run_study, savings, ssd_config
+from repro.storage.power import SSD_POWER_MODEL
+
+
+def test_ssd_study(benchmark, report):
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(text)
+
+    results = run_study()
+    pct = savings(results)
+    # Flash is vastly cheaper to run at baseline...
+    assert (
+        results["ssd/none"].enclosure_watts
+        < results["hdd/none"].enclosure_watts / 3
+    )
+    # ...the method still never *costs* energy on flash...
+    assert pct["ssd"] > -1.0
+    # ...but its consolidation lever (P3 separation) dissolves when the
+    # break-even collapses, so the HDD saving is much larger.
+    assert pct["hdd"] > pct["ssd"] + 5.0
+
+
+def test_ssd_config_is_self_consistent(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    config = ssd_config()
+    assert config.break_even_time == SSD_POWER_MODEL.break_even_time
+    assert config.spin_down_timeout == config.break_even_time
+    assert config.initial_monitoring_period == 10 * config.break_even_time
+    # Flash break-even is an order of magnitude below the HDD's 52 s.
+    assert config.break_even_time < 10.0

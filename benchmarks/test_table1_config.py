@@ -1,0 +1,24 @@
+"""Table I — configuration of the data-intensive applications."""
+
+from repro.analysis.report import render_table
+from repro.experiments import tables
+from repro.experiments.testbed import build_workload
+
+
+def test_table1_configuration(benchmark, report):
+    rows = benchmark.pedantic(
+        tables.table1_rows, kwargs={"full": True}, rounds=1, iterations=1
+    )
+    report(render_table("Table I — application configuration", rows))
+
+    fileserver = build_workload("fileserver", full=True)
+    tpcc = build_workload("tpcc", full=True)
+    tpch = build_workload("tpch", full=True)
+    # Table I structure: durations, enclosure layouts, volume counts.
+    assert fileserver.duration == 6 * 3600.0
+    assert fileserver.enclosure_count == 12
+    assert len(fileserver.volumes) == 36
+    assert tpcc.duration == 1.8 * 3600.0
+    assert tpcc.enclosure_count == 10  # log + 9 DB
+    assert tpch.duration == 6 * 3600.0
+    assert tpch.enclosure_count == 9  # log/work + 8 DB

@@ -1,0 +1,31 @@
+"""Table II — parameter values for the evaluation."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.config import PAPER_CONFIG
+from repro.experiments import tables
+
+
+def test_table2_parameters(benchmark, report):
+    rows = benchmark.pedantic(tables.table2_rows, rounds=1, iterations=1)
+    report(
+        render_table("Table II — parameter values (paper magnitude)", rows)
+    )
+    # Every Table II value must be encoded exactly.
+    assert PAPER_CONFIG.break_even_time == 52.0
+    assert PAPER_CONFIG.spin_down_timeout == 52.0
+    assert PAPER_CONFIG.max_iops_random == 900.0
+    assert PAPER_CONFIG.max_iops_sequential == 2800.0
+    assert PAPER_CONFIG.storage_cache_bytes == 2 * 1024**3
+    assert PAPER_CONFIG.write_delay_cache_bytes == 500 * 1024**2
+    assert PAPER_CONFIG.preload_cache_bytes == 500 * 1024**2
+    assert PAPER_CONFIG.dirty_block_rate == 0.5
+    assert PAPER_CONFIG.monitoring_alpha == 1.2
+    assert PAPER_CONFIG.initial_monitoring_period == 520.0
+    assert PAPER_CONFIG.pdc_monitoring_period == 1800.0
+    assert PAPER_CONFIG.ddr_target_th == 450.0
+    # The power model's physical break-even agrees with the parameter.
+    assert PAPER_CONFIG.enclosure_power.break_even_time == pytest.approx(
+        52.0, rel=0.05
+    )

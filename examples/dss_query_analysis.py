@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""DSS scenario: per-query power and response analysis on TPC-H.
+
+Runs a subset of TPC-H queries under the proposed method and DDR and
+reports (i) the overall power saving, (ii) per-query response times
+scaled per the paper's §VII-A.5 conversion (Fig 15), and (iii) the
+cumulative long-interval totals behind Fig 19.
+
+Run:  python examples/dss_query_analysis.py
+"""
+
+from repro.analysis.metrics import (
+    power_saving_percent,
+    relative_query_responses,
+)
+from repro.experiments.runner import run_cell
+from repro.baselines.ddr import DDRPolicy
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.core.manager import EnergyEfficientPolicy
+from repro.workloads import build_dss_workload
+
+QUERIES = ("Q1", "Q2", "Q6", "Q9", "Q21")
+
+
+def main() -> None:
+    workload = build_dss_workload(duration=7200.0, queries=QUERIES)
+    print(f"workload: {workload.description}\n")
+
+    baseline = run_cell(workload, NoPowerSavingPolicy())
+    proposed = run_cell(workload, EnergyEfficientPolicy())
+    ddr = run_cell(workload, DDRPolicy())
+
+    for name, result in (("proposed", proposed), ("ddr", ddr)):
+        saving = power_saving_percent(
+            baseline.enclosure_watts, result.enclosure_watts
+        )
+        print(
+            f"{name:10s} power {result.enclosure_watts:7.1f} W "
+            f"({saving:5.1f} % saving), "
+            f"{result.replay.spin_up_count} spin-ups"
+        )
+
+    print("\nper-query response (baseline scale, §VII-A.5 conversion):")
+    base_windows = baseline.window_responses
+    ours = relative_query_responses(proposed.window_responses, base_windows)
+    theirs = relative_query_responses(ddr.window_responses, base_windows)
+    print(f"{'query':8s} {'no-saving':>10s} {'proposed':>10s} {'ddr':>10s}")
+    for name, start, end in workload.phases:
+        duration = end - start
+        print(
+            f"{name:8s} {duration:8.0f} s "
+            f"{ours.get(name, float('nan')):8.0f} s "
+            f"{theirs.get(name, float('nan')):8.0f} s"
+        )
+
+    print("\ncumulative long-interval totals (Fig 19):")
+    for name, result in (
+        ("no-saving", baseline),
+        ("proposed", proposed),
+        ("ddr", ddr),
+    ):
+        print(f"  {name:10s} {result.interval_curve.total_length:10,.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip/setuptools cannot do PEP-660
+editable installs (no ``wheel`` available offline).  Configuration lives
+in ``pyproject.toml``; this file only enables ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

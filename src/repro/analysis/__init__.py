@@ -1,0 +1,30 @@
+"""Analysis: metrics, interval curves, and report rendering."""
+
+from repro.analysis.intervals import (
+    IntervalCurve,
+    interval_curve,
+    total_long_interval_length,
+)
+from repro.analysis.metrics import (
+    WindowResponse,
+    power_saving_percent,
+    query_response_time,
+    relative_query_responses,
+    transaction_throughput,
+    window_read_responses,
+)
+from repro.analysis.report import PaperRow, render_table
+
+__all__ = [
+    "IntervalCurve",
+    "PaperRow",
+    "WindowResponse",
+    "interval_curve",
+    "power_saving_percent",
+    "query_response_time",
+    "relative_query_responses",
+    "render_table",
+    "total_long_interval_length",
+    "transaction_throughput",
+    "window_read_responses",
+]

@@ -1,0 +1,141 @@
+"""Evaluation metrics: power savings, application-level conversions.
+
+Implements the paper's §VII-A.4/§VII-A.5 measurement pipeline:
+
+* power-saving percentages relative to the no-power-saving run;
+* the TPC-C transaction-throughput conversion from read response times;
+* the TPC-H query-response conversion, per query window.
+
+Note on the throughput formula: the paper prints
+``t = t_orig × (r / r_orig)``, under which a *slower* storage would
+report *higher* throughput.  Throughput is inversely proportional to
+response time, so we implement ``t = t_orig × (r_orig / r)`` — the form
+consistent with the paper's own numbers (slower reads ⇒ fewer tpmC) —
+and record the discrepancy in EXPERIMENTS.md.  The query-response
+formula ``q = q_orig × Σr / Σr_orig`` is used as printed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def power_saving_percent(baseline_watts: float, policy_watts: float) -> float:
+    """Percent reduction in average power versus the baseline run."""
+    if baseline_watts <= 0:
+        raise ValueError("baseline_watts must be positive")
+    return 100.0 * (baseline_watts - policy_watts) / baseline_watts
+
+
+def transaction_throughput(
+    t_orig: float, r_orig: float, r: float
+) -> float:
+    """TPC-C throughput from read response times (§VII-A.5, sign fixed).
+
+    ``t_orig`` is the throughput measured without power saving,
+    ``r_orig`` its average read response time, and ``r`` the average
+    read response under the evaluated policy.
+    """
+    if t_orig <= 0 or r_orig <= 0:
+        raise ValueError("t_orig and r_orig must be positive")
+    if r <= 0:
+        raise ValueError("r must be positive")
+    return t_orig * (r_orig / r)
+
+
+def query_response_time(
+    q_orig: float, sum_r: float, sum_r_orig: float
+) -> float:
+    """TPC-H query response from summed read responses (§VII-A.5)."""
+    if q_orig <= 0:
+        raise ValueError("q_orig must be positive")
+    if sum_r_orig <= 0:
+        raise ValueError("sum_r_orig must be positive")
+    if sum_r < 0:
+        raise ValueError("sum_r must be non-negative")
+    return q_orig * (sum_r / sum_r_orig)
+
+
+@dataclass(frozen=True)
+class WindowResponse:
+    """Read-response aggregate over one named time window."""
+
+    name: str
+    start: float
+    end: float
+    read_count: int
+    read_response_sum: float
+
+    @property
+    def mean_read_response(self) -> float:
+        if self.read_count == 0:
+            return 0.0
+        return self.read_response_sum / self.read_count
+
+
+def window_read_responses(
+    samples: Iterable[tuple[float, float, bool]],
+    windows: Sequence[tuple[str, float, float]],
+) -> list[WindowResponse]:
+    """Aggregate read responses into named windows (e.g. query spans).
+
+    ``samples`` are ``(timestamp, response, is_read)`` triples from the
+    application monitor; ``windows`` are ``(name, start, end)``.
+    Windows may not overlap; samples outside every window are ignored.
+    """
+    ordered = sorted(windows, key=lambda w: w[1])
+    for (_, _, prev_end), (name, start, _) in zip(ordered, ordered[1:]):
+        if start < prev_end:
+            raise ValueError(f"window {name!r} overlaps its predecessor")
+    counts = [0] * len(ordered)
+    sums = [0.0] * len(ordered)
+    starts = [w[1] for w in ordered]
+    ends = [w[2] for w in ordered]
+    import bisect
+
+    for timestamp, response, is_read in samples:
+        if not is_read:
+            continue
+        index = bisect.bisect_right(starts, timestamp) - 1
+        if index >= 0 and timestamp < ends[index]:
+            counts[index] += 1
+            sums[index] += response
+    return [
+        WindowResponse(
+            name=name,
+            start=start,
+            end=end,
+            read_count=counts[i],
+            read_response_sum=sums[i],
+        )
+        for i, (name, start, end) in enumerate(ordered)
+    ]
+
+
+def relative_query_responses(
+    policy_windows: Sequence[WindowResponse],
+    baseline_windows: Sequence[WindowResponse],
+    q_orig_by_name: dict[str, float] | None = None,
+) -> dict[str, float]:
+    """Per-query response under a policy, scaled per §VII-A.5.
+
+    ``q_orig`` defaults to each window's own duration (the query ran
+    wall-to-wall in the baseline), giving responses in seconds on the
+    baseline's scale.
+    """
+    baseline = {w.name: w for w in baseline_windows}
+    out: dict[str, float] = {}
+    for window in policy_windows:
+        ref = baseline.get(window.name)
+        if ref is None or ref.read_response_sum <= 0:
+            continue
+        q_orig = (
+            q_orig_by_name.get(window.name, window.end - window.start)
+            if q_orig_by_name
+            else window.end - window.start
+        )
+        out[window.name] = query_response_time(
+            q_orig, window.read_response_sum, ref.read_response_sum
+        )
+    return out

@@ -1,0 +1,143 @@
+"""Terminal plots: step curves and bar charts without matplotlib.
+
+Used by the CLI to render the paper's figures as text — the cumulative
+interval curves of Figs 17–19 and the grouped power bars of
+Figs 8/11/14 — so a full paper-vs-measured report works in any shell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.analysis.intervals import IntervalCurve
+
+#: Characters for horizontal bars.
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per labelled value.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))  # doctest: +SKIP
+    a  ████ 2.0
+    b  ██   1.0
+    """
+    if not values:
+        return title
+    label_w = max(len(label) for label in values)
+    peak = max(values.values())
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = [title] if title else []
+    for label, value in values.items():
+        cells = value * scale
+        bar = _BAR * int(cells)
+        if cells - int(cells) >= 0.5:
+            bar += _HALF
+        lines.append(
+            f"{label:<{label_w}}  {bar:<{width}} {value:,.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def step_curve(
+    curve: IntervalCurve,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """ASCII rendering of one cumulative interval curve.
+
+    X axis: interval length (log scale); Y axis: cumulative seconds.
+    """
+    if not curve.lengths:
+        return f"{title}\n  (no intervals above the break-even time)"
+    x_min = math.log10(max(curve.lengths[0], 1e-3))
+    x_max = math.log10(curve.lengths[-1] + 1e-9)
+    span = max(x_max - x_min, 1e-9)
+    y_max = curve.total_length
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(curve.lengths, curve.cumulative):
+        col = int((math.log10(x) - x_min) / span * (width - 1))
+        row = int(y / y_max * (height - 1))
+        for r in range(row + 1):
+            grid[height - 1 - r][col] = _BAR
+    lines = [title] if title else []
+    for index, row in enumerate(grid):
+        y_label = y_max * (height - index) / height
+        lines.append(f"{y_label:10,.0f} |{''.join(row)}")
+    lines.append(
+        " " * 10
+        + " +"
+        + "-" * width
+    )
+    lines.append(
+        " " * 12
+        + f"{10 ** x_min:<10.3g}"
+        + " " * max(0, width - 22)
+        + f"{10 ** x_max:>10.3g}  (interval length, s)"
+    )
+    return "\n".join(lines)
+
+
+def time_series_chart(
+    series: Sequence[tuple[float, float]],
+    width: int = 72,
+    height: int = 14,
+    title: str = "",
+    unit: str = "W",
+) -> str:
+    """Filled time-series chart, e.g. a power-over-time view.
+
+    ``series`` is (timestamp, value) in time order; the x axis spans
+    [0, last timestamp].
+    """
+    if not series:
+        return f"{title}\n  (no samples)"
+    peak = max(value for _, value in series)
+    end = series[-1][0]
+    if peak <= 0 or end <= 0:
+        return f"{title}\n  (flat zero series)"
+    # Step interpolation: each column shows the value of the sample
+    # covering that instant, so sparse series render as filled steps.
+    grid = [[" "] * width for _ in range(height)]
+    index = 0
+    for col in range(width):
+        t = (col + 0.5) / width * end
+        while index < len(series) - 1 and series[index][0] < t:
+            index += 1
+        value = series[index][1]
+        row = int(value / peak * (height - 1))
+        for r in range(row + 1):
+            grid[height - 1 - r][col] = _BAR
+    lines = [title] if title else []
+    for index, row in enumerate(grid):
+        level = peak * (height - index) / height
+        lines.append(f"{level:10,.0f} {unit} |{''.join(row)}")
+    lines.append(" " * 13 + "+" + "-" * width)
+    lines.append(" " * 14 + f"0 s{'':<{width - 18}}{end:,.0f} s")
+    return "\n".join(lines)
+
+
+def curves_overlay_summary(
+    curves: Mapping[str, IntervalCurve],
+    probes: Sequence[float] = (60.0, 120.0, 600.0, 3600.0),
+) -> str:
+    """Compact multi-policy comparison: totals and probe points."""
+    lines = [
+        f"{'policy':18s} {'total':>12s} "
+        + " ".join(f"<={probe:>6g}s" for probe in probes)
+    ]
+    for name, curve in curves.items():
+        cells = " ".join(
+            f"{curve.cumulative_at(probe):>8,.0f}" for probe in probes
+        )
+        lines.append(f"{name:18s} {curve.total_length:>12,.0f} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Plain-text report rendering for the experiment harness.
+
+Every benchmark prints the same row format: the paper's reported value
+next to the measured one, so EXPERIMENTS.md and the bench logs read the
+same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One paper-vs-measured comparison line."""
+
+    label: str
+    paper: str
+    measured: str
+    note: str = ""
+
+
+def render_table(title: str, rows: Sequence[PaperRow]) -> str:
+    """Render comparison rows as a fixed-width text table."""
+    label_w = max([len(r.label) for r in rows] + [len("metric")])
+    paper_w = max([len(r.paper) for r in rows] + [len("paper")])
+    meas_w = max([len(r.measured) for r in rows] + [len("measured")])
+    lines = [
+        title,
+        f"{'metric':<{label_w}}  {'paper':>{paper_w}}  {'measured':>{meas_w}}  note",
+        "-" * (label_w + paper_w + meas_w + 12),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.label:<{label_w}}  {row.paper:>{paper_w}}  "
+            f"{row.measured:>{meas_w}}  {row.note}"
+        )
+    return "\n".join(lines)
+
+
+def render_simple(title: str, rows: dict[str, str]) -> str:
+    """Render a name → value mapping as a small text table."""
+    width = max(len(k) for k in rows) if rows else 0
+    lines = [title]
+    for key, value in rows.items():
+        lines.append(f"  {key:<{width}}  {value}")
+    return "\n".join(lines)
+
+
+def watts(value: float) -> str:
+    return f"{value:.1f} W"
+
+
+def percent(value: float) -> str:
+    return f"{value:.1f} %"
+
+
+def seconds(value: float) -> str:
+    if value < 1.0:
+        return f"{value * 1000:.1f} ms"
+    return f"{value:.2f} s"
+
+
+def gigabytes(value_bytes: float) -> str:
+    return f"{value_bytes / 2**30:.2f} GB"

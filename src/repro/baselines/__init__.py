@@ -1,0 +1,20 @@
+"""Power policies: the proposed method's competitors and composition.
+
+Baselines the paper compares against (§VII-A.1) plus the zoned
+multi-policy composition from the §IX future-work discussion.
+"""
+
+from repro.baselines.base import PowerPolicy
+from repro.baselines.ddr import DDRPolicy
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.baselines.pdc import PDCPolicy
+from repro.baselines.zoned import Zone, ZonedPolicy
+
+__all__ = [
+    "DDRPolicy",
+    "NoPowerSavingPolicy",
+    "PDCPolicy",
+    "PowerPolicy",
+    "Zone",
+    "ZonedPolicy",
+]

@@ -1,0 +1,58 @@
+"""Power-policy interface shared by the proposed method and baselines.
+
+A :class:`PowerPolicy` plugs into the trace replayer: it asks for control
+at *checkpoints* (the end of its monitoring periods) and may also react
+to individual I/Os (the proposed method's §V-D triggers; DDR's on-access
+block migration).  All four evaluated methods — the proposed energy-
+efficient storage management, PDC, DDR, and no-power-saving — implement
+this interface, so the experiment runner treats them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.simulation import SimulationContext
+from repro.trace.records import LogicalIORecord
+
+
+class PowerPolicy(abc.ABC):
+    """Base class for storage power-saving policies."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.context: SimulationContext | None = None
+        #: Number of data-placement determinations performed — the paper
+        #: reports this count for every method (§VII-D).
+        self.determinations = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, context: SimulationContext) -> None:
+        """Attach the policy to a simulation (called once, before start)."""
+        self.context = context
+
+    def _require_context(self) -> SimulationContext:
+        if self.context is None:
+            raise RuntimeError(f"policy {self.name!r} is not bound to a context")
+        return self.context
+
+    def on_start(self, now: float) -> None:
+        """Called once at replay start (time ``now``, usually 0)."""
+
+    @abc.abstractmethod
+    def next_checkpoint(self) -> float | None:
+        """Next time the policy wants control, or None for never."""
+
+    @abc.abstractmethod
+    def on_checkpoint(self, now: float) -> None:
+        """End of a monitoring period: analyse, decide, reconfigure."""
+
+    def after_io(self, record: LogicalIORecord, response_time: float) -> None:
+        """Called after each application I/O has been served."""
+
+    def on_end(self, now: float) -> None:
+        """Called once after the last record, before final settlement."""

@@ -1,0 +1,29 @@
+"""The "without power saving" reference configuration.
+
+Enclosures never spin down; the storage serves I/O exactly as the
+workload issues it.  This is the paper's left-most bar in every power
+figure and the performance reference for the tpmC / query-response
+conversions (§VII-A.5).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PowerPolicy
+
+
+class NoPowerSavingPolicy(PowerPolicy):
+    """Do nothing: all enclosures stay powered, no migration, no cache
+    reconfiguration."""
+
+    name = "no-power-saving"
+
+    def on_start(self, now: float) -> None:
+        context = self._require_context()
+        for enclosure in context.enclosures:
+            enclosure.disable_power_off(now)
+
+    def next_checkpoint(self) -> float | None:
+        return None
+
+    def on_checkpoint(self, now: float) -> None:  # pragma: no cover
+        raise AssertionError("no-power-saving policy has no checkpoints")

@@ -1,0 +1,221 @@
+"""Zoned policy: different power-saving methods per enclosure group.
+
+Paper §IX (future work): "improve and complete the implementation of
+the power-saving system in an actual data center with **multiple energy
+saving methods**."  Real datacenters mix tiers — a latency-critical OLTP
+zone next to an archival zone — and want a different method per tier.
+
+:class:`ZonedPolicy` composes existing :class:`PowerPolicy` instances,
+giving each a *zone* (a subset of enclosures).  Each sub-policy sees a
+zone-scoped view of the simulation: only its enclosures, only the data
+items placed on them, and only the I/O addressed to those items.  Zone
+boundaries are hard — no policy migrates data across zones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import PowerPolicy
+from repro.errors import ConfigurationError
+from repro.monitoring.application import ApplicationMonitor
+from repro.monitoring.storage import StorageMonitor
+from repro.simulation import SimulationContext
+from repro.storage.meter import PowerMeter
+from repro.storage.migration import MigrationEngine
+from repro.storage.virtualization import BlockVirtualization
+from repro.trace.records import LogicalIORecord
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One enclosure group and the policy that manages it."""
+
+    name: str
+    enclosures: tuple[str, ...]
+    policy: PowerPolicy
+
+
+class _ZoneVirtualization:
+    """Zone-scoped facade over the shared block virtualization.
+
+    Exposes the subset API the policies use; mutation methods delegate
+    to the real virtualization, so capacity accounting stays global.
+    """
+
+    def __init__(self, inner: BlockVirtualization, names: tuple[str, ...]):
+        self._inner = inner
+        self._names = names
+
+    @property
+    def enclosure_names(self) -> list[str]:
+        return list(self._names)
+
+    def enclosures(self):
+        return [self._inner.enclosure(name) for name in self._names]
+
+    def enclosure(self, name: str):
+        if name not in self._names:
+            raise ConfigurationError(
+                f"enclosure {name!r} is outside this zone"
+            )
+        return self._inner.enclosure(name)
+
+    def item_ids(self) -> list[str]:
+        return [
+            item
+            for name in self._names
+            for item in self._inner.items_on(name)
+        ]
+
+    def items_on(self, enclosure: str) -> list[str]:
+        return self._inner.items_on(self.enclosure(enclosure).name)
+
+    def item_size(self, item_id: str) -> int:
+        return self._inner.item_size(item_id)
+
+    def enclosure_of(self, item_id: str):
+        return self._inner.enclosure_of(item_id)
+
+    def used_bytes(self, enclosure: str) -> int:
+        return self._inner.used_bytes(self.enclosure(enclosure).name)
+
+    def free_bytes(self, enclosure: str) -> int:
+        return self._inner.free_bytes(self.enclosure(enclosure).name)
+
+    def has_item(self, item_id: str) -> bool:
+        return self._inner.has_item(item_id)
+
+    def resolve(self, item_id: str, offset: int):
+        return self._inner.resolve(item_id, offset)
+
+    def move_item(self, item_id: str, target: str):
+        if target not in self._names:
+            raise ConfigurationError(
+                f"zone policies may not migrate across zones "
+                f"(target {target!r})"
+            )
+        return self._inner.move_item(item_id, target)
+
+
+class ZonedPolicy(PowerPolicy):
+    """Runs one sub-policy per enclosure zone."""
+
+    name = "zoned"
+
+    def __init__(self, zones: list[Zone]) -> None:
+        super().__init__()
+        if not zones:
+            raise ConfigurationError("at least one zone is required")
+        seen: set[str] = set()
+        for zone in zones:
+            overlap = seen & set(zone.enclosures)
+            if overlap:
+                raise ConfigurationError(
+                    f"enclosures {sorted(overlap)} appear in two zones"
+                )
+            seen |= set(zone.enclosures)
+        self.zones = list(zones)
+        self._item_zone: dict[str, Zone] = {}
+
+    # ------------------------------------------------------------------
+    def bind(self, context: SimulationContext) -> None:
+        super().bind(context)
+        names = set(context.virtualization.enclosure_names)
+        for zone in self.zones:
+            missing = set(zone.enclosures) - names
+            if missing:
+                raise ConfigurationError(
+                    f"zone {zone.name!r} references unknown enclosures "
+                    f"{sorted(missing)}"
+                )
+            zone.policy.bind(self._zone_context(context, zone))
+
+    def _zone_context(
+        self, context: SimulationContext, zone: Zone
+    ) -> SimulationContext:
+        virtualization = _ZoneVirtualization(
+            context.virtualization, zone.enclosures
+        )
+        enclosures = [
+            context.virtualization.enclosure(name)
+            for name in zone.enclosures
+        ]
+        # Zone-scoped monitors: sub-policies classify and window their
+        # own traffic (records are routed in after_io/record below).
+        zone_context = SimulationContext(
+            config=context.config,
+            virtualization=virtualization,  # type: ignore[arg-type]
+            cache=context.cache,
+            controller=context.controller,
+            app_monitor=ApplicationMonitor(),
+            storage_monitor=StorageMonitor(enclosures),
+            migration_engine=MigrationEngine(context.controller),
+            meter=PowerMeter(enclosures, context.config.controller_power),
+        )
+        return zone_context
+
+    def _zone_of(self, item_id: str) -> Zone | None:
+        zone = self._item_zone.get(item_id)
+        if zone is not None:
+            return zone
+        context = self._require_context()
+        if not context.virtualization.has_item(item_id):
+            return None
+        enclosure = context.virtualization.enclosure_of(item_id).name
+        for candidate in self.zones:
+            if enclosure in candidate.enclosures:
+                self._item_zone[item_id] = candidate
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # PowerPolicy interface: fan out to the zones
+    # ------------------------------------------------------------------
+    def on_start(self, now: float) -> None:
+        context = self._require_context()
+        # Physical records fan out to each zone's storage monitor.
+        inner_tap = context.storage_monitor.on_physical
+
+        def fan_out(record):
+            inner_tap(record)
+            for zone in self.zones:
+                if record.enclosure in zone.enclosures:
+                    zone.policy.context.storage_monitor.on_physical(record)
+                    break
+
+        context.controller.set_physical_tap(fan_out)
+        for zone in self.zones:
+            zone.policy.on_start(now)
+            zone.policy.context.app_monitor.begin_window(now)
+
+    def next_checkpoint(self) -> float | None:
+        times = [
+            zone.policy.next_checkpoint()
+            for zone in self.zones
+            if zone.policy.next_checkpoint() is not None
+        ]
+        return min(times) if times else None
+
+    def on_checkpoint(self, now: float) -> None:
+        for zone in self.zones:
+            checkpoint = zone.policy.next_checkpoint()
+            if checkpoint is not None and checkpoint <= now:
+                zone.policy.on_checkpoint(now)
+        self.determinations = sum(
+            zone.policy.determinations for zone in self.zones
+        )
+
+    def after_io(self, record: LogicalIORecord, response_time: float) -> None:
+        zone = self._zone_of(record.item_id)
+        if zone is None:
+            return
+        zone.policy.context.app_monitor.record(record, response_time)
+        zone.policy.after_io(record, response_time)
+        self.determinations = sum(
+            z.policy.determinations for z in self.zones
+        )
+
+    def on_end(self, now: float) -> None:
+        for zone in self.zones:
+            zone.policy.on_end(now)

@@ -1,0 +1,322 @@
+"""Command-line interface: ``python -m repro`` / ``ecostor``.
+
+Subcommands::
+
+    ecostor figures [--full] [--only fig06|fs|tpcc|tpch|intervals|tables]
+    ecostor ablations [--full]
+    ecostor run WORKLOAD POLICY [--full]
+    ecostor patterns WORKLOAD [--full]
+    ecostor ssd-study / ecostor scaling-study
+    ecostor export-trace WORKLOAD PATH [--full]
+    ecostor replay-trace PATH POLICY [--enclosures N] [--msr]
+    ecostor intervals WORKLOAD POLICY [--full]
+
+``figures`` regenerates every paper table/figure as text; ``run``
+replays one workload under one policy; ``export-trace`` /
+``replay-trace`` round-trip logical traces through CSV (or ingest real
+MSR-Cambridge block traces with ``--msr``); ``intervals`` draws a
+Fig 17-19 curve in the terminal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import gigabytes, seconds, watts
+from repro.experiments.runner import STANDARD_POLICIES, run_cell
+from repro.experiments.testbed import WORKLOAD_NAMES, build_workload
+
+_FIGURE_SECTIONS = ("tables", "fig06", "fs", "tpcc", "tpch", "intervals")
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig06_patterns,
+        fig08_10_fileserver,
+        fig11_13_tpcc,
+        fig14_16_tpch,
+        fig17_19_intervals,
+        tables,
+    )
+
+    sections = {
+        "tables": tables.run,
+        "fig06": fig06_patterns.run,
+        "fs": fig08_10_fileserver.run,
+        "tpcc": fig11_13_tpcc.run,
+        "tpch": fig14_16_tpch.run,
+        "intervals": fig17_19_intervals.run,
+    }
+    chosen = args.only or list(_FIGURE_SECTIONS)
+    for name in chosen:
+        print(sections[name](full=args.full))
+        print()
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    print(ablations.run(full=args.full))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload, args.full)
+    policy = STANDARD_POLICIES[args.policy]()
+    result = run_cell(workload, policy)
+    print(f"workload:        {workload.name} ({workload.io_count} I/Os)")
+    print(f"policy:          {result.policy_name}")
+    print(f"enclosure power: {watts(result.enclosure_watts)}")
+    print(f"controller:      {watts(result.controller_watts)}")
+    print(f"mean response:   {seconds(result.mean_response)}")
+    print(f"read response:   {seconds(result.mean_read_response)}")
+    print(f"migrated:        {gigabytes(result.migrated_bytes)}")
+    print(f"determinations:  {result.determinations}")
+    print(f"spin-ups:        {result.replay.spin_up_count}")
+    print(f"cache hit ratio: {result.replay.cache_hit_ratio:.2f}")
+    return 0
+
+
+def _cmd_patterns(args: argparse.Namespace) -> int:
+    from repro.experiments.fig06_patterns import measure_pattern_mix
+
+    workload = build_workload(args.workload, args.full)
+    mix = measure_pattern_mix(workload)
+    print(f"{workload.name}: {workload.io_count} I/Os, {len(workload.items)} items")
+    for pattern, fraction in mix.items():
+        print(f"  {pattern.value}: {fraction * 100:5.1f} %")
+    return 0
+
+
+def _cmd_ssd_study(args: argparse.Namespace) -> int:
+    from repro.experiments import ssd_study
+
+    print(ssd_study.run(full=args.full))
+    return 0
+
+
+def _cmd_scaling_study(args: argparse.Namespace) -> int:
+    from repro.experiments import scaling
+
+    print(scaling.run())
+    return 0
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    from repro.trace.writer import write_logical_trace
+
+    workload = build_workload(args.workload, args.full)
+    count = write_logical_trace(workload.records, args.path)
+    print(f"wrote {count} records of {workload.name!r} to {args.path}")
+    return 0
+
+
+def _cmd_replay_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.from_trace import workload_from_csv, workload_from_msr
+
+    loader = workload_from_msr if args.msr else workload_from_csv
+    workload = loader(args.path, args.enclosures)
+    print(f"loaded: {workload.description}")
+    policy = STANDARD_POLICIES[args.policy]()
+    result = run_cell(workload, policy)
+    print(f"enclosure power: {watts(result.enclosure_watts)}")
+    print(f"mean response:   {seconds(result.mean_response)}")
+    print(f"migrated:        {gigabytes(result.migrated_bytes)}")
+    print(f"determinations:  {result.determinations}")
+    return 0
+
+
+def _cmd_intervals(args: argparse.Namespace) -> int:
+    from repro.analysis.plot import curves_overlay_summary, step_curve
+    from repro.experiments.testbed import comparison
+
+    results = comparison(args.workload, args.full)
+    curves = {name: r.interval_curve for name, r in results.items()}
+    print(
+        step_curve(
+            curves[args.policy],
+            title=(
+                f"{args.workload} / {args.policy} — cumulative I/O "
+                "intervals above break-even"
+            ),
+        )
+    )
+    print()
+    print(curves_overlay_summary(curves))
+    return 0
+
+
+def _cmd_analyze_trace(args: argparse.Namespace) -> int:
+    from repro.config import DEFAULT_CONFIG
+    from repro.core.patterns import build_profiles, pattern_fractions
+    from repro.trace.stats import summarize
+    from repro.workloads.from_trace import workload_from_csv, workload_from_msr
+
+    loader = workload_from_msr if args.msr else workload_from_csv
+    workload = loader(args.path, enclosure_count=1)
+    summary = summarize(workload.records)
+    print(f"records:      {summary.record_count}")
+    print(f"items:        {summary.item_count}")
+    print(f"duration:     {summary.duration:,.1f} s")
+    print(f"read ratio:   {summary.read_ratio:.2f}")
+    print(f"mean IOPS:    {summary.mean_iops:.3f}")
+    print(f"total bytes:  {summary.total_bytes / 2**30:.2f} GB")
+    sizes = {item.item_id: item.size_bytes for item in workload.items}
+    locations = {item.item_id: "e0" for item in workload.items}
+    mix = pattern_fractions(
+        build_profiles(
+            workload.records,
+            0.0,
+            workload.duration,
+            DEFAULT_CONFIG.break_even_time,
+            sizes,
+            locations,
+        )
+    )
+    print("pattern mix (whole-trace window, break-even "
+          f"{DEFAULT_CONFIG.break_even_time:g} s):")
+    for pattern, fraction in mix.items():
+        print(f"  {pattern.value}: {fraction * 100:5.1f} %")
+    return 0
+
+
+def _cmd_replication(args: argparse.Namespace) -> int:
+    from repro.experiments import replication
+
+    print(replication.run(tuple(args.seeds)))
+    return 0
+
+
+def _cmd_power_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.plot import time_series_chart
+    from repro.config import DEFAULT_CONFIG
+    from repro.monitoring.timeline import PowerTimeline
+    from repro.simulation import build_context
+    from repro.trace.replay import TraceReplayer
+
+    workload = build_workload(args.workload, args.full)
+    context = build_context(DEFAULT_CONFIG, workload.enclosure_count)
+    workload.install(context)
+    timeline = PowerTimeline(
+        context.enclosures, interval_seconds=args.interval
+    )
+    policy = STANDARD_POLICIES[args.policy]()
+    TraceReplayer(context, policy, timeline).run(
+        workload.records, duration=workload.duration
+    )
+    print(
+        time_series_chart(
+            timeline.total_series(),
+            title=f"{args.workload} / {args.policy} — enclosure power",
+        )
+    )
+    print(f"\nmean: {timeline.mean_watts():,.0f} W")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ecostor",
+        description=(
+            "Energy-efficient storage management (ICDE 2012 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper tables/figures")
+    figures.add_argument("--full", action="store_true", help="paper-length runs")
+    figures.add_argument(
+        "--only",
+        nargs="+",
+        choices=_FIGURE_SECTIONS,
+        help="subset of figure groups",
+    )
+    figures.set_defaults(func=_cmd_figures)
+
+    abl = sub.add_parser("ablations", help="run the mechanism ablations")
+    abl.add_argument("--full", action="store_true")
+    abl.set_defaults(func=_cmd_ablations)
+
+    run = sub.add_parser("run", help="replay one workload under one policy")
+    run.add_argument("workload", choices=WORKLOAD_NAMES)
+    run.add_argument("policy", choices=sorted(STANDARD_POLICIES))
+    run.add_argument("--full", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    patterns = sub.add_parser("patterns", help="classify a workload (Fig 6)")
+    patterns.add_argument("workload", choices=WORKLOAD_NAMES)
+    patterns.add_argument("--full", action="store_true")
+    patterns.set_defaults(func=_cmd_patterns)
+
+    ssd = sub.add_parser("ssd-study", help="HDD vs flash study (§VIII-D)")
+    ssd.add_argument("--full", action="store_true")
+    ssd.set_defaults(func=_cmd_ssd_study)
+
+    scaling = sub.add_parser(
+        "scaling-study", help="array-size sweep (§IX future work)"
+    )
+    scaling.set_defaults(func=_cmd_scaling_study)
+
+    export = sub.add_parser(
+        "export-trace", help="write a workload's logical trace to CSV"
+    )
+    export.add_argument("workload", choices=WORKLOAD_NAMES)
+    export.add_argument("path")
+    export.add_argument("--full", action="store_true")
+    export.set_defaults(func=_cmd_export_trace)
+
+    replay = sub.add_parser(
+        "replay-trace", help="replay a recorded trace under a policy"
+    )
+    replay.add_argument("path")
+    replay.add_argument("policy", choices=sorted(STANDARD_POLICIES))
+    replay.add_argument("--enclosures", type=int, default=12)
+    replay.add_argument(
+        "--msr", action="store_true", help="input is MSR-Cambridge format"
+    )
+    replay.set_defaults(func=_cmd_replay_trace)
+
+    intervals = sub.add_parser(
+        "intervals", help="draw a Fig 17-19 interval curve"
+    )
+    intervals.add_argument("workload", choices=WORKLOAD_NAMES)
+    intervals.add_argument("policy", choices=sorted(STANDARD_POLICIES))
+    intervals.add_argument("--full", action="store_true")
+    intervals.set_defaults(func=_cmd_intervals)
+
+    timeline = sub.add_parser(
+        "power-timeline", help="power-over-time chart (§III-B samples)"
+    )
+    timeline.add_argument("workload", choices=WORKLOAD_NAMES)
+    timeline.add_argument("policy", choices=sorted(STANDARD_POLICIES))
+    timeline.add_argument("--full", action="store_true")
+    timeline.add_argument("--interval", type=float, default=120.0)
+    timeline.set_defaults(func=_cmd_power_timeline)
+
+    analyze = sub.add_parser(
+        "analyze-trace", help="summarize + classify a recorded trace"
+    )
+    analyze.add_argument("path")
+    analyze.add_argument("--msr", action="store_true")
+    analyze.set_defaults(func=_cmd_analyze_trace)
+
+    replication = sub.add_parser(
+        "replication", help="seed-replication robustness study"
+    )
+    replication.add_argument(
+        "--seeds", type=int, nargs="+", default=[11, 23, 47]
+    )
+    replication.set_defaults(func=_cmd_replication)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

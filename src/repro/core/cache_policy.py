@@ -1,0 +1,128 @@
+"""Write-delay and preload selection (paper §IV-E, §IV-F).
+
+* **Write delay** — all P2 data items on cold enclosures are selected;
+  if the write-delay cache still has headroom, P1 items with the most
+  writes are added (the paper: "some of the P1 data items that have more
+  write I/Os than others in cold disk enclosures are selected").  Each
+  item's cache footprint is estimated as its dirty working set: the
+  bytes written during the last window, capped by the item size.
+* **Preload** — P1 items on cold enclosures, ranked by read I/Os per
+  byte descending, are selected until the preload partition is full.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.patterns import IOPattern, ItemProfile
+
+
+def estimate_dirty_bytes(profile: ItemProfile) -> int:
+    """Expected dirty footprint of one write-delayed item per window."""
+    return min(profile.size_bytes, profile.write_bytes)
+
+
+def select_write_delay_items(
+    profiles: Mapping[str, ItemProfile],
+    cold_enclosures: Sequence[str],
+    item_locations: Mapping[str, str],
+    cache_bytes: int,
+    min_p1_write_ios: int = 4,
+) -> set[str]:
+    """Choose the data items whose writes the cache will absorb.
+
+    P2 items are all selected (budget permitting).  P1 items qualify
+    only with at least ``min_p1_write_ios`` writes in the window — the
+    paper adds "P1 data items that have *more write I/Os than others*";
+    selecting every P1 item with a single stray write would churn the
+    selection and wake its cold enclosure with a deselection flush every
+    period.
+    """
+    if cache_bytes < 0:
+        raise ValueError("cache_bytes must be non-negative")
+    cold = set(cold_enclosures)
+    selected: set[str] = set()
+    budget = cache_bytes
+
+    p2_items = sorted(
+        (
+            p
+            for p in profiles.values()
+            if p.pattern is IOPattern.P2 and item_locations[p.item_id] in cold
+        ),
+        key=lambda p: (-p.write_count, p.item_id),
+    )
+    for profile in p2_items:
+        footprint = estimate_dirty_bytes(profile)
+        if footprint <= budget:
+            selected.add(profile.item_id)
+            budget -= footprint
+
+    p1_items = sorted(
+        (
+            p
+            for p in profiles.values()
+            if p.pattern is IOPattern.P1
+            and item_locations[p.item_id] in cold
+            and p.write_count >= min_p1_write_ios
+        ),
+        key=lambda p: (-p.write_count, p.item_id),
+    )
+    for profile in p1_items:
+        footprint = estimate_dirty_bytes(profile)
+        if footprint == 0:
+            continue
+        if footprint <= budget:
+            selected.add(profile.item_id)
+            budget -= footprint
+    return selected
+
+
+def select_preload_items(
+    profiles: Mapping[str, ItemProfile],
+    cold_enclosures: Sequence[str],
+    item_locations: Mapping[str, str],
+    cache_bytes: int,
+    already_pinned: set[str] | None = None,
+) -> list[str]:
+    """Choose the P1 items to pin in the preload partition.
+
+    Items already pinned stay selected for free when still eligible
+    (paper §V-C keeps them), and their size counts against the budget.
+    Returns the selection in ranking order.
+    """
+    if cache_bytes < 0:
+        raise ValueError("cache_bytes must be non-negative")
+    cold = set(cold_enclosures)
+    pinned = already_pinned or set()
+    # Already-pinned items stay candidates while P0 too: a pinned item
+    # with no I/O this window is still the same read-mostly item, and
+    # paper §V-C explicitly "keeps data items that are already preloaded
+    # into the cache".  Dropping it would force a fresh preload burst —
+    # and a cold-enclosure wake-up — when it turns P1 again.
+    candidates = sorted(
+        (
+            p
+            for p in profiles.values()
+            if item_locations[p.item_id] in cold
+            and (
+                p.pattern is IOPattern.P1
+                or (p.item_id in pinned and p.pattern is IOPattern.P0)
+            )
+        ),
+        key=lambda p: (-p.reads_per_byte, p.item_id),
+    )
+    selected: list[str] = []
+    budget = cache_bytes
+    # Keep still-eligible pinned items first: re-reading them is free.
+    for profile in candidates:
+        if profile.item_id in pinned and profile.size_bytes <= budget:
+            selected.append(profile.item_id)
+            budget -= profile.size_bytes
+    for profile in candidates:
+        if profile.item_id in pinned:
+            continue
+        if profile.size_bytes <= budget:
+            selected.append(profile.item_id)
+            budget -= profile.size_bytes
+    return selected

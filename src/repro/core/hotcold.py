@@ -1,0 +1,152 @@
+"""Hot/cold disk-enclosure determination (paper §IV-C).
+
+Hot enclosures host the P3 data items (frequently accessed, no long
+intervals); everything else becomes a cold enclosure eligible for
+power-off.  The split follows the paper's three steps:
+
+1. ``I_max`` — the peak aggregate IOPS of all P3 items over time buckets;
+2. ``N_hot = max(ceil(I_max / O), ceil(Σ size_P3 / S))`` — enough hot
+   enclosures to serve the P3 load *and* store the P3 bytes;
+3. choose the ``N_hot`` enclosures holding the most P3 bytes (descending)
+   so the least P3 data needs to move.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.patterns import IOPattern, ItemProfile
+
+
+@dataclass(frozen=True)
+class HotColdSplit:
+    """Result of the hot/cold determination."""
+
+    hot: tuple[str, ...]
+    cold: tuple[str, ...]
+    i_max: float
+    n_hot: int
+
+    def is_hot(self, enclosure: str) -> bool:
+        return enclosure in self.hot
+
+    def is_cold(self, enclosure: str) -> bool:
+        return enclosure in self.cold
+
+
+def p3_peak_aggregate_iops(
+    profiles: Mapping[str, ItemProfile],
+    bucket_seconds: float,
+    percentile: float = 95.0,
+) -> float:
+    """``I_max``: peak over time of the summed IOPS of all P3 items.
+
+    Uses the profiles' aligned bucket counts, so simultaneous bursts of
+    different items add up in the bucket where they coincide — the
+    paper's ``max_t Σ_i I_it``.  The peak is taken as a high percentile
+    of the bucket sums rather than the strict maximum: at simulation
+    scale each bucket holds few I/Os, and a single noisy bucket would
+    inflate ``N_hot`` and churn the hot set window over window.
+    """
+    if bucket_seconds <= 0:
+        raise ValueError("bucket_seconds must be positive")
+    if not 0 < percentile <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    totals: defaultdict[int, int] = defaultdict(int)
+    for profile in profiles.values():
+        if profile.pattern is not IOPattern.P3:
+            continue
+        for index, count in enumerate(profile.bucket_counts):
+            totals[index] += count
+    if not totals:
+        return 0.0
+    values = sorted(totals.values())
+    index = max(0, math.ceil(len(values) * percentile / 100.0) - 1)
+    return values[index] / bucket_seconds
+
+
+def required_hot_count(
+    profiles: Mapping[str, ItemProfile],
+    max_enclosure_iops: float,
+    enclosure_size_bytes: int,
+    bucket_seconds: float,
+) -> tuple[int, float]:
+    """``(N_hot, I_max)`` per the paper's Step 1 and Step 2."""
+    if max_enclosure_iops <= 0:
+        raise ValueError("max_enclosure_iops must be positive")
+    if enclosure_size_bytes <= 0:
+        raise ValueError("enclosure_size_bytes must be positive")
+    i_max = p3_peak_aggregate_iops(profiles, bucket_seconds)
+    p3_bytes = sum(
+        p.size_bytes
+        for p in profiles.values()
+        if p.pattern is IOPattern.P3
+    )
+    n_for_iops = math.ceil(i_max / max_enclosure_iops)
+    n_for_size = math.ceil(p3_bytes / enclosure_size_bytes)
+    return max(n_for_iops, n_for_size), i_max
+
+
+def choose_hot_cold(
+    profiles: Mapping[str, ItemProfile],
+    enclosure_names: Sequence[str],
+    n_hot: int,
+    i_max: float,
+    preferred_hot: set[str] | None = None,
+    stickiness: float = 1.25,
+) -> HotColdSplit:
+    """Step 3: pick the ``n_hot`` enclosures richest in P3 bytes.
+
+    Ties break on enclosure name for determinism.  ``n_hot`` beyond the
+    enclosure count selects everything as hot (paper: "If N_hot is larger
+    than the number of disk enclosures, all ... are selected as hot").
+
+    ``preferred_hot`` applies hysteresis: enclosures that are already
+    hot get their P3 bytes weighted by ``stickiness``, so borderline
+    windows do not flip the hot set back and forth — the paper's method
+    "intends to keep the initial data placement in order to avoid data
+    migration overhead" (§IV-A), and set churn would also thrash the
+    power-off enablement of the cold enclosures.
+    """
+    if n_hot < 0:
+        raise ValueError("n_hot must be non-negative")
+    if stickiness < 1.0:
+        raise ValueError("stickiness must be >= 1")
+    preferred = preferred_hot or set()
+    p3_bytes: defaultdict[str, float] = defaultdict(float)
+    for profile in profiles.values():
+        if profile.pattern is IOPattern.P3:
+            p3_bytes[profile.enclosure] += profile.size_bytes
+    ranked = sorted(
+        enclosure_names,
+        key=lambda name: (
+            -p3_bytes.get(name, 0.0)
+            * (stickiness if name in preferred else 1.0),
+            name not in preferred,
+            name,
+        ),
+    )
+    n_hot = min(n_hot, len(ranked))
+    return HotColdSplit(
+        hot=tuple(sorted(ranked[:n_hot])),
+        cold=tuple(sorted(ranked[n_hot:])),
+        i_max=i_max,
+        n_hot=n_hot,
+    )
+
+
+def determine_hot_cold(
+    profiles: Mapping[str, ItemProfile],
+    enclosure_names: Sequence[str],
+    max_enclosure_iops: float,
+    enclosure_size_bytes: int,
+    bucket_seconds: float,
+) -> HotColdSplit:
+    """The full §IV-C procedure: Steps 1–3 in one call."""
+    n_hot, i_max = required_hot_count(
+        profiles, max_enclosure_iops, enclosure_size_bytes, bucket_seconds
+    )
+    return choose_hot_cold(profiles, enclosure_names, n_hot, i_max)

@@ -1,0 +1,339 @@
+"""Data-placement planning: paper Algorithms 2 and 3 (§IV-D).
+
+Algorithm 2 consolidates P3 data items from cold enclosures onto hot
+ones, always offering an item to the hot enclosure with the lowest
+projected average IOPS (load balancing) subject to two constraints:
+the enclosure's served-IOPS capacity ``O`` and its size ``S``.  When no
+hot enclosure has room, Algorithm 3 evacuates P0/P1/P2 items from hot
+enclosures to cold ones (preferring the *busiest* cold enclosure as the
+sink, so the quietest cold enclosures stay quiet).  When the hot set
+simply cannot absorb the P3 load, ``N_hot`` is increased and the whole
+planning retried — :func:`determine_placement` owns that retry loop.
+
+The planner works on *projected* state (an :class:`EnclosureLedger`);
+nothing moves until the runtime method executes the returned
+:class:`~repro.storage.migration.PlacementPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.hotcold import HotColdSplit, choose_hot_cold, required_hot_count
+from repro.core.patterns import IOPattern, ItemProfile
+from repro.errors import PlacementError
+from repro.storage.migration import PlacementPlan
+
+
+class HotSetTooSmall(PlacementError):
+    """Algorithm 2 found the hot enclosures cannot serve the P3 IOPS.
+
+    ``item_id`` names the mover that overflowed (when one did): the
+    caller can pin that item in place instead of growing the hot set —
+    the right response when a single near-saturating item (a log device
+    running just under ``O``) is the whole problem.
+    """
+
+    def __init__(self, message: str, item_id: str | None = None) -> None:
+        super().__init__(message)
+        self.item_id = item_id
+
+
+@dataclass
+class _EnclosureState:
+    """Projected load/size of one enclosure during planning."""
+
+    name: str
+    used_bytes: int = 0
+    mean_iops: float = 0.0
+    bucket_counts: list[int] = field(default_factory=list)
+
+    def peak_iops(self, bucket_seconds: float) -> float:
+        if not self.bucket_counts:
+            return 0.0
+        return max(self.bucket_counts) / bucket_seconds
+
+
+class EnclosureLedger:
+    """Projected per-enclosure usage while the planner assigns items."""
+
+    def __init__(
+        self,
+        enclosure_names: Sequence[str],
+        profiles: Mapping[str, ItemProfile],
+        bucket_seconds: float,
+    ) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket_seconds must be positive")
+        self.bucket_seconds = bucket_seconds
+        bucket_len = max(
+            (len(p.bucket_counts) for p in profiles.values()), default=1
+        )
+        self._states = {
+            name: _EnclosureState(name, bucket_counts=[0] * bucket_len)
+            for name in enclosure_names
+        }
+        self._location: dict[str, str] = {}
+        self._profiles = profiles
+        for profile in profiles.values():
+            self._place(profile, profile.enclosure)
+
+    def _place(self, profile: ItemProfile, enclosure: str) -> None:
+        state = self._states[enclosure]
+        state.used_bytes += profile.size_bytes
+        state.mean_iops += profile.mean_iops
+        for index, count in enumerate(profile.bucket_counts):
+            state.bucket_counts[index] += count
+        self._location[profile.item_id] = enclosure
+
+    def _unplace(self, profile: ItemProfile) -> None:
+        state = self._states[self._location[profile.item_id]]
+        state.used_bytes -= profile.size_bytes
+        state.mean_iops -= profile.mean_iops
+        for index, count in enumerate(profile.bucket_counts):
+            state.bucket_counts[index] -= count
+
+    def move(self, item_id: str, target: str) -> None:
+        profile = self._profiles[item_id]
+        self._unplace(profile)
+        self._place(profile, target)
+
+    def location(self, item_id: str) -> str:
+        return self._location[item_id]
+
+    def used_bytes(self, enclosure: str) -> int:
+        return self._states[enclosure].used_bytes
+
+    def mean_iops(self, enclosure: str) -> float:
+        return self._states[enclosure].mean_iops
+
+    def peak_iops(self, enclosure: str) -> float:
+        return self._states[enclosure].peak_iops(self.bucket_seconds)
+
+    def items_on(self, enclosure: str) -> list[str]:
+        return sorted(
+            item for item, loc in self._location.items() if loc == enclosure
+        )
+
+
+def plan_evacuation(
+    ledger: EnclosureLedger,
+    plan: PlacementPlan,
+    hot_enclosure: str,
+    needed_bytes: int,
+    cold: Sequence[str],
+    max_enclosure_iops: float,
+    enclosure_size_bytes: int,
+) -> bool:
+    """Paper Algorithm 3: free ``needed_bytes`` on one hot enclosure.
+
+    Moves P0/P1/P2 items from the hot enclosure to cold enclosures,
+    preferring the cold enclosure whose projected peak IOPS is largest
+    (conditions: the item fits, and peak + item IOPS stays under ``O``).
+    Returns True when enough space was freed.
+    """
+    if not cold:
+        return False
+    freed = 0
+    movable = [
+        ledger._profiles[item]
+        for item in ledger.items_on(hot_enclosure)
+        if ledger._profiles[item].pattern is not IOPattern.P3
+    ]
+    # Largest items first frees space with the fewest moves.
+    movable.sort(key=lambda p: (-p.size_bytes, p.item_id))
+    for profile in movable:
+        if freed >= needed_bytes:
+            break
+        # Cold enclosures by descending projected peak IOPS (I_max).
+        targets = sorted(
+            cold, key=lambda name: (-ledger.peak_iops(name), name)
+        )
+        for target in targets:
+            fits = (
+                profile.size_bytes
+                <= enclosure_size_bytes - ledger.used_bytes(target)
+            )
+            load_ok = (
+                ledger.peak_iops(target) + profile.peak_iops
+                < max_enclosure_iops
+            )
+            if fits and load_ok:
+                ledger.move(profile.item_id, target)
+                plan.add(profile.item_id, target, evacuation=True)
+                freed += profile.size_bytes
+                break
+    return freed >= needed_bytes
+
+
+def plan_p3_consolidation(
+    ledger: EnclosureLedger,
+    split: HotColdSplit,
+    max_enclosure_iops: float,
+    enclosure_size_bytes: int,
+    stuck_enclosures: set[str] | None = None,
+    excluded_items: set[str] | None = None,
+) -> PlacementPlan:
+    """Paper Algorithm 2: move P3 items from cold to hot enclosures.
+
+    ``excluded_items`` are movers pinned in place by the caller (their
+    enclosures must then be treated as hot).
+
+    Raises :class:`HotSetTooSmall` when the hot set cannot serve the P3
+    IOPS — the caller then increases ``N_hot`` and retries.
+
+    A P3 item whose own IOPS reaches the enclosure capacity ``O`` can
+    never be consolidated anywhere (a dedicated log device is the
+    classic case: "Put log to 1 Storage Device", Table I).  Such items
+    stay put and their current enclosure is reported through
+    ``stuck_enclosures`` so the caller keeps it powered as hot.
+    """
+    plan = PlacementPlan()
+    movers_exist = any(
+        p.pattern is IOPattern.P3 for p in ledger._profiles.values()
+    )
+    if not split.hot:
+        if movers_exist:
+            raise HotSetTooSmall("P3 items exist but the hot set is empty")
+        return plan
+
+    excluded = excluded_items or set()
+    movers = []
+    for profile in ledger._profiles.values():
+        if profile.pattern is not IOPattern.P3:
+            continue
+        location = ledger.location(profile.item_id)
+        if location not in split.cold:
+            continue
+        if (
+            profile.mean_iops >= max_enclosure_iops
+            or profile.item_id in excluded
+        ):
+            # Unmovable (saturates any enclosure by itself) or pinned by
+            # the caller after a previous overflow.
+            if stuck_enclosures is not None:
+                stuck_enclosures.add(location)
+            continue
+        movers.append(profile)
+    # Paper: sort M by IOPS/size descending (hottest bytes first).
+    movers.sort(
+        key=lambda p: (
+            -(p.mean_iops / p.size_bytes if p.size_bytes else 0.0),
+            p.item_id,
+        )
+    )
+    for profile in movers:
+        placed = False
+        # Hot enclosures by ascending projected average IOPS.
+        candidates = sorted(
+            split.hot, key=lambda name: (ledger.mean_iops(name), name)
+        )
+        for target in candidates:
+            if (
+                profile.mean_iops + ledger.mean_iops(target)
+                >= max_enclosure_iops
+            ):
+                # Even the least-loaded hot enclosure overflows on IOPS:
+                # the hot set is too small (paper: "increase N_hot").
+                raise HotSetTooSmall(
+                    f"P3 item {profile.item_id!r} overloads hot enclosure "
+                    f"{target!r}",
+                    item_id=profile.item_id,
+                )
+            if (
+                profile.size_bytes + ledger.used_bytes(target)
+                <= enclosure_size_bytes
+            ):
+                ledger.move(profile.item_id, target)
+                plan.add(profile.item_id, target, evacuation=False)
+                placed = True
+                break
+            # Size overflow: try evacuating P0/P1/P2 from this hot
+            # enclosure (Algorithm 3), then place here.
+            needed = (
+                profile.size_bytes
+                + ledger.used_bytes(target)
+                - enclosure_size_bytes
+            )
+            if plan_evacuation(
+                ledger,
+                plan,
+                target,
+                needed,
+                split.cold,
+                max_enclosure_iops,
+                enclosure_size_bytes,
+            ):
+                ledger.move(profile.item_id, target)
+                plan.add(profile.item_id, target, evacuation=False)
+                placed = True
+                break
+        if not placed:
+            raise HotSetTooSmall(
+                f"no hot enclosure can hold P3 item {profile.item_id!r}"
+            )
+    return plan
+
+
+def determine_placement(
+    profiles: Mapping[str, ItemProfile],
+    enclosure_names: Sequence[str],
+    max_enclosure_iops: float,
+    enclosure_size_bytes: int,
+    bucket_seconds: float,
+    preferred_hot: set[str] | None = None,
+) -> tuple[HotColdSplit, PlacementPlan]:
+    """Hot/cold split plus placement plan, with the N_hot retry loop.
+
+    Starts from the §IV-C lower bound on ``N_hot`` and grows it while
+    Algorithm 2 reports the hot set too small.  With every enclosure hot
+    there is nothing left to plan (and nothing to power off) — the paper
+    accepts that outcome, so this function never raises for feasibility.
+    """
+    n_hot_min, i_max = required_hot_count(
+        profiles, max_enclosure_iops, enclosure_size_bytes, bucket_seconds
+    )
+    total = len(enclosure_names)
+    for n_hot in range(min(n_hot_min, total), total + 1):
+        split = choose_hot_cold(
+            profiles, enclosure_names, n_hot, i_max, preferred_hot
+        )
+        excluded: set[str] = set()
+        while True:
+            ledger = EnclosureLedger(
+                enclosure_names, profiles, bucket_seconds
+            )
+            stuck: set[str] = set()
+            try:
+                plan = plan_p3_consolidation(
+                    ledger,
+                    split,
+                    max_enclosure_iops,
+                    enclosure_size_bytes,
+                    stuck_enclosures=stuck,
+                    excluded_items=excluded,
+                )
+            except HotSetTooSmall as error:
+                if (
+                    error.item_id is not None
+                    and error.item_id not in excluded
+                    and len(excluded) < len(profiles)
+                ):
+                    # One near-saturating mover is the blocker: pin it
+                    # in place (its enclosure becomes hot) and retry at
+                    # the same N_hot instead of escalating to all-hot.
+                    excluded.add(error.item_id)
+                    continue
+                break  # genuinely under-provisioned: grow N_hot
+            if stuck - set(split.hot):
+                # Enclosures pinned by unmovable P3 items count as hot.
+                hot = tuple(sorted(set(split.hot) | stuck))
+                cold = tuple(n for n in split.cold if n not in stuck)
+                split = HotColdSplit(
+                    hot=hot, cold=cold, i_max=split.i_max, n_hot=len(hot)
+                )
+            return split, plan
+    # Everything hot: keep data where it is.
+    split = choose_hot_cold(profiles, enclosure_names, total, i_max)
+    return split, PlacementPlan()

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-substrate errors."""
+
+
+class CapacityError(StorageError):
+    """An enclosure or cache partition would exceed its capacity."""
+
+
+class MappingError(StorageError):
+    """A logical address does not map to any physical location."""
+
+
+class PowerStateError(StorageError):
+    """An illegal power-state transition was requested."""
+
+
+class TraceError(ReproError):
+    """A trace file or record stream is malformed."""
+
+
+class ReplayError(ReproError):
+    """The trace replayer was driven incorrectly (e.g. time went backwards)."""
+
+
+class PlacementError(ReproError):
+    """The data-placement algorithms could not satisfy their constraints."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was given unsatisfiable parameters."""

@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper table/figure group."""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    STANDARD_POLICIES,
+    run_cell,
+    run_comparison,
+)
+from repro.experiments.testbed import build_workload, comparison
+
+__all__ = [
+    "ExperimentResult",
+    "STANDARD_POLICIES",
+    "build_workload",
+    "comparison",
+    "run_cell",
+    "run_comparison",
+]

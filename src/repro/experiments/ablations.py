@@ -1,0 +1,83 @@
+"""Ablations of the proposed method's mechanisms.
+
+The paper motivates four design choices; each ablation switches one off
+and reruns the evaluation, quantifying its contribution:
+
+* ``no-migration`` — classification and cache control only (is data
+  placement (Algorithms 2–3) doing the work?);
+* ``no-preload`` — paper §IV-F's read-side cache assist;
+* ``no-write-delay`` — paper §IV-E's write-side cache assist;
+* ``fixed-period`` — disable the §IV-H adaptive monitoring period;
+* ``no-triggers`` — disable the §V-D pattern-change triggers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.report import PaperRow, render_table, seconds, watts
+from repro.config import DEFAULT_CONFIG
+from repro.core.manager import EnergyEfficientPolicy
+from repro.experiments.runner import ExperimentResult, run_cell
+from repro.experiments.testbed import build_workload
+
+ABLATIONS: dict[str, dict[str, bool]] = {
+    "full": {},
+    "no-migration": {"enable_migration": False},
+    "no-preload": {"enable_preload": False},
+    "no-write-delay": {"enable_write_delay": False},
+    "fixed-period": {"adaptive_period": False},
+    "no-triggers": {"enable_triggers": False},
+}
+
+
+@lru_cache(maxsize=None)
+def run_ablation(
+    workload_name: str, ablation: str, full: bool = False
+) -> ExperimentResult:
+    """One ablated run (memoized; smoke-sized workloads by default)."""
+    if ablation not in ABLATIONS:
+        raise ValueError(
+            f"unknown ablation {ablation!r}; choose from {sorted(ABLATIONS)}"
+        )
+    workload = build_workload(workload_name, full)
+    policy = EnergyEfficientPolicy(**ABLATIONS[ablation])
+    return run_cell(workload, policy, DEFAULT_CONFIG)
+
+
+def rows_for(workload_name: str, full: bool = False) -> list[PaperRow]:
+    reference = run_ablation(workload_name, "full", full)
+    rows = [
+        PaperRow(
+            label=f"{workload_name} full method",
+            paper="-",
+            measured=watts(reference.enclosure_watts),
+            note=f"response {seconds(reference.mean_response)}",
+        )
+    ]
+    for name in ABLATIONS:
+        if name == "full":
+            continue
+        result = run_ablation(workload_name, name, full)
+        delta = result.enclosure_watts - reference.enclosure_watts
+        rows.append(
+            PaperRow(
+                label=f"{workload_name} {name}",
+                paper="-",
+                measured=watts(result.enclosure_watts),
+                note=(
+                    f"{delta:+.1f} W vs full; "
+                    f"response {seconds(result.mean_response)}"
+                ),
+            )
+        )
+    return rows
+
+
+def run(full: bool = False) -> str:
+    sections = []
+    for name in ("fileserver", "tpcc", "tpch"):
+        sections.append(
+            render_table(f"Ablations — {name}", rows_for(name, full))
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,59 @@
+"""Fig 6 — logical I/O patterns of the three applications.
+
+The paper classifies every data item over the *whole* application run
+(one monitoring period from start to completion; no P0 items can exist
+because every item is accessed at least once).  This module repeats that
+measurement on the generated workloads.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import PaperRow, render_table
+from repro.config import DEFAULT_CONFIG, EcoStorConfig
+from repro.core.patterns import IOPattern, build_profiles, pattern_fractions
+from repro.experiments.paper_values import FIG6_PATTERN_MIX
+from repro.experiments.testbed import build_workload
+from repro.workloads.items import Workload
+
+
+def measure_pattern_mix(
+    workload: Workload, config: EcoStorConfig = DEFAULT_CONFIG
+) -> dict[IOPattern, float]:
+    """Classify the whole trace as a single monitoring window."""
+    sizes = {item.item_id: item.size_bytes for item in workload.items}
+    locations = {
+        item.item_id: f"enc-{item.enclosure_index:02d}"
+        for item in workload.items
+    }
+    profiles = build_profiles(
+        workload.records,
+        0.0,
+        workload.duration,
+        config.break_even_time,
+        sizes,
+        locations,
+    )
+    return pattern_fractions(profiles)
+
+
+def rows_for(workload_name: str, full: bool = True) -> list[PaperRow]:
+    """Paper-vs-measured rows for one application's pattern mix."""
+    workload = build_workload(workload_name, full)
+    measured = measure_pattern_mix(workload)
+    paper = FIG6_PATTERN_MIX[workload_name]
+    return [
+        PaperRow(
+            label=f"{workload_name} {pattern.value}",
+            paper=f"{paper[pattern.value]:.1f} %",
+            measured=f"{measured[pattern] * 100:.1f} %",
+        )
+        for pattern in IOPattern
+    ]
+
+
+def run(full: bool = True) -> str:
+    """Render the whole Fig 6 comparison."""
+    rows: list[PaperRow] = []
+    for name in ("fileserver", "tpcc", "tpch"):
+        rows.extend(rows_for(name, full))
+    return render_table("Fig 6 — logical I/O pattern mix", rows)

@@ -1,0 +1,96 @@
+"""Figs 14–16 — TPC-H evaluation (power, query response, migration).
+
+Paper §VII-D.3: every method saves more than 50 % on the scan-and-
+compute DSS workload (proposed 70.8 %, DDR 69.9 %, PDC 55.9 %); query
+responses degrade for all methods but least for the proposed one (DDR is
+about 3× worse), and DDR migrates almost nothing because the striped
+data never leaves an enclosure cold while a query runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import relative_query_responses
+from repro.analysis.report import PaperRow, render_table, seconds
+from repro.experiments.comparisons import (
+    determination_rows,
+    migration_rows,
+    power_rows,
+)
+from repro.experiments.paper_values import (
+    FIG15_DDR_OVER_PROPOSED,
+    FIG15_QUERIES,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.testbed import comparison
+
+WORKLOAD = "tpch"
+
+
+def results(full: bool = True) -> dict[str, ExperimentResult]:
+    return comparison(WORKLOAD, full)
+
+
+def fig14_rows(full: bool = True) -> list[PaperRow]:
+    """Fig 14: average power of the disk enclosures."""
+    return power_rows(WORKLOAD, results(full))
+
+
+def query_responses(
+    full: bool = True, queries: tuple[str, ...] = FIG15_QUERIES
+) -> dict[str, dict[str, float]]:
+    """Fig 15: per-query response per policy (§VII-A.5 conversion).
+
+    Returns ``{policy: {query: seconds}}`` on the baseline's time scale.
+    """
+    res = results(full)
+    baseline = res["no-power-saving"].window_responses
+    out: dict[str, dict[str, float]] = {}
+    for policy, result in res.items():
+        relative = relative_query_responses(
+            result.window_responses, baseline
+        )
+        out[policy] = {q: relative[q] for q in queries if q in relative}
+    return out
+
+
+def fig15_rows(full: bool = True) -> list[PaperRow]:
+    responses = query_responses(full)
+    rows = []
+    for query in FIG15_QUERIES:
+        for policy in ("no-power-saving", "proposed", "pdc", "ddr"):
+            value = responses.get(policy, {}).get(query)
+            if value is None:
+                continue
+            note = ""
+            if policy == "ddr":
+                proposed = responses["proposed"].get(query)
+                if proposed:
+                    note = (
+                        f"ddr/proposed = {value / proposed:.2f} "
+                        f"(paper ~{FIG15_DDR_OVER_PROPOSED:.0f}x)"
+                    )
+            rows.append(
+                PaperRow(
+                    label=f"tpch {query} response {policy}",
+                    paper="-",
+                    measured=seconds(value),
+                    note=note,
+                )
+            )
+    return rows
+
+
+def fig16_rows(full: bool = True) -> list[PaperRow]:
+    """Fig 16: total migrated data size, plus §VII-D.3 determinations."""
+    res = results(full)
+    return migration_rows(WORKLOAD, res) + determination_rows(WORKLOAD, res)
+
+
+def run(full: bool = True) -> str:
+    return "\n\n".join(
+        [
+            render_table("Fig 14 — TPC-H power", fig14_rows(full)),
+            render_table("Fig 15 — TPC-H query response", fig15_rows(full)),
+            render_table("Fig 16 — TPC-H migration", fig16_rows(full)),
+        ]
+    )

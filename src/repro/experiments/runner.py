@@ -1,0 +1,110 @@
+"""Experiment runner: one (workload × policy) cell of the evaluation.
+
+Builds a fresh simulated storage system (the Fig 5 testbed), installs
+the workload, replays its trace under the chosen policy, and packages
+the measurements every figure of §VII needs.  :func:`run_comparison`
+runs all four methods on the same workload, which is exactly one column
+group of the paper's bar charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.intervals import IntervalCurve, interval_curve
+from repro.analysis.metrics import WindowResponse, window_read_responses
+from repro.baselines.base import PowerPolicy
+from repro.baselines.ddr import DDRPolicy
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.baselines.pdc import PDCPolicy
+from repro.config import DEFAULT_CONFIG, EcoStorConfig
+from repro.core.manager import EnergyEfficientPolicy
+from repro.simulation import build_context
+from repro.trace.replay import ReplayResult, TraceReplayer
+from repro.workloads.items import Workload
+
+PolicyFactory = Callable[[], PowerPolicy]
+
+#: The paper's four evaluated methods, in figure order.
+STANDARD_POLICIES: dict[str, PolicyFactory] = {
+    "no-power-saving": NoPowerSavingPolicy,
+    "proposed": EnergyEfficientPolicy,
+    "pdc": PDCPolicy,
+    "ddr": DDRPolicy,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything measured from one (workload, policy) run."""
+
+    workload_name: str
+    policy_name: str
+    replay: ReplayResult
+    #: Cumulative I/O-interval curve across all enclosures (Figs 17–19).
+    interval_curve: IntervalCurve
+    #: Per-phase read responses (TPC-H query windows; empty otherwise).
+    window_responses: list[WindowResponse]
+    #: Average power of the disk enclosures only, in watts.
+    enclosure_watts: float
+    #: Average power of the storage controller, in watts.
+    controller_watts: float
+
+    @property
+    def migrated_bytes(self) -> int:
+        return self.replay.migrated_bytes
+
+    @property
+    def determinations(self) -> int:
+        return self.replay.determinations
+
+    @property
+    def mean_response(self) -> float:
+        return self.replay.mean_response
+
+    @property
+    def mean_read_response(self) -> float:
+        return self.replay.mean_read_response
+
+
+def run_cell(
+    workload: Workload,
+    policy: PowerPolicy,
+    config: EcoStorConfig = DEFAULT_CONFIG,
+) -> ExperimentResult:
+    """Replay one workload under one policy on a fresh testbed."""
+    context = build_context(config, workload.enclosure_count)
+    workload.install(context)
+    replayer = TraceReplayer(context, policy)
+    replay = replayer.run(workload.records, duration=workload.duration)
+    curve = interval_curve(
+        context.storage_monitor.all_intervals(), config.break_even_time
+    )
+    windows = (
+        window_read_responses(context.app_monitor.response_samples, workload.phases)
+        if workload.phases
+        else []
+    )
+    return ExperimentResult(
+        workload_name=workload.name,
+        policy_name=policy.name,
+        replay=replay,
+        interval_curve=curve,
+        window_responses=windows,
+        enclosure_watts=replay.power.enclosure_watts,
+        controller_watts=replay.power.controller_watts,
+    )
+
+
+def run_comparison(
+    workload: Workload,
+    policies: dict[str, PolicyFactory] | None = None,
+    config: EcoStorConfig = DEFAULT_CONFIG,
+) -> dict[str, ExperimentResult]:
+    """Run several policies over the same workload (one figure group)."""
+    chosen = policies or STANDARD_POLICIES
+    return {
+        name: run_cell(workload, factory(), config)
+        for name, factory in chosen.items()
+    }

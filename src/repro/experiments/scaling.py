@@ -1,0 +1,67 @@
+"""Configuration-scaling study (paper §IX future work).
+
+"The proposed methods will be applied to petabyte-scale databases to
+examine the effectiveness of the system on different configurations."
+This study sweeps the File Server deployment across enclosure counts
+(the array growing with the data) and checks that the proposed method's
+relative saving holds as the configuration scales — the property a
+datacenter operator actually needs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.metrics import power_saving_percent
+from repro.analysis.report import PaperRow, render_table, watts
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.config import DEFAULT_CONFIG
+from repro.core.manager import EnergyEfficientPolicy
+from repro.experiments.runner import run_cell
+from repro.workloads import build_fileserver_workload
+
+#: Array sizes swept (enclosures); 12 is the paper's Table I layout.
+ENCLOSURE_SWEEP = (6, 12, 18)
+
+#: Shortened duration: the sweep triples the work of one cell.
+SWEEP_DURATION = 5400.0
+
+
+@lru_cache(maxsize=None)
+def run_point(enclosure_count: int) -> tuple[float, float]:
+    """(baseline watts, proposed watts) for one array size."""
+    workload = build_fileserver_workload(
+        duration=SWEEP_DURATION, enclosure_count=enclosure_count
+    )
+    base = run_cell(workload, NoPowerSavingPolicy(), DEFAULT_CONFIG)
+    ours = run_cell(workload, EnergyEfficientPolicy(), DEFAULT_CONFIG)
+    return base.enclosure_watts, ours.enclosure_watts
+
+
+def sweep() -> dict[int, float]:
+    """Proposed-method saving (%) per array size."""
+    out = {}
+    for count in ENCLOSURE_SWEEP:
+        base, ours = run_point(count)
+        out[count] = power_saving_percent(base, ours)
+    return out
+
+
+def rows() -> list[PaperRow]:
+    result = []
+    for count in ENCLOSURE_SWEEP:
+        base, ours = run_point(count)
+        saving = power_saving_percent(base, ours)
+        result.append(
+            PaperRow(
+                label=f"fileserver x{count} enclosures",
+                paper="§IX: effectiveness across configurations",
+                measured=f"{watts(base)} -> {watts(ours)}",
+                note=f"saving {saving:.1f} %",
+            )
+        )
+    return result
+
+
+def run() -> str:
+    return render_table("Scaling study — array size sweep (§IX)", rows())

@@ -1,0 +1,16 @@
+"""Monitoring subsystem: application and storage monitors (paper §III)."""
+
+from repro.monitoring.application import ApplicationMonitor, ResponseStats
+from repro.monitoring.repository import TraceRepository
+from repro.monitoring.storage import EnclosureWindowStats, StorageMonitor
+from repro.monitoring.timeline import PowerTimeline, TimelinePoint
+
+__all__ = [
+    "ApplicationMonitor",
+    "EnclosureWindowStats",
+    "PowerTimeline",
+    "ResponseStats",
+    "StorageMonitor",
+    "TimelinePoint",
+    "TraceRepository",
+]

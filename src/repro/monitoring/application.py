@@ -1,0 +1,146 @@
+"""Application Monitor: logical I/O trace and mapping information.
+
+Paper §III-A.  The Application Monitor sits at the file/record layer and
+collects (i) **logical mapping information** — which data item lives on
+which volume — and (ii) the **logical I/O trace**.  The power-management
+function reads the current monitoring window's records from here to
+classify data items into logical I/O patterns.
+
+The monitor also accumulates the response-time statistics that the
+paper's evaluation reports ("The I/O response time and I/O throughput
+were measured using the application monitor in the trace replay tool",
+§VII-A.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.trace.records import LogicalIORecord
+
+
+@dataclass(frozen=True)
+class ResponseStats:
+    """Response-time aggregates measured at the application monitor."""
+
+    io_count: int
+    read_count: int
+    response_sum: float
+    read_response_sum: float
+    max_response: float
+
+    @property
+    def mean_response(self) -> float:
+        return self.response_sum / self.io_count if self.io_count else 0.0
+
+    @property
+    def mean_read_response(self) -> float:
+        return self.read_response_sum / self.read_count if self.read_count else 0.0
+
+
+class ApplicationMonitor:
+    """Collects the logical I/O trace and per-window item activity.
+
+    ``repository`` (optional) receives every captured record — the
+    paper's §III-A store: "stored into memory in the application
+    monitor.  If the memory becomes full, the I/O trace is stored in
+    the repository" (:class:`~repro.monitoring.repository.TraceRepository`
+    implements exactly that bounded-memory/spill contract).
+    """
+
+    def __init__(
+        self,
+        keep_full_trace: bool = False,
+        repository=None,
+    ) -> None:
+        #: Records of the *current* monitoring window, in arrival order.
+        self._window_records: list[LogicalIORecord] = []
+        self._window_start = 0.0
+        #: Logical mapping information: item → volume name.
+        self._item_volume: dict[str, str] = {}
+        self._keep_full_trace = keep_full_trace
+        self._full_trace: list[LogicalIORecord] = []
+        self.repository = repository
+
+        self.io_count = 0
+        self.read_count = 0
+        self.response_sum = 0.0
+        self.read_response_sum = 0.0
+        self.max_response = 0.0
+        #: Per-item totals over the whole run (used by reports).
+        self.ios_per_item: defaultdict[str, int] = defaultdict(int)
+        #: Compact per-I/O samples ``(timestamp, response, is_read)`` for
+        #: time-windowed analysis (e.g. per-query response, paper Fig 15).
+        self.response_samples: list[tuple[float, float, bool]] = []
+
+    # ------------------------------------------------------------------
+    # logical mapping information
+    # ------------------------------------------------------------------
+    def register_item(self, item_id: str, volume: str) -> None:
+        """Record that a data item was created on a volume."""
+        self._item_volume[item_id] = volume
+
+    def unregister_item(self, item_id: str) -> None:
+        self._item_volume.pop(item_id, None)
+
+    def volume_of(self, item_id: str) -> str | None:
+        return self._item_volume.get(item_id)
+
+    def known_items(self) -> set[str]:
+        return set(self._item_volume)
+
+    # ------------------------------------------------------------------
+    # logical I/O trace
+    # ------------------------------------------------------------------
+    def record(self, record: LogicalIORecord, response_time: float) -> None:
+        """Capture one application I/O and its measured response."""
+        self._window_records.append(record)
+        if self._keep_full_trace:
+            self._full_trace.append(record)
+        if self.repository is not None:
+            self.repository.append(record)
+        self.io_count += 1
+        self.response_sum += response_time
+        self.response_samples.append(
+            (record.timestamp, response_time, record.is_read)
+        )
+        if response_time > self.max_response:
+            self.max_response = response_time
+        if record.is_read:
+            self.read_count += 1
+            self.read_response_sum += response_time
+        self.ios_per_item[record.item_id] += 1
+
+    @property
+    def window_start(self) -> float:
+        return self._window_start
+
+    def window_records(self) -> list[LogicalIORecord]:
+        """Records captured since the window began (arrival order)."""
+        return list(self._window_records)
+
+    def begin_window(self, now: float) -> None:
+        """Start a new monitoring window, discarding the old buffer."""
+        self._window_records.clear()
+        self._window_start = now
+
+    def full_trace(self) -> list[LogicalIORecord]:
+        if not self._keep_full_trace:
+            raise RuntimeError(
+                "full trace retention is disabled; construct with "
+                "keep_full_trace=True"
+            )
+        return list(self._full_trace)
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+    def response_stats(self) -> ResponseStats:
+        return ResponseStats(
+            io_count=self.io_count,
+            read_count=self.read_count,
+            response_sum=self.response_sum,
+            read_response_sum=self.read_response_sum,
+            max_response=self.max_response,
+        )

@@ -1,0 +1,156 @@
+"""Storage Monitor: physical I/O trace, power status, power consumption.
+
+Paper §III-B.  The Storage Monitor sits at the block-virtualization layer
+and records the physical I/O trace issued to the disk enclosures, plus
+the enclosures' power status transitions and power consumption.  In the
+simulator it subscribes to the storage controller's physical tap and
+reads power data straight off the enclosures' exact energy timelines.
+
+It is also the data source for the I/O-interval analysis behind the
+paper's Figs 17–19: per-enclosure inter-arrival gaps of physical I/O.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.storage.enclosure import DiskEnclosure
+from repro.trace.records import PhysicalIORecord, PowerSample, PowerStatusRecord
+
+
+@dataclass(frozen=True)
+class EnclosureWindowStats:
+    """Physical I/O activity of one enclosure over one window."""
+
+    enclosure: str
+    io_count: int
+    read_count: int
+    window_seconds: float
+
+    @property
+    def iops(self) -> float:
+        return self.io_count / self.window_seconds if self.window_seconds > 0 else 0.0
+
+
+class StorageMonitor:
+    """Collects physical traces and per-enclosure interval statistics."""
+
+    #: Gaps shorter than this are not retained individually (they can
+    #: never be Long Intervals and would bloat memory on busy runs).
+    MIN_RETAINED_GAP = 0.1
+
+    def __init__(self, enclosures: list[DiskEnclosure], repository=None) -> None:
+        self.enclosures = {enc.name: enc for enc in enclosures}
+        #: Optional §III-B store for the physical trace (a
+        #: :class:`~repro.monitoring.repository.TraceRepository`).
+        self.repository = repository
+        self._window_counts: defaultdict[str, int] = defaultdict(int)
+        self._window_reads: defaultdict[str, int] = defaultdict(int)
+        self._window_start = 0.0
+        self._last_io: dict[str, float] = {}
+        #: Per-enclosure retained physical I/O gaps (>= MIN_RETAINED_GAP).
+        self._gaps: defaultdict[str, list[float]] = defaultdict(list)
+        self._short_gap_total: defaultdict[str, float] = defaultdict(float)
+        self.physical_io_count = 0
+        self._finished_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # physical I/O trace
+    # ------------------------------------------------------------------
+    def on_physical(self, record: PhysicalIORecord) -> None:
+        """Physical-tap callback from the storage controller."""
+        if self.repository is not None:
+            self.repository.append(record)
+        name = record.enclosure
+        self.physical_io_count += record.count
+        self._window_counts[name] += record.count
+        if record.is_read:
+            self._window_reads[name] += record.count
+        prev = self._last_io.get(name)
+        if prev is not None:
+            gap = record.timestamp - prev
+            if gap >= self.MIN_RETAINED_GAP:
+                self._gaps[name].append(gap)
+            elif gap > 0:
+                self._short_gap_total[name] += gap
+        self._last_io[name] = record.timestamp
+
+    def begin_window(self, now: float) -> None:
+        self._window_counts.clear()
+        self._window_reads.clear()
+        self._window_start = now
+
+    def window_stats(self, now: float) -> dict[str, EnclosureWindowStats]:
+        """Per-enclosure activity in the current window."""
+        window = now - self._window_start
+        return {
+            name: EnclosureWindowStats(
+                enclosure=name,
+                io_count=self._window_counts.get(name, 0),
+                read_count=self._window_reads.get(name, 0),
+                window_seconds=window,
+            )
+            for name in self.enclosures
+        }
+
+    def finish(self, now: float) -> None:
+        """Close the final gap of every enclosure (last I/O → end of run)."""
+        if self._finished_at is not None:
+            return
+        for name in self.enclosures:
+            last = self._last_io.get(name)
+            final_gap = now - last if last is not None else now
+            if final_gap >= self.MIN_RETAINED_GAP:
+                self._gaps[name].append(final_gap)
+        self._finished_at = now
+
+    def intervals(self, enclosure: str) -> list[float]:
+        """Retained physical I/O gaps of one enclosure (unordered)."""
+        if enclosure not in self.enclosures:
+            raise KeyError(f"unknown enclosure {enclosure!r}")
+        return list(self._gaps.get(enclosure, []))
+
+    def all_intervals(self) -> list[float]:
+        """Retained gaps across all enclosures (Figs 17–19 input)."""
+        merged: list[float] = []
+        for gaps in self._gaps.values():
+            merged.extend(gaps)
+        return merged
+
+    def last_io_time(self, enclosure: str) -> float | None:
+        return self._last_io.get(enclosure)
+
+    # ------------------------------------------------------------------
+    # power status and consumption (read from the enclosures)
+    # ------------------------------------------------------------------
+    def power_status(self, now: float) -> list[PowerStatusRecord]:
+        """Current on/off status of every enclosure."""
+        records = []
+        for name, enc in self.enclosures.items():
+            enc.settle(now)
+            records.append(
+                PowerStatusRecord(
+                    timestamp=now, enclosure=name, powered_on=enc.state.is_on
+                )
+            )
+        return records
+
+    def power_consumption(self, now: float) -> list[PowerSample]:
+        """Average power per enclosure from time 0 to ``now``."""
+        samples = []
+        for name, enc in self.enclosures.items():
+            enc.settle(now)
+            samples.append(
+                PowerSample(timestamp=now, enclosure=name, watts=enc.average_watts())
+            )
+        return samples
+
+    def spin_up_count(self, enclosure: str) -> int:
+        return self.enclosures[enclosure].spin_up_count
+
+    def spin_ups_since(self, enclosure: str, since: float) -> int:
+        """Spin-up events after ``since`` (for the §V-D trigger)."""
+        return sum(
+            1 for t in self.enclosures[enclosure].spin_up_events if t >= since
+        )

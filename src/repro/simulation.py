@@ -1,0 +1,101 @@
+"""Simulation context: the wired-together storage system under test.
+
+A :class:`SimulationContext` bundles everything one experiment run needs
+— configuration, enclosures, virtualization, cache, controller, monitors,
+migration engine — and :func:`build_context` assembles it the way the
+paper's testbed is assembled (Fig 5 / Fig 7): one controller over N
+enclosures, the storage monitor tapping physical I/O, the application
+monitor fed by the replayer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import EcoStorConfig
+from repro.monitoring.application import ApplicationMonitor
+from repro.monitoring.storage import StorageMonitor
+from repro.storage.cache import StorageCache
+from repro.storage.controller import StorageController
+from repro.storage.enclosure import DiskEnclosure
+from repro.storage.meter import PowerMeter
+from repro.storage.migration import MigrationEngine
+from repro.storage.virtualization import BlockVirtualization
+
+
+@dataclass
+class SimulationContext:
+    """Everything a power policy and the replayer need to run."""
+
+    config: EcoStorConfig
+    virtualization: BlockVirtualization
+    cache: StorageCache
+    controller: StorageController
+    app_monitor: ApplicationMonitor
+    storage_monitor: StorageMonitor
+    migration_engine: MigrationEngine
+    meter: PowerMeter
+
+    @property
+    def enclosures(self) -> list[DiskEnclosure]:
+        return self.virtualization.enclosures()
+
+    def enclosure_names(self) -> list[str]:
+        return self.virtualization.enclosure_names
+
+
+def build_context(
+    config: EcoStorConfig,
+    enclosure_count: int,
+    enclosure_prefix: str = "enc",
+) -> SimulationContext:
+    """Assemble a fresh storage system with ``enclosure_count`` enclosures.
+
+    Every enclosure gets one default volume named after it, so callers can
+    place items immediately; workload builders may create more volumes
+    (Table I's File Server creates 36 across 12 enclosures).
+    """
+    if enclosure_count <= 0:
+        raise ValueError("enclosure_count must be positive")
+    enclosures = [
+        DiskEnclosure(
+            name=f"{enclosure_prefix}-{i:02d}",
+            power_model=config.enclosure_power,
+            iops_random=config.service_iops_random,
+            iops_sequential=config.service_iops_sequential,
+            capacity_bytes=config.enclosure_size_bytes,
+            spin_down_timeout=config.spin_down_timeout,
+        )
+        for i in range(enclosure_count)
+    ]
+    virtualization = BlockVirtualization(enclosures)
+    for enclosure in enclosures:
+        virtualization.create_volume(f"vol/{enclosure.name}", enclosure.name)
+    cache = StorageCache(
+        total_bytes=config.storage_cache_bytes,
+        preload_bytes=config.preload_cache_bytes,
+        write_delay_bytes=config.write_delay_cache_bytes,
+        dirty_block_rate=config.dirty_block_rate,
+    )
+    storage_monitor = StorageMonitor(enclosures)
+    controller = StorageController(
+        virtualization,
+        cache,
+        migration_throughput_bps=config.migration_throughput_bps,
+        physical_tap=storage_monitor.on_physical,
+    )
+    return SimulationContext(
+        config=config,
+        virtualization=virtualization,
+        cache=cache,
+        controller=controller,
+        app_monitor=ApplicationMonitor(),
+        storage_monitor=storage_monitor,
+        migration_engine=MigrationEngine(controller),
+        meter=PowerMeter(enclosures, config.controller_power),
+    )
+
+
+def default_volume(enclosure_name: str) -> str:
+    """Name of the default volume :func:`build_context` creates."""
+    return f"vol/{enclosure_name}"

@@ -1,0 +1,48 @@
+"""Storage substrate: the simulated enterprise storage unit.
+
+This subpackage stands in for the paper's Hitachi AMS 2500 testbed and
+power meter (see DESIGN.md §2): disk enclosures with a power-state
+machine and exact energy integration, a battery-backed cache with preload
+and write-delay partitions, a block-virtualization layer, a storage
+controller, a migration engine, and a power meter.
+"""
+
+from repro.storage.cache import (
+    FlushPlan,
+    LRUBlockCache,
+    PreloadPartition,
+    StorageCache,
+    WriteDelayPartition,
+)
+from repro.storage.controller import StorageController
+from repro.storage.enclosure import DiskEnclosure, IOResult
+from repro.storage.meter import PowerMeter, PowerReading
+from repro.storage.migration import MigrationEngine, Move, PlacementPlan
+from repro.storage.power import ControllerPowerModel, PowerModel, PowerState
+from repro.storage.virtualization import (
+    BlockVirtualization,
+    PhysicalExtent,
+    Volume,
+)
+
+__all__ = [
+    "BlockVirtualization",
+    "ControllerPowerModel",
+    "DiskEnclosure",
+    "FlushPlan",
+    "IOResult",
+    "LRUBlockCache",
+    "MigrationEngine",
+    "Move",
+    "PhysicalExtent",
+    "PlacementPlan",
+    "PowerMeter",
+    "PowerModel",
+    "PowerReading",
+    "PowerState",
+    "PreloadPartition",
+    "StorageCache",
+    "StorageController",
+    "Volume",
+    "WriteDelayPartition",
+]

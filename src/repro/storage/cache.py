@@ -1,0 +1,272 @@
+"""Battery-backed storage cache with preload and write-delay partitions.
+
+The paper's enterprise storage has a 2 GB non-volatile cache (Table II)
+split three ways by the proposed method:
+
+* a **preload partition** (500 MB) pinning whole P1 data items so reads
+  never reach the disk enclosures (§II-E.2, §IV-F);
+* a **write-delay partition** (500 MB) buffering dirty blocks of P2 data
+  items, flushed in bulk when the *dirty block rate* (50 %) is reached
+  (§IV-E, §V-B);
+* the remainder as an ordinary block-grained LRU serving everything else.
+
+Addresses are logical: ``(data item id, block index)``.  The cache is a
+pure data structure — the :class:`~repro.storage.controller.StorageController`
+decides what physical I/O each hit/miss/flush implies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import CapacityError
+
+#: Cache lines are tracked at page granularity (64 blocks = 256 KiB) —
+#: enterprise controllers manage cache in large segments, and per-4-KiB
+#: bookkeeping would dominate simulation time for megabyte-sized I/O.
+PAGE_BLOCKS = 64
+PAGE_BYTES = PAGE_BLOCKS * units.BLOCK_SIZE
+
+
+def block_to_page(block: int) -> int:
+    """Map a block index to its cache-page index."""
+    return block // PAGE_BLOCKS
+
+
+class LRUBlockCache:
+    """Page-grained LRU over ``(item_id, page_index)`` keys."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_pages = capacity_bytes // PAGE_BYTES
+        self._blocks: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        return key in self._blocks
+
+    def access(self, item_id: str, page: int) -> bool:
+        """Touch one page; returns True on hit, inserting on miss.
+
+        Eviction is silent (clean read cache — dirty data lives in the
+        write-delay partition, never here).
+        """
+        key = (item_id, page)
+        if key in self._blocks:
+            self._blocks.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if self.capacity_pages <= 0:
+            return False
+        self._blocks[key] = None
+        while len(self._blocks) > self.capacity_pages:
+            self._blocks.popitem(last=False)
+        return False
+
+    def invalidate_item(self, item_id: str) -> int:
+        """Drop every cached block of one data item; returns count dropped."""
+        doomed = [key for key in self._blocks if key[0] == item_id]
+        for key in doomed:
+            del self._blocks[key]
+        return len(doomed)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses served from cache so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PreloadPartition:
+    """Cache region pinning whole data items (the preload function).
+
+    Items are pinned until explicitly unpinned at the next management
+    point (paper §V-C keeps already-preloaded items).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._items: dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._items.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def item_ids(self) -> set[str]:
+        return set(self._items)
+
+    def fits(self, size_bytes: int) -> bool:
+        return size_bytes <= self.free_bytes
+
+    def pin(self, item_id: str, size_bytes: int) -> None:
+        """Pin one data item; raises :class:`CapacityError` if it cannot fit."""
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        if item_id in self._items:
+            return
+        if size_bytes > self.free_bytes:
+            raise CapacityError(
+                f"preload partition full: need {size_bytes}, "
+                f"free {self.free_bytes}"
+            )
+        self._items[item_id] = size_bytes
+
+    def unpin(self, item_id: str) -> None:
+        self._items.pop(item_id, None)
+
+    def is_pinned(self, item_id: str) -> bool:
+        return item_id in self._items
+
+
+@dataclass(frozen=True)
+class FlushPlan:
+    """What a write-delay flush must write: per-item dirty byte counts."""
+
+    dirty_bytes_by_item: dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.dirty_bytes_by_item.values())
+
+
+class WriteDelayPartition:
+    """Cache region buffering dirty blocks of write-delayed data items.
+
+    Only items explicitly selected by the policy (``select``) are
+    buffered.  When the number of dirty blocks reaches
+    ``dirty_block_rate × capacity`` the partition asks for a bulk flush
+    (paper §V-B: "flushes these updated blocks into disk enclosures at one
+    time").
+    """
+
+    def __init__(self, capacity_bytes: int, dirty_block_rate: float = 0.5) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        if not 0 < dirty_block_rate <= 1:
+            raise ValueError("dirty_block_rate must be in (0, 1]")
+        self.capacity_bytes = capacity_bytes
+        self.dirty_block_rate = dirty_block_rate
+        self._selected: set[str] = set()
+        self._dirty: dict[str, set[int]] = {}
+        self.flush_count = 0
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.capacity_bytes // PAGE_BYTES
+
+    @property
+    def dirty_threshold_pages(self) -> int:
+        """Dirty-page count that triggers a bulk flush."""
+        return int(self.capacity_pages * self.dirty_block_rate)
+
+    @property
+    def dirty_pages(self) -> int:
+        return sum(len(pages) for pages in self._dirty.values())
+
+    def selected_items(self) -> set[str]:
+        return set(self._selected)
+
+    def is_selected(self, item_id: str) -> bool:
+        return item_id in self._selected
+
+    def select(self, item_id: str) -> None:
+        """Mark a data item for write delay."""
+        self._selected.add(item_id)
+
+    def deselect(self, item_id: str) -> FlushPlan:
+        """Stop delaying an item; its dirty blocks must be written out.
+
+        Paper §V-B: "write updated data items onto disk enclosures when
+        the write-delay-applied data items are changed."
+        """
+        self._selected.discard(item_id)
+        pages = self._dirty.pop(item_id, set())
+        if not pages:
+            return FlushPlan({})
+        return FlushPlan({item_id: len(pages) * PAGE_BYTES})
+
+    def absorb_write(self, item_id: str, page: int) -> bool:
+        """Buffer one dirty page; True if the caller must now bulk-flush.
+
+        Raises for unselected items — the caller routes those writes to
+        the enclosure instead.
+        """
+        if item_id not in self._selected:
+            raise KeyError(f"item {item_id!r} is not write-delay selected")
+        self._dirty.setdefault(item_id, set()).add(page)
+        return self.dirty_pages >= self.dirty_threshold_pages
+
+    def is_dirty(self, item_id: str, page: int) -> bool:
+        return page in self._dirty.get(item_id, ())
+
+    def flush_item(self, item_id: str) -> FlushPlan:
+        """Return one item's dirty pages and clear them (stay selected)."""
+        pages = self._dirty.pop(item_id, set())
+        if not pages:
+            return FlushPlan({})
+        return FlushPlan({item_id: len(pages) * PAGE_BYTES})
+
+    def flush_all(self) -> FlushPlan:
+        """Return everything dirty and clear the partition."""
+        plan = FlushPlan(
+            {
+                item_id: len(pages) * PAGE_BYTES
+                for item_id, pages in self._dirty.items()
+                if pages
+            }
+        )
+        self._dirty.clear()
+        self.flush_count += 1
+        return plan
+
+
+class StorageCache:
+    """The full cache: LRU + preload + write-delay partitions.
+
+    Thin façade so the controller manipulates one object; partition
+    boundaries are fixed at construction (paper Table II: 500 MB each for
+    preload and write delay out of 2 GB).
+    """
+
+    def __init__(
+        self,
+        total_bytes: int = 2 * units.GB,
+        preload_bytes: int = 500 * units.MB,
+        write_delay_bytes: int = 500 * units.MB,
+        dirty_block_rate: float = 0.5,
+    ) -> None:
+        if preload_bytes + write_delay_bytes > total_bytes:
+            raise CapacityError(
+                "preload + write-delay partitions exceed total cache size"
+            )
+        self.total_bytes = total_bytes
+        self.lru = LRUBlockCache(total_bytes - preload_bytes - write_delay_bytes)
+        self.preload = PreloadPartition(preload_bytes)
+        self.write_delay = WriteDelayPartition(write_delay_bytes, dirty_block_rate)
+
+    def read_hit(self, item_id: str, page: int) -> bool:
+        """Whether a read of (item, page) is served from cache.
+
+        Preloaded items always hit; write-delayed dirty pages hit (the
+        newest data lives in cache); otherwise the LRU decides (and
+        absorbs the page on a miss).
+        """
+        if self.preload.is_pinned(item_id):
+            return True
+        if self.write_delay.is_dirty(item_id, page):
+            return True
+        return self.lru.access(item_id, page)

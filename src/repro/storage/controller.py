@@ -1,0 +1,361 @@
+"""Storage controller: routes logical I/O through cache to enclosures.
+
+The controller is the RAID-controller analogue of the paper's testbed
+(Fig 5): it owns the battery-backed :class:`~repro.storage.cache.StorageCache`,
+consults the :class:`~repro.storage.virtualization.BlockVirtualization`
+mapping, and issues physical I/O to :class:`~repro.storage.enclosure.DiskEnclosure`
+objects.  It also exposes the three power-saving primitives the runtime
+method drives (paper §V): item migration, preload, and write-delay
+control — each of which generates *real* physical I/O in the simulation,
+so their energy and response-time costs are charged, exactly as the
+paper's measurements include them (§VII-A.4).
+
+Physical I/O is reported to an optional tap (the Storage Monitor
+subscribes there) as :class:`~repro.trace.records.PhysicalIORecord`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import units
+from repro.errors import CapacityError, MappingError
+from repro.storage import cache as cache_mod
+from repro.storage.cache import StorageCache
+from repro.storage.enclosure import DiskEnclosure, IOResult
+from repro.storage.virtualization import BlockVirtualization
+from repro.trace.records import IOType, LogicalIORecord, PhysicalIORecord
+
+#: Latency of an I/O served entirely from the controller cache.
+CACHE_HIT_LATENCY = 0.0002
+
+#: Transfer unit used to count physical I/Os of bulk operations.
+BULK_IO_UNIT = units.MB
+
+#: Sustained per-enclosure bandwidth for bulk sequential transfers
+#: (preload bursts and write-delay flushes).
+BULK_BANDWIDTH_BPS = 150.0 * units.MB
+
+#: Migration copies run in chunks of this size so application I/O only
+#: ever queues behind one chunk (~0.4 s), not behind a whole data item.
+MIGRATION_CHUNK_BYTES = 64 * units.MB
+
+
+PhysicalTap = Callable[[PhysicalIORecord], None]
+
+
+class StorageController:
+    """The storage unit's controller: cache + routing + power primitives."""
+
+    def __init__(
+        self,
+        virtualization: BlockVirtualization,
+        cache: StorageCache,
+        migration_throughput_bps: float = 60.0 * units.MB,
+        bulk_bandwidth_bps: float = BULK_BANDWIDTH_BPS,
+        physical_tap: PhysicalTap | None = None,
+    ) -> None:
+        if migration_throughput_bps <= 0:
+            raise ValueError("migration throughput must be positive")
+        if bulk_bandwidth_bps <= 0:
+            raise ValueError("bulk bandwidth must be positive")
+        self.virtualization = virtualization
+        self.cache = cache
+        self.migration_throughput_bps = migration_throughput_bps
+        self.bulk_bandwidth_bps = bulk_bandwidth_bps
+        self._physical_tap = physical_tap
+
+        self.logical_io_count = 0
+        self.cache_hit_count = 0
+        self.migrated_bytes = 0
+        self.migration_count = 0
+        self.preloaded_bytes = 0
+        self.flushed_bytes = 0
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def set_physical_tap(self, tap: PhysicalTap | None) -> None:
+        """Attach the storage monitor's physical-trace listener."""
+        self._physical_tap = tap
+
+    def _emit_physical(
+        self,
+        timestamp: float,
+        enclosure: str,
+        block: int,
+        count: int,
+        io_type: IOType,
+        item_id: str | None,
+    ) -> None:
+        if self._physical_tap is None:
+            return
+        self._physical_tap(
+            PhysicalIORecord(
+                timestamp=timestamp,
+                enclosure=enclosure,
+                block_address=block,
+                count=count,
+                io_type=io_type,
+                item_id=item_id,
+            )
+        )
+
+    def _physical_io(
+        self,
+        now: float,
+        item_id: str,
+        offset: int,
+        io_type: IOType,
+        sequential: bool,
+    ) -> IOResult:
+        enclosure_name, block = self.virtualization.resolve(item_id, offset)
+        enclosure = self.virtualization.enclosure(enclosure_name)
+        result = enclosure.submit(
+            now, count=1, read=io_type.is_read, sequential=sequential
+        )
+        self._emit_physical(now, enclosure_name, block, 1, io_type, item_id)
+        return result
+
+    def _bulk_transfer(
+        self,
+        now: float,
+        enclosure: DiskEnclosure,
+        size_bytes: int,
+        io_type: IOType,
+        item_id: str | None,
+        bandwidth_bps: float,
+    ) -> IOResult:
+        seconds = size_bytes / bandwidth_bps
+        count = max(1, size_bytes // BULK_IO_UNIT)
+        result = enclosure.occupy(
+            now, seconds, count=count, read=io_type.is_read
+        )
+        base_block = 0
+        if item_id is not None and self.virtualization.has_item(item_id):
+            base_block = self.virtualization.extent_of(item_id).base_block
+        self._emit_physical(now, enclosure.name, base_block, count, io_type, item_id)
+        return result
+
+    # ------------------------------------------------------------------
+    # application I/O path
+    # ------------------------------------------------------------------
+    def submit(self, record: LogicalIORecord) -> float:
+        """Serve one application I/O; returns its response time in seconds.
+
+        Reads are served from cache when possible (preloaded items always
+        hit; otherwise the LRU decides).  Writes to write-delay-selected
+        items are absorbed into the cache — triggering a bulk flush when
+        the dirty-block rate is reached — while all other writes go to the
+        enclosure.  The battery-backed cache makes absorbed writes durable,
+        so their response is the cache latency (paper §II-E.2).
+        """
+        self.logical_io_count += 1
+        item_id = record.item_id
+        if not self.virtualization.has_item(item_id):
+            raise MappingError(f"I/O to unplaced data item {item_id!r}")
+
+        if record.is_read:
+            # Evaluate every page (no short-circuit) so each one enters
+            # the LRU; the I/O is a hit only if all of them already were.
+            hits = [
+                self.cache.read_hit(item_id, page)
+                for page in record.page_range(cache_mod.PAGE_BYTES)
+            ]
+            if all(hits):
+                self.cache_hit_count += 1
+                return CACHE_HIT_LATENCY
+            result = self._physical_io(
+                record.timestamp,
+                item_id,
+                record.offset,
+                IOType.READ,
+                record.sequential,
+            )
+            return result.mean_response_time
+
+        if self.cache.write_delay.is_selected(item_id):
+            self.cache_hit_count += 1
+            needs_flush = False
+            for page in record.page_range(cache_mod.PAGE_BYTES):
+                if self.cache.write_delay.absorb_write(item_id, page):
+                    needs_flush = True
+            if needs_flush:
+                self.flush_write_delay(record.timestamp)
+            return CACHE_HIT_LATENCY
+
+        result = self._physical_io(
+            record.timestamp,
+            item_id,
+            record.offset,
+            IOType.WRITE,
+            record.sequential,
+        )
+        return result.mean_response_time
+
+    # ------------------------------------------------------------------
+    # power-saving primitives (paper §V)
+    # ------------------------------------------------------------------
+    def preload_item(self, now: float, item_id: str) -> float:
+        """Load a whole data item into the preload partition.
+
+        Issues a sequential read burst on the item's enclosure (the
+        physical cost of preloading, included in the paper's power
+        measurements).  Returns the completion time.  No-op for items
+        already pinned.
+        """
+        if self.cache.preload.is_pinned(item_id):
+            return now
+        size = self.virtualization.item_size(item_id)
+        self.cache.preload.pin(item_id, size)
+        enclosure = self.virtualization.enclosure_of(item_id)
+        result = self._bulk_transfer(
+            now, enclosure, size, IOType.READ, item_id, self.bulk_bandwidth_bps
+        )
+        self.preloaded_bytes += size
+        return result.completion
+
+    def unpin_item(self, item_id: str) -> None:
+        """Evict a data item from the preload partition (paper §V-C)."""
+        self.cache.preload.unpin(item_id)
+
+    def select_write_delay(self, now: float, item_ids: set[str]) -> float:
+        """Reconfigure the write-delay item set; flushes deselected items.
+
+        Returns the time at which all deselection flushes complete.
+        """
+        completion = now
+        for stale in self.cache.write_delay.selected_items() - item_ids:
+            plan = self.cache.write_delay.deselect(stale)
+            completion = max(
+                completion, self._execute_flush(now, plan.dirty_bytes_by_item)
+            )
+        for item_id in item_ids:
+            self.cache.write_delay.select(item_id)
+        return completion
+
+    def flush_write_delay(self, now: float) -> float:
+        """Bulk-write every dirty block to its enclosure (paper §V-B)."""
+        plan = self.cache.write_delay.flush_all()
+        return self._execute_flush(now, plan.dirty_bytes_by_item)
+
+    def flush_item(self, now: float, item_id: str) -> float:
+        """Write one item's dirty pages out (it stays write-delayed).
+
+        Used before migrating a write-delayed item, so its delayed
+        writes land on the old home before the mapping changes.
+        """
+        plan = self.cache.write_delay.flush_item(item_id)
+        return self._execute_flush(now, plan.dirty_bytes_by_item)
+
+    def _execute_flush(self, now: float, dirty_bytes_by_item: dict[str, int]) -> float:
+        completion = now
+        for item_id, size in dirty_bytes_by_item.items():
+            if size <= 0:
+                continue
+            enclosure = self.virtualization.enclosure_of(item_id)
+            result = self._bulk_transfer(
+                now, enclosure, size, IOType.WRITE, item_id, self.bulk_bandwidth_bps
+            )
+            completion = max(completion, result.completion)
+            self.flushed_bytes += size
+        return completion
+
+    def migrate_item(self, now: float, item_id: str, target_enclosure: str) -> float:
+        """Move a data item to another enclosure (paper §V-A).
+
+        The copy is throttled to ``migration_throughput_bps`` "so as to
+        not influence the applications' performance"; it occupies the
+        source (reads) and the target (writes) and is charged to the
+        migrated-data counter the paper reports in Figs 10/13/16.
+        Returns the completion time.
+        """
+        src_name = self.virtualization.enclosure_of(item_id).name
+        if src_name == target_enclosure:
+            return now
+        size = self.virtualization.item_size(item_id)
+        src = self.virtualization.enclosure(src_name)
+        dst = self.virtualization.enclosure(target_enclosure)
+        # Validate capacity before any I/O is charged: a failing move
+        # must leave the energy accounting untouched.
+        if dst.capacity_bytes and (
+            self.virtualization.used_bytes(target_enclosure) + size
+            > dst.capacity_bytes
+        ):
+            raise CapacityError(
+                f"cannot migrate {item_id!r} to {target_enclosure!r}: "
+                "insufficient space"
+            )
+        # The copy runs in the background at the throttled average rate;
+        # its actual platter time is size / bulk bandwidth.  Both
+        # enclosures stay awake for the copy's duration and physical
+        # records are dropped along it so the interval analysis sees the
+        # activity (a migrating enclosure has no Long Interval).
+        duration = size / self.migration_throughput_bps
+        busy = size / self.bulk_bandwidth_bps
+        count = max(1, size // BULK_IO_UNIT)
+        src.background_transfer(now, duration, busy, count, read=True)
+        dst.background_transfer(now, duration, busy, count, read=False)
+        completion = now + duration
+        marker = now
+        per_marker = max(1, int(count // max(1, duration // 60.0 + 1)))
+        while marker < completion:
+            self._emit_physical(
+                marker, src_name, 0, per_marker, IOType.READ, item_id
+            )
+            self._emit_physical(
+                marker, target_enclosure, 0, per_marker, IOType.WRITE, item_id
+            )
+            marker += 60.0
+        self.virtualization.move_item(item_id, target_enclosure)
+        # Cached copies of the moved item remain valid (logical addressing)
+        # but the write-delay buffer must target the new enclosure; dirty
+        # data was already flushed by the caller before migration.
+        self.migrated_bytes += size
+        self.migration_count += 1
+        return completion
+
+    def charge_block_migration(
+        self,
+        now: float,
+        item_id: str,
+        size_bytes: int,
+        source_enclosure: str,
+        target_enclosure: str,
+    ) -> float:
+        """Charge a block-grained copy between enclosures (DDR's move).
+
+        Unlike :meth:`migrate_item` this does not remap anything — the
+        caller is a physical-block-level policy whose remapping sits
+        below our item-grained virtualization — but the I/O, the energy,
+        and the migrated-byte accounting are identical.  Returns the
+        completion time.
+        """
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        src = self.virtualization.enclosure(source_enclosure)
+        dst = self.virtualization.enclosure(target_enclosure)
+        seconds = size_bytes / self.bulk_bandwidth_bps
+        read = src.occupy(now, seconds, count=1, read=True)
+        write = dst.occupy(now, seconds, count=1, read=False)
+        self._emit_physical(now, source_enclosure, 0, 1, IOType.READ, item_id)
+        self._emit_physical(now, target_enclosure, 0, 1, IOType.WRITE, item_id)
+        self.migrated_bytes += size_bytes
+        self.migration_count += 1
+        return max(read.completion, write.completion)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def finish(self, now: float) -> float:
+        """Flush outstanding dirty data and settle all enclosures."""
+        completion = self.flush_write_delay(now)
+        for enclosure in self.virtualization.enclosures():
+            enclosure.finish(max(now, completion))
+        return completion
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        if self.logical_io_count == 0:
+            return 0.0
+        return self.cache_hit_count / self.logical_io_count

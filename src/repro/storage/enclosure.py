@@ -1,0 +1,413 @@
+"""Disk-enclosure model: power-state machine, queueing, energy timeline.
+
+A :class:`DiskEnclosure` is the power-saving unit of the paper's storage
+model (§II-A).  It serves I/O through a single-server queue whose service
+rate is the enclosure's IOPS capacity (random or sequential), and moves
+through the power states of :class:`~repro.storage.power.PowerState`:
+
+``ACTIVE ⇄ IDLE → SPIN_DOWN → OFF → SPIN_UP → IDLE/ACTIVE``
+
+Spin-down happens automatically after :attr:`spin_down_timeout` seconds of
+idleness, but **only** when the active power policy has called
+:meth:`enable_power_off` — this is how "apply the power-off function to
+only the cold disk enclosures" (paper §IV-G) is expressed.
+
+Energy is integrated exactly: every state occupancy interval contributes
+``state wattage × duration`` joules, accumulated per state, so average
+power and the paper's power-consumption figures fall out of the timeline.
+All times are virtual seconds; the object is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerStateError
+from repro.storage.power import PowerModel, PowerState
+
+
+@dataclass(frozen=True)
+class IOResult:
+    """Outcome of submitting a batch of I/Os to an enclosure.
+
+    ``arrival`` is when the request was issued, ``start`` when service
+    began (after any queueing and spin-up wait), ``completion`` when the
+    last I/O of the batch finished, and ``count`` the batch size.
+    """
+
+    arrival: float
+    start: float
+    completion: float
+    count: int
+
+    @property
+    def response_time(self) -> float:
+        """Response time of the whole batch (completion − arrival)."""
+        return self.completion - self.arrival
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent waiting before service began (queue + spin-up)."""
+        return self.start - self.arrival
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean per-I/O response assuming I/Os complete evenly in service.
+
+        The i-th of ``count`` I/Os completes at
+        ``start + (i/count) × service``; averaging gives
+        ``wait + service × (count + 1) / (2 × count)``.
+        """
+        service = self.completion - self.start
+        return self.wait_time + service * (self.count + 1) / (2 * self.count)
+
+
+class DiskEnclosure:
+    """One disk enclosure: capacity, service queue, power-state timeline.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier (e.g. ``"enc-03"``) used in traces and reports.
+    power_model:
+        Wattage table; defaults are calibrated to the paper's testbed.
+    iops_random / iops_sequential:
+        Service capacities (I/Os per second) for random and sequential
+        request streams.
+    capacity_bytes:
+        Usable volume size (paper Table II: 1.7 TB).
+    spin_down_timeout:
+        Idle seconds before an automatic spin-down when power-off is
+        enabled (paper: equal to the break-even time, 52 s).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        power_model: PowerModel | None = None,
+        iops_random: float = 900.0,
+        iops_sequential: float = 2800.0,
+        capacity_bytes: int = 0,
+        spin_down_timeout: float = 52.0,
+    ) -> None:
+        if iops_random <= 0 or iops_sequential <= 0:
+            raise ValueError("IOPS capacities must be positive")
+        if spin_down_timeout < 0:
+            raise ValueError("spin_down_timeout must be non-negative")
+        self.name = name
+        self.power_model = power_model or PowerModel()
+        self.iops_random = iops_random
+        self.iops_sequential = iops_sequential
+        self.capacity_bytes = capacity_bytes
+        self.spin_down_timeout = spin_down_timeout
+
+        self._clock = 0.0
+        self._state = PowerState.IDLE
+        self._state_entered = 0.0
+        self._idle_since = 0.0
+        self._busy_until = 0.0
+        self._transition_end = 0.0
+        self._power_off_enabled = False
+
+        self._hold_awake_until = 0.0
+        self._external_energy = 0.0
+        self._energy_by_state: dict[PowerState, float] = {
+            state: 0.0 for state in PowerState
+        }
+        self._time_by_state: dict[PowerState, float] = {
+            state: 0.0 for state in PowerState
+        }
+        self.spin_up_count = 0
+        self.spin_down_count = 0
+        self.io_count = 0
+        self.read_count = 0
+        self.write_count = 0
+        self.last_io_time: float | None = None
+        #: Spin-up events as (time requested, wait imposed) — used by the
+        #: runtime trigger logic (paper §V-D).
+        self.spin_up_events: list[float] = []
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        """Time up to which the energy timeline has been settled."""
+        return self._clock
+
+    @property
+    def state(self) -> PowerState:
+        """Power state as of :attr:`clock`."""
+        return self._state
+
+    @property
+    def power_off_enabled(self) -> bool:
+        """Whether the policy allows this enclosure to spin down."""
+        return self._power_off_enabled
+
+    @property
+    def busy_until(self) -> float:
+        """Completion time of the last queued I/O."""
+        return self._busy_until
+
+    def energy_joules(self, state: PowerState | None = None) -> float:
+        """Energy accumulated so far, total or for one state.
+
+        The total includes externally-charged energy (throttled
+        background transfers accounted outside the state machine).
+        """
+        if state is not None:
+            return self._energy_by_state[state]
+        return sum(self._energy_by_state.values()) + self._external_energy
+
+    def time_in_state(self, state: PowerState) -> float:
+        """Seconds spent in ``state`` so far."""
+        return self._time_by_state[state]
+
+    def average_watts(self) -> float:
+        """Average power draw over the settled timeline."""
+        if self._clock <= 0:
+            return self.power_model.watts(self._state)
+        return self.energy_joules() / self._clock
+
+    # ------------------------------------------------------------------
+    # policy control
+    # ------------------------------------------------------------------
+    def enable_power_off(self, now: float) -> None:
+        """Allow this enclosure to spin down after the idle timeout."""
+        self.settle(now)
+        if not self._power_off_enabled:
+            self._power_off_enabled = True
+            # Restart the idle clock so a long-idle enclosure does not
+            # instantly vanish at the exact policy switch instant.
+            if self._state is PowerState.IDLE:
+                self._idle_since = max(self._idle_since, now - 0.0)
+
+    def disable_power_off(self, now: float) -> None:
+        """Forbid spinning down.  An already-off enclosure stays off until
+        its next I/O (spinning every enclosure up eagerly would charge the
+        policy change itself, which no evaluated method does)."""
+        self.settle(now)
+        self._power_off_enabled = False
+
+    # ------------------------------------------------------------------
+    # timeline
+    # ------------------------------------------------------------------
+    def _accrue(self, state: PowerState, duration: float) -> None:
+        if duration < 0:
+            raise PowerStateError(
+                f"negative accrual of {duration} s in state {state} "
+                f"on {self.name}"
+            )
+        self._energy_by_state[state] += self.power_model.watts(state) * duration
+        self._time_by_state[state] += duration
+
+    def settle(self, now: float) -> None:
+        """Advance the energy timeline to ``now``.
+
+        Idempotent for ``now <= clock``.  Handles ACTIVE→IDLE when the
+        queue drains, and IDLE→SPIN_DOWN→OFF when power-off is enabled and
+        the idle timeout elapses.
+        """
+        if now < self._clock:
+            return
+        while self._clock < now:
+            if self._state is PowerState.ACTIVE:
+                end = min(now, self._busy_until)
+                self._accrue(PowerState.ACTIVE, end - self._clock)
+                self._clock = end
+                if self._clock >= self._busy_until:
+                    self._state = PowerState.IDLE
+                    self._state_entered = self._clock
+                    self._idle_since = self._clock
+            elif self._state is PowerState.IDLE:
+                if self._power_off_enabled:
+                    spin_at = max(
+                        self._idle_since + self.spin_down_timeout,
+                        self._hold_awake_until,
+                    )
+                    if spin_at <= now:
+                        self._accrue(PowerState.IDLE, spin_at - self._clock)
+                        self._clock = spin_at
+                        self._begin_spin_down()
+                    else:
+                        self._accrue(PowerState.IDLE, now - self._clock)
+                        self._clock = now
+                else:
+                    self._accrue(PowerState.IDLE, now - self._clock)
+                    self._clock = now
+            elif self._state is PowerState.SPIN_DOWN:
+                end = min(now, self._transition_end)
+                self._accrue(PowerState.SPIN_DOWN, end - self._clock)
+                self._clock = end
+                if self._clock >= self._transition_end:
+                    self._state = PowerState.OFF
+                    self._state_entered = self._clock
+            elif self._state is PowerState.OFF:
+                self._accrue(PowerState.OFF, now - self._clock)
+                self._clock = now
+            elif self._state is PowerState.SPIN_UP:
+                end = min(now, self._transition_end)
+                self._accrue(PowerState.SPIN_UP, end - self._clock)
+                self._clock = end
+                if self._clock >= self._transition_end:
+                    self._state = PowerState.IDLE
+                    self._state_entered = self._clock
+                    self._idle_since = self._clock
+            else:  # pragma: no cover - enum is closed
+                raise PowerStateError(f"unknown state {self._state}")
+
+    def _begin_spin_down(self) -> None:
+        self._state = PowerState.SPIN_DOWN
+        self._state_entered = self._clock
+        self._transition_end = self._clock + self.power_model.spin_down_seconds
+        self.spin_down_count += 1
+
+    def _ensure_on(self) -> None:
+        """Walk the timeline forward until the enclosure is spinning.
+
+        May advance :attr:`clock` past the caller's ``now`` — the extra
+        time is the spin-up wait the arriving I/O must absorb.
+        """
+        if self._state is PowerState.SPIN_DOWN:
+            # A request arrived mid-spin-down: the platters must stop
+            # before they can spin up again.
+            self.settle(self._transition_end)
+        if self._state is PowerState.OFF:
+            self._state = PowerState.SPIN_UP
+            self._state_entered = self._clock
+            self._transition_end = self._clock + self.power_model.spin_up_seconds
+            self.spin_up_count += 1
+            self.spin_up_events.append(self._clock)
+        if self._state is PowerState.SPIN_UP:
+            self.settle(self._transition_end)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def service_time(self, count: int, sequential: bool) -> float:
+        """Pure service time for a batch of ``count`` I/Os."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        rate = self.iops_sequential if sequential else self.iops_random
+        return count / rate
+
+    def submit(
+        self,
+        now: float,
+        count: int = 1,
+        read: bool = True,
+        sequential: bool = False,
+    ) -> IOResult:
+        """Submit a batch of I/Os arriving at ``now``; returns timing.
+
+        Handles spin-up (with its wait charged to the request), queueing
+        behind earlier requests, and the ACTIVE energy of the service
+        itself.  ``now`` may be earlier than the settled clock (the
+        enclosure was busy servicing a prior spin-up); the request then
+        queues at the current clock.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.settle(max(now, self._clock))
+        self._ensure_on()
+        start = max(now, self._clock, self._busy_until)
+        self.settle(start)
+        service = self.service_time(count, sequential)
+        completion = start + service
+        if self._state is not PowerState.ACTIVE:
+            self._state = PowerState.ACTIVE
+            self._state_entered = start
+        self._busy_until = max(self._busy_until, completion)
+        self.io_count += count
+        if read:
+            self.read_count += count
+        else:
+            self.write_count += count
+        self.last_io_time = now
+        return IOResult(arrival=now, start=start, completion=completion, count=count)
+
+    def background_transfer(
+        self,
+        start: float,
+        duration: float,
+        busy_seconds: float,
+        count: int,
+        read: bool,
+    ) -> None:
+        """Charge a throttled background transfer (data migration, §V-A).
+
+        The transfer runs interleaved with application I/O over
+        ``[start, start + duration]``: the enclosure is kept awake for
+        that span (it cannot spin down mid-copy) and the transfer's
+        ACTIVE-over-IDLE energy delta for ``busy_seconds`` of actual
+        platter time is charged outside the state machine — it never
+        occupies the service queue, which is exactly what "controls data
+        transfer I/O throughputs so as to not influence the
+        applications' performance" means.
+        """
+        if duration < 0 or busy_seconds < 0:
+            raise ValueError("duration and busy_seconds must be non-negative")
+        if count <= 0:
+            raise ValueError("count must be positive")
+        # Entirely lazy: the transfer may be scheduled in the future (the
+        # migration engine serializes moves), so the state machine is not
+        # advanced here — that would turn the settled clock into a queue
+        # barrier for earlier application I/O.  The hold-awake window is
+        # honoured lazily by :meth:`settle`'s idle branch.
+        self._hold_awake_until = max(self._hold_awake_until, start + duration)
+        delta = self.power_model.active_watts - self.power_model.idle_watts
+        self._external_energy += delta * busy_seconds
+        self.io_count += count
+        if read:
+            self.read_count += count
+        else:
+            self.write_count += count
+        if self.last_io_time is None or start > self.last_io_time:
+            self.last_io_time = start
+
+    def occupy(
+        self,
+        now: float,
+        seconds: float,
+        count: int = 1,
+        read: bool = True,
+    ) -> IOResult:
+        """Occupy the enclosure for a bulk transfer of known duration.
+
+        Bulk operations (preload bursts, write-delay flushes, migration
+        copies) are bandwidth-dominated rather than IOPS-dominated, so the
+        caller computes their duration from bytes / bandwidth and this
+        method charges the ACTIVE time directly.  Queueing and spin-up
+        behave exactly as in :meth:`submit`.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.settle(max(now, self._clock))
+        self._ensure_on()
+        start = max(now, self._clock, self._busy_until)
+        self.settle(start)
+        completion = start + seconds
+        if self._state is not PowerState.ACTIVE:
+            self._state = PowerState.ACTIVE
+            self._state_entered = start
+        self._busy_until = max(self._busy_until, completion)
+        self.io_count += count
+        if read:
+            self.read_count += count
+        else:
+            self.write_count += count
+        self.last_io_time = now
+        return IOResult(arrival=now, start=start, completion=completion, count=count)
+
+    def finish(self, now: float) -> None:
+        """Settle the timeline to the end of the run."""
+        self.settle(max(now, self._clock))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiskEnclosure({self.name!r}, state={self._state.value}, "
+            f"clock={self._clock:.1f}, ios={self.io_count})"
+        )

@@ -1,0 +1,80 @@
+"""Power meter: aggregate energy accounting for a storage unit.
+
+The paper attaches a physical power meter to the storage unit
+(§VII-A.3) and reports the average power of the disk enclosures and the
+storage controller separately (Figs 8, 11, 14).  :class:`PowerMeter`
+computes the same quantities from the simulator's energy timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.controller import StorageController
+from repro.storage.enclosure import DiskEnclosure
+from repro.storage.power import ControllerPowerModel, PowerState
+
+
+@dataclass(frozen=True)
+class PowerReading:
+    """Average power of a storage unit over a measurement window."""
+
+    duration_seconds: float
+    enclosure_watts: float
+    controller_watts: float
+    enclosure_joules: float
+    controller_joules: float
+
+    @property
+    def total_watts(self) -> float:
+        return self.enclosure_watts + self.controller_watts
+
+    @property
+    def total_joules(self) -> float:
+        return self.enclosure_joules + self.controller_joules
+
+
+class PowerMeter:
+    """Reads average power off the enclosures' energy timelines."""
+
+    def __init__(
+        self,
+        enclosures: list[DiskEnclosure],
+        controller_model: ControllerPowerModel | None = None,
+    ) -> None:
+        if not enclosures:
+            raise ValueError("at least one enclosure is required")
+        self.enclosures = list(enclosures)
+        self.controller_model = controller_model or ControllerPowerModel()
+
+    def read(self, now: float, controller: StorageController | None = None) -> PowerReading:
+        """Measure average power from time 0 to ``now``.
+
+        Settles every enclosure's timeline to ``now`` first, so the
+        reading is exact.  Controller I/O count comes from ``controller``
+        when given (its cache traffic), else zero.
+        """
+        if now <= 0:
+            raise ValueError("measurement duration must be positive")
+        enclosure_joules = 0.0
+        for enclosure in self.enclosures:
+            enclosure.settle(now)
+            enclosure_joules += enclosure.energy_joules()
+        io_count = controller.logical_io_count if controller is not None else 0
+        controller_joules = self.controller_model.energy(now, io_count)
+        return PowerReading(
+            duration_seconds=now,
+            enclosure_watts=enclosure_joules / now,
+            controller_watts=controller_joules / now,
+            enclosure_joules=enclosure_joules,
+            controller_joules=controller_joules,
+        )
+
+    def state_breakdown(self, now: float) -> dict[PowerState, float]:
+        """Total enclosure-seconds spent in each power state up to ``now``."""
+        breakdown = {state: 0.0 for state in PowerState}
+        for enclosure in self.enclosures:
+            enclosure.settle(now)
+            for state in PowerState:
+                breakdown[state] += enclosure.time_in_state(state)
+        return breakdown

@@ -1,0 +1,235 @@
+"""Block-virtualization layer: volumes, data items, physical placement.
+
+The paper's storage stack (Fig 2) interposes a block-virtualization layer
+between applications and disk enclosures.  Applications address **data
+items** (tables, indexes, files) inside **volumes**; the virtualization
+layer maps each volume to a disk enclosure and each data item to a block
+extent.  A data item lives wholly on one enclosure — the paper splits
+anything spanning enclosures into separate items (§II-C.1) — so the
+mapping here is simply *item → volume → enclosure* plus a base block
+address per item.
+
+The layer also owns capacity accounting (used/free bytes per enclosure),
+which the placement algorithms (paper Algorithms 2 and 3) consult, and it
+implements :meth:`move_item`, the primitive behind data migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import CapacityError, MappingError
+from repro.storage.enclosure import DiskEnclosure
+
+
+@dataclass(frozen=True)
+class Volume:
+    """A logical volume carved out of one disk enclosure."""
+
+    name: str
+    enclosure: str
+
+
+@dataclass(frozen=True)
+class PhysicalExtent:
+    """Physical location of a data item: enclosure + block extent."""
+
+    enclosure: str
+    base_block: int
+    blocks: int
+
+    @property
+    def size_bytes(self) -> int:
+        return units.blocks_to_bytes(self.blocks)
+
+
+class BlockVirtualization:
+    """Mapping between data items, volumes, and disk enclosures."""
+
+    def __init__(self, enclosures: list[DiskEnclosure]) -> None:
+        if not enclosures:
+            raise ValueError("at least one enclosure is required")
+        names = [enc.name for enc in enclosures]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate enclosure names: {names}")
+        self._enclosures: dict[str, DiskEnclosure] = {
+            enc.name: enc for enc in enclosures
+        }
+        self._volumes: dict[str, Volume] = {}
+        self._item_volume: dict[str, str] = {}
+        self._item_size: dict[str, int] = {}
+        self._item_base: dict[str, int] = {}
+        self._used_bytes: dict[str, int] = {name: 0 for name in names}
+        self._next_block: dict[str, int] = {name: 0 for name in names}
+
+    # ------------------------------------------------------------------
+    # enclosures and volumes
+    # ------------------------------------------------------------------
+    @property
+    def enclosure_names(self) -> list[str]:
+        return list(self._enclosures)
+
+    def enclosure(self, name: str) -> DiskEnclosure:
+        try:
+            return self._enclosures[name]
+        except KeyError:
+            raise MappingError(f"unknown enclosure {name!r}") from None
+
+    def enclosures(self) -> list[DiskEnclosure]:
+        return list(self._enclosures.values())
+
+    def create_volume(self, name: str, enclosure: str) -> Volume:
+        """Create a volume on an enclosure (paper Table I creates 36)."""
+        if name in self._volumes:
+            raise MappingError(f"volume {name!r} already exists")
+        if enclosure not in self._enclosures:
+            raise MappingError(f"unknown enclosure {enclosure!r}")
+        volume = Volume(name, enclosure)
+        self._volumes[name] = volume
+        return volume
+
+    def volume(self, name: str) -> Volume:
+        try:
+            return self._volumes[name]
+        except KeyError:
+            raise MappingError(f"unknown volume {name!r}") from None
+
+    @property
+    def volume_names(self) -> list[str]:
+        return list(self._volumes)
+
+    # ------------------------------------------------------------------
+    # data items
+    # ------------------------------------------------------------------
+    def add_item(self, item_id: str, size_bytes: int, volume: str) -> None:
+        """Place a new data item on a volume.
+
+        Raises :class:`CapacityError` if the backing enclosure would
+        overflow, :class:`MappingError` for unknown volumes or duplicates.
+        """
+        if item_id in self._item_volume:
+            raise MappingError(f"data item {item_id!r} already placed")
+        if size_bytes <= 0:
+            raise ValueError(f"item size must be positive: {size_bytes}")
+        vol = self.volume(volume)
+        enc = self.enclosure(vol.enclosure)
+        if enc.capacity_bytes and self._used_bytes[enc.name] + size_bytes > (
+            enc.capacity_bytes
+        ):
+            raise CapacityError(
+                f"enclosure {enc.name!r} cannot hold item {item_id!r}: "
+                f"used {self._used_bytes[enc.name]} + {size_bytes} > "
+                f"{enc.capacity_bytes}"
+            )
+        self._item_volume[item_id] = volume
+        self._item_size[item_id] = size_bytes
+        self._item_base[item_id] = self._next_block[enc.name]
+        blocks = units.bytes_to_blocks(size_bytes)
+        self._next_block[enc.name] += blocks
+        self._used_bytes[enc.name] += size_bytes
+
+    def remove_item(self, item_id: str) -> None:
+        volume = self._item_volume.pop(item_id, None)
+        if volume is None:
+            raise MappingError(f"unknown data item {item_id!r}")
+        enclosure = self._volumes[volume].enclosure
+        self._used_bytes[enclosure] -= self._item_size.pop(item_id)
+        self._item_base.pop(item_id)
+
+    def has_item(self, item_id: str) -> bool:
+        return item_id in self._item_volume
+
+    def item_ids(self) -> list[str]:
+        return list(self._item_volume)
+
+    def item_size(self, item_id: str) -> int:
+        try:
+            return self._item_size[item_id]
+        except KeyError:
+            raise MappingError(f"unknown data item {item_id!r}") from None
+
+    def volume_of(self, item_id: str) -> Volume:
+        try:
+            return self._volumes[self._item_volume[item_id]]
+        except KeyError:
+            raise MappingError(f"unknown data item {item_id!r}") from None
+
+    def enclosure_of(self, item_id: str) -> DiskEnclosure:
+        return self.enclosure(self.volume_of(item_id).enclosure)
+
+    def extent_of(self, item_id: str) -> PhysicalExtent:
+        """Physical extent of a data item (for physical trace records)."""
+        enc = self.enclosure_of(item_id)
+        return PhysicalExtent(
+            enclosure=enc.name,
+            base_block=self._item_base[item_id],
+            blocks=units.bytes_to_blocks(self._item_size[item_id]),
+        )
+
+    def resolve(self, item_id: str, offset: int) -> tuple[str, int]:
+        """Map (item, byte offset) → (enclosure name, block address)."""
+        size = self.item_size(item_id)
+        if offset < 0 or offset >= size:
+            raise MappingError(
+                f"offset {offset} outside item {item_id!r} of size {size}"
+            )
+        extent = self.extent_of(item_id)
+        return extent.enclosure, extent.base_block + offset // units.BLOCK_SIZE
+
+    def items_on(self, enclosure: str) -> list[str]:
+        """Data items currently placed on one enclosure."""
+        if enclosure not in self._enclosures:
+            raise MappingError(f"unknown enclosure {enclosure!r}")
+        return [
+            item
+            for item, volume in self._item_volume.items()
+            if self._volumes[volume].enclosure == enclosure
+        ]
+
+    def used_bytes(self, enclosure: str) -> int:
+        try:
+            return self._used_bytes[enclosure]
+        except KeyError:
+            raise MappingError(f"unknown enclosure {enclosure!r}") from None
+
+    def free_bytes(self, enclosure: str) -> int:
+        enc = self.enclosure(enclosure)
+        if not enc.capacity_bytes:
+            raise MappingError(
+                f"enclosure {enclosure!r} has no declared capacity"
+            )
+        return enc.capacity_bytes - self._used_bytes[enclosure]
+
+    def move_item(self, item_id: str, target_enclosure: str) -> tuple[str, str]:
+        """Re-map a data item to (a volume on) another enclosure.
+
+        Returns ``(source, target)`` enclosure names.  The caller — the
+        migration engine — is responsible for the physical copy I/O; this
+        method only updates the mapping and capacity accounting.  A
+        per-enclosure migration volume is created on demand.
+        """
+        src = self.enclosure_of(item_id).name
+        if target_enclosure not in self._enclosures:
+            raise MappingError(f"unknown enclosure {target_enclosure!r}")
+        if src == target_enclosure:
+            return src, src
+        size = self._item_size[item_id]
+        target = self.enclosure(target_enclosure)
+        if target.capacity_bytes and (
+            self._used_bytes[target_enclosure] + size > target.capacity_bytes
+        ):
+            raise CapacityError(
+                f"cannot move {item_id!r} to {target_enclosure!r}: "
+                f"used {self._used_bytes[target_enclosure]} + {size} > "
+                f"{target.capacity_bytes}"
+            )
+        volume_name = f"_migration/{target_enclosure}"
+        if volume_name not in self._volumes:
+            self.create_volume(volume_name, target_enclosure)
+        self._used_bytes[src] -= size
+        self._used_bytes[target_enclosure] += size
+        self._item_volume[item_id] = volume_name
+        self._item_base[item_id] = self._next_block[target_enclosure]
+        self._next_block[target_enclosure] += units.bytes_to_blocks(size)
+        return src, target_enclosure

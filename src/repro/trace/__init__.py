@@ -1,0 +1,36 @@
+"""Trace subsystem: record types, readers/writers, replay, statistics."""
+
+from repro.trace.reader import (
+    iter_logical_trace,
+    iter_physical_trace,
+    read_logical_trace,
+    read_msr_trace,
+    read_physical_trace,
+)
+from repro.trace.records import (
+    IOType,
+    LogicalIORecord,
+    PhysicalIORecord,
+    PowerSample,
+    PowerStatusRecord,
+)
+from repro.trace.stats import TraceSummary, interarrival_gaps, summarize
+from repro.trace.writer import write_logical_trace, write_physical_trace
+
+__all__ = [
+    "IOType",
+    "LogicalIORecord",
+    "PhysicalIORecord",
+    "PowerSample",
+    "PowerStatusRecord",
+    "TraceSummary",
+    "interarrival_gaps",
+    "iter_logical_trace",
+    "iter_physical_trace",
+    "read_logical_trace",
+    "read_msr_trace",
+    "read_physical_trace",
+    "summarize",
+    "write_logical_trace",
+    "write_physical_trace",
+]

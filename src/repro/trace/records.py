@@ -1,0 +1,128 @@
+"""I/O trace record types.
+
+Two trace levels exist, mirroring the paper's two monitors (§III):
+
+* :class:`LogicalIORecord` — what the **Application Monitor** captures at
+  the file/record layer: timestamp, data-item identifier, offset within
+  the item, size, and read/write type.
+* :class:`PhysicalIORecord` — what the **Storage Monitor** captures at the
+  block-virtualization layer: timestamp, disk-enclosure name, block
+  address, and type.
+
+Records are immutable and ordered by timestamp so traces sort naturally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro import units
+
+
+class IOType(enum.Enum):
+    """Read or write."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @property
+    def is_read(self) -> bool:
+        return self is IOType.READ
+
+    @classmethod
+    def parse(cls, text: str) -> "IOType":
+        """Parse ``'R'``/``'W'`` (case-insensitive, also accepts full words)."""
+        normalized = text.strip().upper()
+        if normalized in ("R", "READ"):
+            return cls.READ
+        if normalized in ("W", "WRITE"):
+            return cls.WRITE
+        raise ValueError(f"unknown I/O type {text!r}")
+
+
+@dataclass(frozen=True, order=True)
+class LogicalIORecord:
+    """One application-level I/O (paper §III-A, "Logical I/O Trace").
+
+    ``sequential`` is the application's access-pattern hint (a table scan
+    versus a random index probe); the storage controller uses it to select
+    the sequential or random service rate.
+    """
+
+    timestamp: float
+    item_id: str = field(compare=False)
+    offset: int = field(compare=False)
+    size: int = field(compare=False)
+    io_type: IOType = field(compare=False)
+    sequential: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative: {self.timestamp}")
+        if self.offset < 0:
+            raise ValueError(f"offset must be non-negative: {self.offset}")
+        if self.size <= 0:
+            raise ValueError(f"size must be positive: {self.size}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.io_type.is_read
+
+    def block_range(self) -> range:
+        """Block indices within the data item touched by this I/O."""
+        first = self.offset // units.BLOCK_SIZE
+        last = (self.offset + self.size - 1) // units.BLOCK_SIZE
+        return range(first, last + 1)
+
+    def page_range(self, page_bytes: int) -> range:
+        """Cache-page indices touched by this I/O."""
+        if page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+        first = self.offset // page_bytes
+        last = (self.offset + self.size - 1) // page_bytes
+        return range(first, last + 1)
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalIORecord:
+    """One block-level I/O as issued to a disk enclosure (paper §III-B)."""
+
+    timestamp: float
+    enclosure: str = field(compare=False)
+    block_address: int = field(compare=False)
+    count: int = field(compare=False, default=1)
+    io_type: IOType = field(compare=False, default=IOType.READ)
+    #: The data item this physical I/O serves, when known.  The paper's
+    #: power-management component joins logical and physical traces; the
+    #: simulator can tag the physical record directly, which the join in
+    #: :mod:`repro.monitoring` also verifies.
+    item_id: str | None = field(compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative: {self.timestamp}")
+        if self.count <= 0:
+            raise ValueError(f"count must be positive: {self.count}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.io_type.is_read
+
+
+@dataclass(frozen=True, order=True)
+class PowerStatusRecord:
+    """A power-state transition of one enclosure (paper §III-B)."""
+
+    timestamp: float
+    enclosure: str = field(compare=False)
+    powered_on: bool = field(compare=False)
+
+
+@dataclass(frozen=True, order=True)
+class PowerSample:
+    """A power-consumption sample of one enclosure (paper §III-B)."""
+
+    timestamp: float
+    enclosure: str = field(compare=False)
+    watts: float = field(compare=False)

@@ -1,0 +1,112 @@
+"""Summary statistics over I/O traces.
+
+Used by the workload generators' self-checks, by the experiment reports,
+and by tests that assert a generated trace has the intended shape
+(read ratio, per-item rates, sequentiality, duration).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.trace.records import LogicalIORecord
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of one logical trace."""
+
+    record_count: int
+    read_count: int
+    write_count: int
+    start_time: float
+    end_time: float
+    total_bytes: int
+    item_count: int
+    sequential_count: int
+    ios_per_item: dict[str, int] = field(repr=False, default_factory=dict)
+    reads_per_item: dict[str, int] = field(repr=False, default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def read_ratio(self) -> float:
+        return self.read_count / self.record_count if self.record_count else 0.0
+
+    @property
+    def sequential_ratio(self) -> float:
+        return (
+            self.sequential_count / self.record_count if self.record_count else 0.0
+        )
+
+    @property
+    def mean_iops(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.record_count / self.duration
+
+    def item_read_ratio(self, item_id: str) -> float:
+        total = self.ios_per_item.get(item_id, 0)
+        if not total:
+            return 0.0
+        return self.reads_per_item.get(item_id, 0) / total
+
+
+def summarize(records: Iterable[LogicalIORecord]) -> TraceSummary:
+    """Compute a :class:`TraceSummary` in one pass."""
+    count = reads = seq = 0
+    total_bytes = 0
+    start = float("inf")
+    end = float("-inf")
+    per_item: Counter[str] = Counter()
+    reads_per_item: Counter[str] = Counter()
+    for rec in records:
+        count += 1
+        total_bytes += rec.size
+        if rec.is_read:
+            reads += 1
+            reads_per_item[rec.item_id] += 1
+        if rec.sequential:
+            seq += 1
+        per_item[rec.item_id] += 1
+        if rec.timestamp < start:
+            start = rec.timestamp
+        if rec.timestamp > end:
+            end = rec.timestamp
+    if count == 0:
+        return TraceSummary(0, 0, 0, 0.0, 0.0, 0, 0, 0)
+    return TraceSummary(
+        record_count=count,
+        read_count=reads,
+        write_count=count - reads,
+        start_time=start,
+        end_time=end,
+        total_bytes=total_bytes,
+        item_count=len(per_item),
+        sequential_count=seq,
+        ios_per_item=dict(per_item),
+        reads_per_item=dict(reads_per_item),
+    )
+
+
+def interarrival_gaps(
+    records: Iterable[LogicalIORecord],
+) -> dict[str, list[float]]:
+    """Per-item inter-arrival gaps (seconds), in trace order.
+
+    The gap list for an item with n I/Os has n-1 entries; boundary gaps
+    (before the first and after the last I/O) are the caller's concern
+    since only it knows the monitoring window.
+    """
+    last_seen: dict[str, float] = {}
+    gaps: dict[str, list[float]] = defaultdict(list)
+    for rec in records:
+        prev = last_seen.get(rec.item_id)
+        if prev is not None:
+            gaps[rec.item_id].append(rec.timestamp - prev)
+        last_seen[rec.item_id] = rec.timestamp
+    return dict(gaps)

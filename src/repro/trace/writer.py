@@ -1,0 +1,88 @@
+"""Trace writers: serialize I/O traces to CSV.
+
+The on-disk format is a plain CSV with a header line, one record per
+line.  Logical traces carry
+``timestamp,item_id,offset,size,io_type,sequential``; physical traces
+carry ``timestamp,enclosure,block_address,count,io_type,item_id``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.trace.records import LogicalIORecord, PhysicalIORecord
+
+LOGICAL_HEADER = ["timestamp", "item_id", "offset", "size", "io_type", "sequential"]
+PHYSICAL_HEADER = [
+    "timestamp",
+    "enclosure",
+    "block_address",
+    "count",
+    "io_type",
+    "item_id",
+]
+
+
+def write_logical_trace(
+    records: Iterable[LogicalIORecord], destination: str | Path | TextIO
+) -> int:
+    """Write a logical trace as CSV; returns the record count."""
+    return _write(
+        destination,
+        LOGICAL_HEADER,
+        (
+            [
+                f"{rec.timestamp:.6f}",
+                rec.item_id,
+                str(rec.offset),
+                str(rec.size),
+                rec.io_type.value,
+                "1" if rec.sequential else "0",
+            ]
+            for rec in records
+        ),
+    )
+
+
+def write_physical_trace(
+    records: Iterable[PhysicalIORecord], destination: str | Path | TextIO
+) -> int:
+    """Write a physical trace as CSV; returns the record count."""
+    return _write(
+        destination,
+        PHYSICAL_HEADER,
+        (
+            [
+                f"{rec.timestamp:.6f}",
+                rec.enclosure,
+                str(rec.block_address),
+                str(rec.count),
+                rec.io_type.value,
+                rec.item_id or "",
+            ]
+            for rec in records
+        ),
+    )
+
+
+def _write(
+    destination: str | Path | TextIO,
+    header: list[str],
+    rows: Iterable[list[str]],
+) -> int:
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            return _write_rows(handle, header, rows)
+    return _write_rows(destination, header, rows)
+
+
+def _write_rows(handle: TextIO, header: list[str], rows: Iterable[list[str]]) -> int:
+    writer = csv.writer(handle)
+    writer.writerow(header)
+    count = 0
+    for row in rows:
+        writer.writerow(row)
+        count += 1
+    return count

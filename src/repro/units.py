@@ -1,0 +1,85 @@
+"""Unit constants and small conversion helpers.
+
+The simulator works in SI base units throughout: **seconds** for time,
+**bytes** for data sizes, **watts** for power, and **joules** for energy.
+These constants exist so that call sites read naturally
+(``5 * units.MINUTE``, ``500 * units.MB``) instead of sprinkling magic
+numbers.
+"""
+
+from __future__ import annotations
+
+# --- data sizes (binary multiples, as storage vendors use for cache) ----
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+TB: int = 1024 * GB
+
+#: Size of one I/O block in the block-virtualization layer.  Enterprise
+#: storage commonly exposes 4 KiB blocks; all offsets/sizes in physical
+#: records are multiples of this.
+BLOCK_SIZE: int = 4 * KB
+
+# --- time ----------------------------------------------------------------
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+
+# --- power / energy -------------------------------------------------------
+WATT: float = 1.0
+KILOWATT: float = 1000.0
+
+
+def bytes_to_blocks(size: int) -> int:
+    """Return the number of blocks needed to hold ``size`` bytes.
+
+    Rounds up, so a single byte still occupies one block.
+
+    >>> bytes_to_blocks(1)
+    1
+    >>> bytes_to_blocks(8192)
+    2
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    return -(-size // BLOCK_SIZE)
+
+
+def blocks_to_bytes(blocks: int) -> int:
+    """Return the byte size of ``blocks`` whole blocks."""
+    if blocks < 0:
+        raise ValueError(f"blocks must be non-negative, got {blocks}")
+    return blocks * BLOCK_SIZE
+
+
+def format_bytes(size: float) -> str:
+    """Human-readable byte count, e.g. ``'23.1 GB'``.
+
+    >>> format_bytes(23.1 * GB)
+    '23.1 GB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    value = float(size)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``'1.8 hr'`` or ``'52 sec'``.
+
+    >>> format_duration(52)
+    '52 sec'
+    >>> format_duration(6480)
+    '1.8 hr'
+    """
+    if seconds < MINUTE:
+        return f"{seconds:g} sec"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:g} min"
+    return f"{seconds / HOUR:g} hr"

@@ -1,0 +1,16 @@
+"""Synthetic workload generators for the three evaluated applications."""
+
+from repro.workloads.dss import QUERY_TABLES, TABLE_SIZES, build_dss_workload
+from repro.workloads.fileserver import build_fileserver_workload
+from repro.workloads.items import DataItemSpec, Workload
+from repro.workloads.oltp import build_oltp_workload
+
+__all__ = [
+    "DataItemSpec",
+    "QUERY_TABLES",
+    "TABLE_SIZES",
+    "Workload",
+    "build_dss_workload",
+    "build_fileserver_workload",
+    "build_oltp_workload",
+]

@@ -1,0 +1,265 @@
+"""DSS workload (the paper's TPC-H run, Table I row 3).
+
+The paper runs TPC-H at SF=100 (100 GB), queries Q1–Q22 back-to-back
+over six hours, with the database hash-striped over 8 disk enclosures
+and log + work files on a ninth.  The measured pattern mix (Fig 6) is
+61.5 % P1 and 38.5 % P2, no P3 and no P0: table partitions are scanned
+sequentially with long gaps between scans (P1), and work/temporary files
+take write bursts during join-heavy queries (P2).
+
+The generator walks the 22 queries in order.  Each query:
+
+* scans the partitions of every table it references during one **scan
+  window** at the start of the query — a pipelined executor streams its
+  scans concurrently, so all 8 DB enclosures wake once per query, not
+  once per table; each table's scan lasts proportionally to its size;
+* then computes in memory for the rest of the query (joins,
+  aggregation, output) — a long all-enclosures-idle tail, which is
+  where every power-saving method finds its Long Intervals;
+* if it references more than two tables, spills sort/hash runs to its
+  work files on the log enclosure during the compute tail (write bursts
+  → P2).
+
+Query boundaries are exported via :attr:`Workload.phases` so the
+evaluation can report per-query response times (paper Fig 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.workloads.base import (
+    EventStream,
+    merge_streams,
+    scan_events,
+)
+from repro.workloads.items import DataItemSpec, Workload
+
+DEFAULT_DURATION = 6.0 * units.HOUR
+DEFAULT_DB_ENCLOSURES = 8
+
+#: TPC-H SF=100 table sizes, at the simulation's 1/8 size scale (see
+#: :class:`repro.config.SimulationScale.size_factor`): migration/preload
+#: wall-clock time is size / bandwidth and must stay proportionate to
+#: the scaled I/O rates.
+TABLE_SIZES: dict[str, int] = {
+    "lineitem": int(75 * units.GB / 8),
+    "orders": int(17 * units.GB / 8),
+    "partsupp": int(12 * units.GB / 8),
+    "part": int(2.6 * units.GB / 8),
+    "customer": int(2.3 * units.GB / 8),
+    "supplier": int(140 * units.MB / 8),
+    "nation": 2 * units.MB,
+    "region": 1 * units.MB,
+}
+
+#: Which tables each TPC-H query references (standard specification).
+QUERY_TABLES: dict[str, tuple[str, ...]] = {
+    "Q1": ("lineitem",),
+    "Q2": ("part", "supplier", "partsupp", "nation", "region"),
+    "Q3": ("customer", "orders", "lineitem"),
+    "Q4": ("orders", "lineitem"),
+    "Q5": ("customer", "orders", "lineitem", "supplier", "nation", "region"),
+    "Q6": ("lineitem",),
+    "Q7": ("supplier", "lineitem", "orders", "customer", "nation"),
+    "Q8": (
+        "part",
+        "supplier",
+        "lineitem",
+        "orders",
+        "customer",
+        "nation",
+        "region",
+    ),
+    "Q9": ("part", "supplier", "lineitem", "partsupp", "orders", "nation"),
+    "Q10": ("customer", "orders", "lineitem", "nation"),
+    "Q11": ("partsupp", "supplier", "nation"),
+    "Q12": ("orders", "lineitem"),
+    "Q13": ("customer", "orders"),
+    "Q14": ("lineitem", "part"),
+    "Q15": ("lineitem", "supplier"),
+    "Q16": ("partsupp", "part", "supplier"),
+    "Q17": ("lineitem", "part"),
+    "Q18": ("customer", "orders", "lineitem"),
+    "Q19": ("lineitem", "part"),
+    "Q20": ("supplier", "nation", "partsupp", "part", "lineitem"),
+    "Q21": ("supplier", "lineitem", "orders", "nation"),
+    "Q22": ("customer", "orders"),
+}
+
+#: Fraction of a query's duration spent in its scan window; the rest is
+#: in-memory compute, during which the enclosures idle.
+SCAN_DUTY = 0.22
+
+#: Per-enclosure sequential read rate during a scan phase (simulation
+#: scale; well under the sequential service rate so scans do not queue).
+SCAN_IOPS = 1.2
+
+#: Work-file spill threshold: queries referencing more tables than this
+#: write sort/hash runs to their work files.
+SPILL_TABLE_THRESHOLD = 2
+
+
+def _query_durations(duration: float) -> dict[str, float]:
+    """Split the run across Q1–Q22 proportionally to referenced bytes.
+
+    A floor keeps the tiny queries (Q11, Q13, Q22) long enough to carry
+    their scan phases and compute gaps.
+    """
+    weights = {
+        q: sum(TABLE_SIZES[t] for t in tables) + 8 * units.GB
+        for q, tables in QUERY_TABLES.items()
+    }
+    total = sum(weights.values())
+    return {q: duration * w / total for q, w in weights.items()}
+
+
+def build_dss_workload(
+    seed: int = 3,
+    duration: float = DEFAULT_DURATION,
+    db_enclosure_count: int = DEFAULT_DB_ENCLOSURES,
+    queries: tuple[str, ...] | None = None,
+) -> Workload:
+    """Generate the TPC-H-shaped DSS workload.
+
+    Enclosure 0 holds the log and the per-query work files; enclosures
+    1..N hold the hash-striped table partitions.  ``queries`` restricts
+    the run to a subset (tests use a few queries on a short duration).
+    """
+    rng = np.random.default_rng(seed)
+    selected = queries or tuple(QUERY_TABLES)
+    unknown = [q for q in selected if q not in QUERY_TABLES]
+    if unknown:
+        raise ValueError(f"unknown TPC-H queries: {unknown}")
+    enclosure_count = db_enclosure_count + 1
+    items: list[DataItemSpec] = []
+    streams: list[EventStream] = []
+
+    # --- table partitions, striped over the DB enclosures --------------
+    partition_ids: dict[tuple[str, int], str] = {}
+    for table, size in TABLE_SIZES.items():
+        part_size = max(units.MB, size // db_enclosure_count)
+        for db in range(db_enclosure_count):
+            item_id = f"tpch/{table}/p{db}"
+            partition_ids[(table, db)] = item_id
+            items.append(
+                DataItemSpec(item_id, part_size, db + 1, kind="table")
+            )
+
+    # --- work files + log on enclosure 0 -------------------------------
+    # Only the *executed* spill queries own work files (creating files
+    # for queries that never run would leave untouched P0 items, which
+    # the paper's Fig 6 explicitly rules out).
+    spill_queries = [
+        q for q in selected if len(QUERY_TABLES[q]) > SPILL_TABLE_THRESHOLD
+    ]
+    work_ids: dict[str, list[str]] = {}
+    for q in spill_queries:
+        ids = []
+        for part in ("sort", "hash", "agg"):
+            item_id = f"tpch/work/{q}/{part}"
+            size = int(rng.uniform(128, 512)) * units.MB  # size-scaled
+            items.append(DataItemSpec(item_id, size, 0, kind="work"))
+            ids.append(item_id)
+        work_ids[q] = ids
+    log_id = "tpch/log"
+    items.append(DataItemSpec(log_id, 640 * units.MB, 0, kind="log"))
+
+    # --- the query timeline ---------------------------------------------
+    durations = _query_durations(duration)
+    scale = duration / sum(durations[q] for q in selected)
+    phases: list[tuple[str, float, float]] = []
+    clock = 0.0
+    log_event_times: list[float] = []
+    for q in selected:
+        q_duration = durations[q] * scale
+        tables = QUERY_TABLES[q]
+        table_bytes = sum(TABLE_SIZES[t] for t in tables)
+        scan_window = q_duration * SCAN_DUTY
+
+        # All referenced tables stream concurrently from the start of
+        # the query; larger tables scan for longer within the window.
+        for table in tables:
+            scan_len = max(
+                5.0, scan_window * TABLE_SIZES[table] / table_bytes
+            )
+            for db in range(db_enclosure_count):
+                item_id = partition_ids[(table, db)]
+                part_size = max(units.MB, TABLE_SIZES[table] // db_enclosure_count)
+                streams.append(
+                    scan_events(
+                        rng,
+                        item_id,
+                        part_size,
+                        scan_start=clock,
+                        scan_duration=scan_len,
+                        iops=SCAN_IOPS,
+                        io_size=min(4 * units.MB, part_size),
+                    )
+                )
+
+        if q in work_ids:
+            # Spill writes land in the compute tail, one burst per file.
+            for k, item_id in enumerate(work_ids[q]):
+                burst_at = clock + q_duration * (0.35 + 0.15 * k)
+                count = int(rng.integers(30, 80))
+                span = rng.uniform(15.0, 50.0)
+                times = burst_at + np.sort(rng.uniform(0.0, span, size=count))
+                times = times[times < clock + q_duration]
+                n = len(times)
+                if n == 0:
+                    continue
+                work_size = next(
+                    i.size_bytes for i in items if i.item_id == item_id
+                )
+                offsets = (
+                    np.arange(n, dtype=np.int64) * 256 * units.KB
+                ) % max(256 * units.KB, work_size - 256 * units.KB)
+                streams.append(
+                    EventStream(
+                        item_id=item_id,
+                        times=times,
+                        is_read=rng.random(n) < 0.25,
+                        offsets=offsets,
+                        sizes=np.full(n, 256 * units.KB, dtype=np.int64),
+                        sequential=True,
+                    )
+                )
+        # Sparse checkpoint-style log writes: one small burst per query.
+        log_event_times.append(clock + q_duration * 0.95)
+
+        phases.append((q, clock, clock + q_duration))
+        clock += q_duration
+
+    if log_event_times:
+        times = np.array(log_event_times)
+        n = len(times)
+        streams.append(
+            EventStream(
+                item_id=log_id,
+                times=times,
+                is_read=np.zeros(n, dtype=bool),
+                offsets=(np.arange(n, dtype=np.int64) * 64 * units.KB),
+                sizes=np.full(n, 64 * units.KB, dtype=np.int64),
+                sequential=True,
+            )
+        )
+
+    records = merge_streams(streams)
+    return Workload(
+        name="tpch",
+        duration=duration,
+        enclosure_count=enclosure_count,
+        items=items,
+        records=records,
+        description=(
+            "TPC-H-shaped DSS (SF=100): "
+            f"{len(items)} items on {enclosure_count} enclosures "
+            f"(log/work + {db_enclosure_count} DB), {len(records)} I/Os, "
+            f"queries {selected[0]}..{selected[-1]} over "
+            f"{units.format_duration(duration)}"
+        ),
+        app_metrics={"query_count": float(len(selected))},
+        phases=phases,
+    )

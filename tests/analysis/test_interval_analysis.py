@@ -1,0 +1,64 @@
+"""Tests for repro.analysis.intervals — Fig 17-19 curves."""
+
+import pytest
+
+from repro.analysis.intervals import (
+    curve_summary_rows,
+    interval_curve,
+    total_long_interval_length,
+)
+
+BE = 52.0
+
+
+class TestIntervalCurve:
+    def test_only_long_gaps_contribute(self):
+        curve = interval_curve([10.0, 60.0, 100.0, 51.9], BE)
+        assert curve.lengths == (60.0, 100.0)
+        assert curve.total_length == 160.0
+
+    def test_cumulative_monotone(self):
+        curve = interval_curve([100.0, 60.0, 80.0], BE)
+        assert list(curve.cumulative) == sorted(curve.cumulative)
+        assert curve.cumulative[-1] == pytest.approx(240.0)
+
+    def test_cumulative_at_probes(self):
+        curve = interval_curve([60.0, 100.0, 200.0], BE)
+        assert curve.cumulative_at(59.0) == 0.0
+        assert curve.cumulative_at(60.0) == 60.0
+        assert curve.cumulative_at(150.0) == 160.0
+        assert curve.cumulative_at(10_000.0) == 360.0
+
+    def test_empty_curve(self):
+        curve = interval_curve([10.0], BE)
+        assert curve.total_length == 0.0
+        assert curve.max_length == 0.0
+        assert curve.cumulative_at(100.0) == 0.0
+
+    def test_max_length(self):
+        curve = interval_curve([60.0, 500.0], BE)
+        assert curve.max_length == 500.0
+
+    def test_break_even_boundary_excluded(self):
+        curve = interval_curve([BE], BE)
+        assert curve.total_length == 0.0
+
+    def test_invalid_break_even(self):
+        with pytest.raises(ValueError):
+            interval_curve([], 0.0)
+
+
+class TestHelpers:
+    def test_total_long_interval_length(self):
+        assert total_long_interval_length([10.0, 60.0, 70.0], BE) == 130.0
+
+    def test_summary_rows(self):
+        curves = {
+            "proposed": interval_curve([100.0, 700.0], BE),
+            "ddr": interval_curve([], BE),
+        }
+        rows = curve_summary_rows(curves, probe_lengths=(120.0,))
+        by_policy = {row["policy"]: row for row in rows}
+        assert by_policy["proposed"]["total"] == 800.0
+        assert by_policy["proposed"]["<= 120s"] == 100.0
+        assert by_policy["ddr"]["total"] == 0.0

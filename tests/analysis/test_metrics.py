@@ -1,0 +1,130 @@
+"""Tests for repro.analysis.metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    WindowResponse,
+    power_saving_percent,
+    query_response_time,
+    relative_query_responses,
+    transaction_throughput,
+    window_read_responses,
+)
+
+
+class TestPowerSaving:
+    def test_percentage(self):
+        assert power_saving_percent(2977.9, 2209.2) == pytest.approx(
+            25.8, abs=0.1
+        )
+
+    def test_zero_saving(self):
+        assert power_saving_percent(100.0, 100.0) == 0.0
+
+    def test_negative_saving_possible(self):
+        assert power_saving_percent(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            power_saving_percent(0.0, 10.0)
+
+
+class TestThroughputConversion:
+    def test_unchanged_response_keeps_throughput(self):
+        assert transaction_throughput(1859.5, 0.01, 0.01) == 1859.5
+
+    def test_slower_reads_reduce_throughput(self):
+        # The paper's Fig 12 relationship: slower reads => fewer tpmC.
+        slower = transaction_throughput(1859.5, 0.01, 0.02)
+        assert slower == pytest.approx(1859.5 / 2)
+
+    def test_faster_reads_increase_throughput(self):
+        faster = transaction_throughput(1000.0, 0.02, 0.01)
+        assert faster == pytest.approx(2000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transaction_throughput(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            transaction_throughput(1.0, 1.0, 0.0)
+
+
+class TestQueryResponseConversion:
+    def test_proportional_to_summed_responses(self):
+        assert query_response_time(100.0, 30.0, 10.0) == pytest.approx(300.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            query_response_time(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            query_response_time(1.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            query_response_time(1.0, 1.0, 0.0)
+
+
+class TestWindowResponses:
+    WINDOWS = [("Q1", 0.0, 100.0), ("Q2", 100.0, 250.0)]
+
+    def test_samples_bucketed_by_window(self):
+        samples = [
+            (10.0, 0.5, True),
+            (50.0, 0.7, True),
+            (150.0, 1.0, True),
+        ]
+        result = window_read_responses(samples, self.WINDOWS)
+        assert result[0].read_count == 2
+        assert result[0].read_response_sum == pytest.approx(1.2)
+        assert result[1].read_count == 1
+
+    def test_writes_ignored(self):
+        samples = [(10.0, 0.5, False)]
+        result = window_read_responses(samples, self.WINDOWS)
+        assert result[0].read_count == 0
+
+    def test_samples_outside_windows_ignored(self):
+        samples = [(400.0, 0.5, True)]
+        result = window_read_responses(samples, self.WINDOWS)
+        assert all(w.read_count == 0 for w in result)
+
+    def test_mean_read_response(self):
+        window = WindowResponse("Q1", 0.0, 1.0, 4, 2.0)
+        assert window.mean_read_response == pytest.approx(0.5)
+
+    def test_empty_window_mean_is_zero(self):
+        window = WindowResponse("Q1", 0.0, 1.0, 0, 0.0)
+        assert window.mean_read_response == 0.0
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError):
+            window_read_responses(
+                [], [("a", 0.0, 10.0), ("b", 5.0, 20.0)]
+            )
+
+    def test_unsorted_windows_handled(self):
+        samples = [(10.0, 1.0, True)]
+        result = window_read_responses(
+            samples, [("late", 100.0, 200.0), ("early", 0.0, 50.0)]
+        )
+        by_name = {w.name: w for w in result}
+        assert by_name["early"].read_count == 1
+
+
+class TestRelativeQueryResponses:
+    def test_ratio_scaling(self):
+        baseline = [WindowResponse("Q1", 0.0, 100.0, 10, 5.0)]
+        policy = [WindowResponse("Q1", 0.0, 100.0, 10, 15.0)]
+        out = relative_query_responses(policy, baseline)
+        # q_orig defaults to the window duration (100 s); 3x the reads.
+        assert out["Q1"] == pytest.approx(300.0)
+
+    def test_missing_baseline_skipped(self):
+        policy = [WindowResponse("Q9", 0.0, 10.0, 1, 1.0)]
+        assert relative_query_responses(policy, []) == {}
+
+    def test_explicit_q_orig(self):
+        baseline = [WindowResponse("Q1", 0.0, 100.0, 10, 5.0)]
+        policy = [WindowResponse("Q1", 0.0, 100.0, 10, 10.0)]
+        out = relative_query_responses(
+            policy, baseline, q_orig_by_name={"Q1": 60.0}
+        )
+        assert out["Q1"] == pytest.approx(120.0)

@@ -1,0 +1,59 @@
+"""Tests for repro.analysis.plot — terminal figures."""
+
+from repro.analysis.intervals import interval_curve
+from repro.analysis.plot import bar_chart, curves_overlay_summary, step_curve
+
+
+class TestBarChart:
+    def test_longest_bar_for_largest_value(self):
+        text = bar_chart({"small": 1.0, "big": 4.0}, width=8)
+        lines = {
+            line.split()[0]: line.count("█") for line in text.splitlines()
+        }
+        assert lines["big"] == 8
+        assert lines["small"] == 2
+
+    def test_title_included(self):
+        assert bar_chart({"a": 1.0}, title="Power").startswith("Power")
+
+    def test_empty_values(self):
+        assert bar_chart({}, title="Nothing") == "Nothing"
+
+    def test_zero_values_render(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0.0" in text
+
+    def test_unit_suffix(self):
+        assert "W" in bar_chart({"a": 5.0}, unit=" W")
+
+
+class TestStepCurve:
+    def test_empty_curve_message(self):
+        curve = interval_curve([], 52.0)
+        text = step_curve(curve, title="fig")
+        assert "no intervals" in text
+
+    def test_curve_renders_axes(self):
+        curve = interval_curve([60.0, 120.0, 600.0], 52.0)
+        text = step_curve(curve, title="fig18")
+        assert text.startswith("fig18")
+        assert "interval length" in text
+        assert "█" in text
+
+    def test_row_count(self):
+        curve = interval_curve([60.0, 600.0], 52.0)
+        lines = step_curve(curve, height=6).splitlines()
+        # 6 grid rows + x-axis line + x labels.
+        assert len(lines) == 8
+
+
+class TestOverlaySummary:
+    def test_totals_and_probes(self):
+        curves = {
+            "proposed": interval_curve([60.0, 700.0], 52.0),
+            "ddr": interval_curve([], 52.0),
+        }
+        text = curves_overlay_summary(curves, probes=(100.0,))
+        assert "proposed" in text and "ddr" in text
+        assert "760" in text  # total
+        assert "60" in text  # cumulative at 100 s

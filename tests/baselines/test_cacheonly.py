@@ -1,0 +1,79 @@
+"""Tests for the §VIII-A cache-only interval-control baseline."""
+
+import pytest
+
+from repro import units
+from repro.baselines.cacheonly import CacheOnlyPolicy
+from repro.config import DEFAULT_CONFIG
+from repro.simulation import build_context, default_volume
+from repro.trace.records import IOType, LogicalIORecord
+from repro.trace.replay import TraceReplayer
+
+
+def build_system():
+    context = build_context(DEFAULT_CONFIG, 2)
+    for index in range(2):
+        name = context.enclosure_names()[index]
+        context.virtualization.add_item(
+            f"item-{index}", 100 * units.MB, default_volume(name)
+        )
+        context.app_monitor.register_item(
+            f"item-{index}", default_volume(name)
+        )
+    return context
+
+
+class TestCacheOnly:
+    def test_everything_write_delayed(self):
+        context = build_system()
+        policy = CacheOnlyPolicy()
+        policy.bind(context)
+        policy.on_start(0.0)
+        assert context.cache.write_delay.selected_items() == {
+            "item-0",
+            "item-1",
+        }
+
+    def test_all_enclosures_may_spin_down(self):
+        context = build_system()
+        policy = CacheOnlyPolicy()
+        policy.bind(context)
+        policy.on_start(0.0)
+        assert all(e.power_off_enabled for e in context.enclosures)
+
+    def test_writes_absorbed_by_cache(self):
+        context = build_system()
+        policy = CacheOnlyPolicy()
+        records = [
+            LogicalIORecord(float(t), "item-0", t * 4096, 4096, IOType.WRITE)
+            for t in range(1, 20)
+        ]
+        result = TraceReplayer(context, policy).run(records, duration=100.0)
+        assert result.cache_hit_ratio > 0.9  # write-behind absorbed them
+
+    def test_no_migration_no_determinations(self):
+        context = build_system()
+        policy = CacheOnlyPolicy()
+        records = [
+            LogicalIORecord(float(t), "item-0", 0, 4096, IOType.READ)
+            for t in range(1, 10)
+        ]
+        result = TraceReplayer(context, policy).run(records, duration=700.0)
+        assert result.migrated_bytes == 0
+        assert result.determinations == 0
+
+    def test_checkpoints_resweep(self):
+        context = build_system()
+        policy = CacheOnlyPolicy(refresh_period=100.0)
+        policy.bind(context)
+        policy.on_start(0.0)
+        context.virtualization.add_item(
+            "late", units.MB, default_volume("enc-00")
+        )
+        policy.on_checkpoint(100.0)
+        assert "late" in context.cache.write_delay.selected_items()
+        assert policy.next_checkpoint() == 200.0
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            CacheOnlyPolicy(refresh_period=0.0)

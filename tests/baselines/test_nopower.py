@@ -1,0 +1,42 @@
+"""Tests for the no-power-saving reference policy."""
+
+import pytest
+
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.storage.power import PowerState
+from repro.trace.records import IOType, LogicalIORecord
+from repro.trace.replay import TraceReplayer
+
+
+def rec(t):
+    return LogicalIORecord(t, "item-0", 0, 4096, IOType.READ)
+
+
+class TestNoPowerSaving:
+    def test_has_no_checkpoints(self):
+        assert NoPowerSavingPolicy().next_checkpoint() is None
+
+    def test_enclosures_never_spin_down(self, small_context):
+        replayer = TraceReplayer(small_context, NoPowerSavingPolicy())
+        result = replayer.run([rec(1.0)], duration=5000.0)
+        assert result.spin_down_count == 0
+        for enclosure in small_context.enclosures:
+            assert enclosure.time_in_state(PowerState.OFF) == 0.0
+
+    def test_zero_migration(self, small_context):
+        replayer = TraceReplayer(small_context, NoPowerSavingPolicy())
+        result = replayer.run([rec(1.0)], duration=100.0)
+        assert result.migrated_bytes == 0
+        assert result.determinations == 0
+
+    def test_unbound_policy_raises(self):
+        policy = NoPowerSavingPolicy()
+        with pytest.raises(RuntimeError):
+            policy._require_context()
+
+    def test_power_near_idle_for_quiet_trace(self, small_context):
+        replayer = TraceReplayer(small_context, NoPowerSavingPolicy())
+        result = replayer.run([rec(1.0)], duration=10_000.0)
+        idle = small_context.config.enclosure_power.idle_watts
+        per_enclosure = result.power.enclosure_watts / 3
+        assert per_enclosure == pytest.approx(idle, rel=0.01)

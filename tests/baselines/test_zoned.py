@@ -1,0 +1,152 @@
+"""Tests for the zoned multi-policy (paper §IX future work)."""
+
+import pytest
+
+from repro import units
+from repro.baselines.ddr import DDRPolicy
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.baselines.zoned import Zone, ZonedPolicy
+from repro.config import DEFAULT_CONFIG
+from repro.core.manager import EnergyEfficientPolicy
+from repro.errors import ConfigurationError
+from repro.simulation import build_context, default_volume
+from repro.trace.records import IOType, LogicalIORecord
+from repro.trace.replay import TraceReplayer
+
+
+def build_system():
+    """Four enclosures: zone A (0-1) busy OLTP-ish, zone B (2-3) archive."""
+    context = build_context(DEFAULT_CONFIG, 4)
+    names = context.enclosure_names()
+    for idx, item in (
+        (0, "db-0"),
+        (1, "db-1"),
+        (2, "archive-0"),
+        (3, "archive-1"),
+    ):
+        context.virtualization.add_item(
+            item, 200 * units.MB, default_volume(names[idx])
+        )
+        context.app_monitor.register_item(item, default_volume(names[idx]))
+    return context
+
+
+def trace(duration=2000.0):
+    records = []
+    t = 0.0
+    while t < duration:
+        records.append(LogicalIORecord(t, "db-0", 0, 4096, IOType.READ))
+        records.append(
+            LogicalIORecord(t + 5.0, "db-1", 0, 4096, IOType.WRITE)
+        )
+        t += 20.0
+    # The archive is touched once near the start, then never again.
+    records.append(LogicalIORecord(1.0, "archive-0", 0, 4096, IOType.READ))
+    return sorted(records)
+
+
+def zoned_policy():
+    return ZonedPolicy(
+        [
+            Zone("db", ("enc-00", "enc-01"), NoPowerSavingPolicy()),
+            Zone("archive", ("enc-02", "enc-03"), EnergyEfficientPolicy()),
+        ]
+    )
+
+
+class TestValidation:
+    def test_requires_zones(self):
+        with pytest.raises(ConfigurationError):
+            ZonedPolicy([])
+
+    def test_overlapping_zones_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZonedPolicy(
+                [
+                    Zone("a", ("enc-00",), NoPowerSavingPolicy()),
+                    Zone("b", ("enc-00",), NoPowerSavingPolicy()),
+                ]
+            )
+
+    def test_unknown_enclosures_rejected_at_bind(self):
+        context = build_system()
+        policy = ZonedPolicy(
+            [Zone("ghost", ("enc-99",), NoPowerSavingPolicy())]
+        )
+        with pytest.raises(ConfigurationError):
+            policy.bind(context)
+
+
+class TestZonedBehaviour:
+    def test_archive_zone_sleeps_while_db_zone_stays_up(self):
+        context = build_system()
+        result = TraceReplayer(context, zoned_policy()).run(
+            trace(), duration=2000.0
+        )
+        by_name = {e.name: e for e in context.enclosures}
+        # The managed archive zone turned its enclosures off...
+        assert by_name["enc-02"].spin_down_count >= 1
+        assert by_name["enc-03"].spin_down_count >= 1
+        # ...while the no-power-saving DB zone never did.
+        assert by_name["enc-00"].spin_down_count == 0
+        assert by_name["enc-01"].spin_down_count == 0
+
+    def test_no_cross_zone_migration(self):
+        context = build_system()
+        TraceReplayer(context, zoned_policy()).run(trace(), duration=2000.0)
+        virt = context.virtualization
+        assert virt.enclosure_of("db-0").name in ("enc-00", "enc-01")
+        assert virt.enclosure_of("archive-0").name in ("enc-02", "enc-03")
+
+    def test_determinations_aggregate_sub_policies(self):
+        context = build_system()
+        result = TraceReplayer(context, zoned_policy()).run(
+            trace(), duration=2000.0
+        )
+        # Only the archive zone's manager runs checkpoints.
+        assert result.determinations >= 2
+
+    def test_mixed_ddr_and_proposed(self):
+        context = build_system()
+        policy = ZonedPolicy(
+            [
+                Zone("db", ("enc-00", "enc-01"), DDRPolicy()),
+                Zone(
+                    "archive",
+                    ("enc-02", "enc-03"),
+                    EnergyEfficientPolicy(),
+                ),
+            ]
+        )
+        result = TraceReplayer(context, policy).run(
+            trace(), duration=2000.0
+        )
+        assert result.io_count == len(trace())
+
+    def test_checkpoint_is_min_across_zones(self):
+        context = build_system()
+        policy = ZonedPolicy(
+            [
+                Zone("a", ("enc-00", "enc-01"), DDRPolicy()),  # 0.25 s
+                Zone(
+                    "b", ("enc-02", "enc-03"), EnergyEfficientPolicy()
+                ),  # 520 s
+            ]
+        )
+        policy.bind(context)
+        policy.on_start(0.0)
+        assert policy.next_checkpoint() == pytest.approx(
+            DEFAULT_CONFIG.ddr_monitoring_period
+        )
+
+    def test_all_none_checkpoints(self):
+        context = build_system()
+        policy = ZonedPolicy(
+            [
+                Zone("a", ("enc-00", "enc-01"), NoPowerSavingPolicy()),
+                Zone("b", ("enc-02", "enc-03"), NoPowerSavingPolicy()),
+            ]
+        )
+        policy.bind(context)
+        policy.on_start(0.0)
+        assert policy.next_checkpoint() is None

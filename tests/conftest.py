@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Conventions:
+
+* ``small_context`` — a three-enclosure storage system with a few data
+  items placed, enough for controller/manager behaviour tests;
+* ``fast_config`` — Table II values but with generous simulated IOPS so
+  unit-test traces don't queue;
+* trace helpers build time-ordered :class:`LogicalIORecord` lists
+  tersely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.config import DEFAULT_CONFIG, EcoStorConfig
+from repro.simulation import SimulationContext, build_context, default_volume
+from repro.trace.records import IOType, LogicalIORecord
+
+
+@pytest.fixture
+def config() -> EcoStorConfig:
+    """The shipped simulation-scale configuration."""
+    return DEFAULT_CONFIG
+
+
+@pytest.fixture
+def small_context(config: EcoStorConfig) -> SimulationContext:
+    """Three enclosures, three items (one per enclosure)."""
+    context = build_context(config, 3)
+    names = context.enclosure_names()
+    for index, name in enumerate(names):
+        context.virtualization.add_item(
+            f"item-{index}", 64 * units.MB, default_volume(name)
+        )
+        context.app_monitor.register_item(f"item-{index}", default_volume(name))
+    return context
+
+
+def make_read(
+    t: float, item: str = "item-0", offset: int = 0, size: int = 8192
+) -> LogicalIORecord:
+    return LogicalIORecord(t, item, offset, size, IOType.READ)
+
+
+def make_write(
+    t: float, item: str = "item-0", offset: int = 0, size: int = 8192
+) -> LogicalIORecord:
+    return LogicalIORecord(t, item, offset, size, IOType.WRITE)
+
+
+def make_trace(*specs: tuple) -> list[LogicalIORecord]:
+    """Build a trace from ``(t, item, 'R'|'W')`` or ``(t, item, 'R', off, size)``."""
+    records = []
+    for spec in specs:
+        t, item, kind = spec[0], spec[1], spec[2]
+        offset = spec[3] if len(spec) > 3 else 0
+        size = spec[4] if len(spec) > 4 else 8192
+        records.append(
+            LogicalIORecord(t, item, offset, size, IOType.parse(kind))
+        )
+    return records
+
+
+@pytest.fixture
+def trace_builder():
+    return make_trace

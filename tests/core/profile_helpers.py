@@ -1,0 +1,60 @@
+"""Helpers for building synthetic ItemProfiles in placement tests."""
+
+from __future__ import annotations
+
+from repro.core.intervals import Interval, IOSequence, ItemActivity
+from repro.core.patterns import IOPattern, ItemProfile
+
+WINDOW = 600.0
+BUCKET = 60.0
+
+
+def make_profile(
+    item_id: str,
+    pattern: IOPattern,
+    enclosure: str,
+    size_bytes: int = 1 << 30,
+    mean_iops: float = 0.1,
+    bucket_counts: tuple[int, ...] | None = None,
+    read_count: int | None = None,
+    write_count: int = 0,
+    write_bytes: int = 0,
+) -> ItemProfile:
+    """Construct an ItemProfile without running the classifier.
+
+    ``bucket_counts`` defaults to a flat distribution consistent with
+    ``mean_iops`` over a 600 s window of 60 s buckets.
+    """
+    buckets = bucket_counts or tuple(
+        [int(mean_iops * BUCKET)] * int(WINDOW / BUCKET)
+    )
+    total = read_count if read_count is not None else int(mean_iops * WINDOW)
+    if pattern is IOPattern.P0:
+        activity = ItemActivity(
+            item_id, 0.0, WINDOW, (Interval(0.0, WINDOW),), ()
+        )
+    else:
+        longs = (
+            (Interval(100.0, 300.0),)
+            if pattern is not IOPattern.P3
+            else ()
+        )
+        sequences = (
+            IOSequence(0.0, 99.0, max(total, 1), write_count),
+        )
+        activity = ItemActivity(item_id, 0.0, WINDOW, longs, sequences)
+    peak = max(buckets) / BUCKET if buckets else 0.0
+    return ItemProfile(
+        item_id=item_id,
+        pattern=pattern,
+        activity=activity,
+        size_bytes=size_bytes,
+        enclosure=enclosure,
+        mean_iops=mean_iops,
+        peak_iops=peak,
+        bucket_counts=buckets,
+        read_count=max(total, 0),
+        write_count=write_count,
+        write_bytes=write_bytes,
+        read_bytes=max(total, 0) * 4096,
+    )

@@ -1,0 +1,50 @@
+"""Tests for the ecostor CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_command_parses(self):
+        args = build_parser().parse_args(["run", "tpcc", "proposed"])
+        assert args.workload == "tpcc"
+        assert args.policy == "proposed"
+        assert not args.full
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "mysql", "proposed"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "tpcc", "magic"])
+
+    def test_figures_only_choices(self):
+        args = build_parser().parse_args(["figures", "--only", "fig06"])
+        assert args.only == ["fig06"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--only", "fig99"])
+
+
+class TestExecution:
+    def test_patterns_command(self, capsys):
+        assert main(["patterns", "tpcc"]) == 0
+        out = capsys.readouterr().out
+        assert "P3" in out
+        assert "tpcc" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "tpcc", "no-power-saving"]) == 0
+        out = capsys.readouterr().out
+        assert "enclosure power" in out
+        assert "mean response" in out
+
+    def test_figures_subset(self, capsys):
+        assert main(["figures", "--only", "fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6" in out

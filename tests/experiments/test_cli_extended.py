@@ -1,0 +1,68 @@
+"""Tests for the extended CLI commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestTraceCommands:
+    def test_export_then_replay(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        assert main(["export-trace", "tpcc", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "replay-trace",
+                    str(path),
+                    "no-power-saving",
+                    "--enclosures",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "enclosure power" in out
+        assert "inferred data items" in out
+
+    def test_replay_msr_format(self, tmp_path, capsys):
+        msr = tmp_path / "trace.msr"
+        msr.write_text(
+            "128166372003061629,usr,0,Read,7014609920,24576,41286\n"
+            "128166372016382155,usr,0,Write,2517254144,4096,703880\n"
+        )
+        assert (
+            main(
+                [
+                    "replay-trace",
+                    str(msr),
+                    "no-power-saving",
+                    "--enclosures",
+                    "2",
+                    "--msr",
+                ]
+            )
+            == 0
+        )
+        assert "usr.0" not in capsys.readouterr().err
+
+
+class TestStudyCommands:
+    def test_ssd_study_parses(self):
+        args = build_parser().parse_args(["ssd-study"])
+        assert not args.full
+
+    def test_scaling_study_parses(self):
+        build_parser().parse_args(["scaling-study"])
+
+    def test_intervals_command(self, capsys):
+        assert main(["intervals", "tpcc", "proposed"]) == 0
+        out = capsys.readouterr().out
+        assert "interval length" in out
+        assert "proposed" in out
+
+    def test_intervals_requires_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["intervals", "tpcc"])

@@ -1,0 +1,126 @@
+"""Smoke tests for every figure module (short workloads).
+
+These verify the harness mechanics — rows produced, labels well-formed,
+conversions applied.  The *shape* assertions against the paper's results
+live in benchmarks/ where the full-length workloads run.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig06_patterns,
+    fig08_10_fileserver,
+    fig11_13_tpcc,
+    fig14_16_tpch,
+    fig17_19_intervals,
+    tables,
+)
+
+
+class TestFig06:
+    def test_rows_for_each_workload(self):
+        rows = fig06_patterns.rows_for("tpcc", full=False)
+        assert len(rows) == 4
+        assert all("%" in row.measured for row in rows)
+
+    def test_run_renders(self):
+        text = fig06_patterns.run(full=False)
+        assert "Fig 6" in text
+        assert "fileserver P1" in text
+
+
+class TestFileServerFigures:
+    def test_fig8_has_four_policies(self):
+        rows = fig08_10_fileserver.fig8_rows(full=False)
+        assert len(rows) == 4
+        assert any("proposed" in row.label for row in rows)
+
+    def test_fig9_response_rows(self):
+        rows = fig08_10_fileserver.fig9_rows(full=False)
+        assert len(rows) == 4
+        proposed = next(r for r in rows if "proposed" in r.label)
+        assert proposed.paper == "17.1 ms"
+
+    def test_fig10_migration_and_determinations(self):
+        rows = fig08_10_fileserver.fig10_rows(full=False)
+        labels = [row.label for row in rows]
+        assert any("migrated" in label for label in labels)
+        assert any("determinations" in label for label in labels)
+
+
+class TestTpccFigures:
+    def test_fig11_rows(self):
+        rows = fig11_13_tpcc.fig11_rows(full=False)
+        assert len(rows) == 4
+
+    def test_fig12_throughput_ordering(self):
+        tpmc = fig11_13_tpcc.measured_tpmc(full=False)
+        assert tpmc["no-power-saving"] == pytest.approx(1859.5)
+        # Every power-saving method costs some throughput.
+        assert tpmc["proposed"] <= tpmc["no-power-saving"]
+
+    def test_fig13_rows(self):
+        rows = fig11_13_tpcc.fig13_rows(full=False)
+        assert len(rows) == 6
+
+
+class TestTpchFigures:
+    def test_fig14_rows(self):
+        rows = fig14_16_tpch.fig14_rows(full=False)
+        assert len(rows) == 4
+
+    def test_fig15_query_responses(self):
+        responses = fig14_16_tpch.query_responses(
+            full=False, queries=("Q2", "Q21")
+        )
+        assert "proposed" in responses
+        assert set(responses["proposed"]) <= {"Q2", "Q21"}
+        for value in responses["proposed"].values():
+            assert value > 0
+
+    def test_fig16_rows(self):
+        rows = fig14_16_tpch.fig16_rows(full=False)
+        assert len(rows) == 6
+
+
+class TestIntervalFigures:
+    def test_totals_per_policy(self):
+        totals = fig17_19_intervals.total_lengths("tpcc", full=False)
+        assert set(totals) == {
+            "no-power-saving",
+            "proposed",
+            "pdc",
+            "ddr",
+        }
+
+    def test_rows_render(self):
+        rows = fig17_19_intervals.rows_for("fileserver", full=False)
+        assert len(rows) == 4
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = tables.table1_rows(full=False)
+        assert len(rows) == 6
+
+    def test_table2_contains_parameters(self):
+        text = "\n".join(
+            f"{r.label}={r.measured}" for r in tables.table2_rows()
+        )
+        assert "break-even time=52 sec" in text
+        assert "alpha=1.2" in text
+        assert "dirty block rate=50 %" in text
+
+
+class TestAblations:
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ValueError):
+            ablations.run_ablation("tpcc", "no-such-knob")
+
+    def test_rows_include_every_knob(self):
+        rows = ablations.rows_for("tpcc", full=False)
+        labels = " ".join(row.label for row in rows)
+        for name in ablations.ABLATIONS:
+            if name != "full":
+                assert name in labels

@@ -1,0 +1,66 @@
+"""Tests for the SSD and scaling studies (smoke-speed checks)."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.experiments.ssd_study import rows_for, run_study, savings, ssd_config
+from repro.storage.power import SSD_POWER_MODEL
+
+
+class TestSsdConfig:
+    def test_break_even_follows_hardware(self):
+        config = ssd_config()
+        assert config.break_even_time == pytest.approx(
+            SSD_POWER_MODEL.break_even_time
+        )
+        assert config.break_even_time < 10.0
+
+    def test_period_scales_with_break_even(self):
+        config = ssd_config()
+        assert config.initial_monitoring_period == pytest.approx(
+            10 * config.break_even_time
+        )
+
+    def test_other_parameters_preserved(self):
+        config = ssd_config()
+        assert config.storage_cache_bytes == DEFAULT_CONFIG.storage_cache_bytes
+        assert config.max_iops_random == DEFAULT_CONFIG.max_iops_random
+
+    def test_validation_passes(self):
+        # The config's break-even consistency check must accept the
+        # SSD model (the algorithmic value is derived from it).
+        ssd_config()
+
+
+class TestSsdStudy:
+    def test_four_cells(self):
+        results = run_study()
+        assert set(results) == {
+            "hdd/none",
+            "hdd/proposed",
+            "ssd/none",
+            "ssd/proposed",
+        }
+
+    def test_flash_baseline_is_cheap(self):
+        results = run_study()
+        assert (
+            results["ssd/none"].enclosure_watts
+            < results["hdd/none"].enclosure_watts / 3
+        )
+
+    def test_savings_keys(self):
+        assert set(savings(run_study())) == {"hdd", "ssd"}
+
+    def test_rows_render(self):
+        rows = rows_for()
+        assert len(rows) == 4
+        assert all("W" in row.measured for row in rows)
+
+
+class TestScalingStudy:
+    def test_sweep_shape(self):
+        from repro.experiments.scaling import ENCLOSURE_SWEEP, run_point
+
+        base, ours = run_point(ENCLOSURE_SWEEP[0])
+        assert 0 < ours <= base

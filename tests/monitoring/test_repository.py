@@ -1,0 +1,80 @@
+"""Tests for repro.monitoring.repository."""
+
+import pytest
+
+from repro.monitoring.repository import TraceRepository
+from repro.trace.records import IOType, LogicalIORecord, PhysicalIORecord
+
+
+def rec(t):
+    return LogicalIORecord(t, "a", 0, 4096, IOType.READ)
+
+
+class TestInMemory:
+    def test_append_and_iterate(self, tmp_path):
+        repo = TraceRepository(LogicalIORecord, spill_dir=tmp_path)
+        repo.append(rec(1.0))
+        repo.append(rec(2.0))
+        assert list(repo) == [rec(1.0), rec(2.0)]
+        assert len(repo) == 2
+
+    def test_extend(self, tmp_path):
+        repo = TraceRepository(LogicalIORecord, spill_dir=tmp_path)
+        repo.extend([rec(1.0), rec(2.0), rec(3.0)])
+        assert len(repo) == 3
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRepository(LogicalIORecord, max_memory_records=0)
+
+
+class TestSpill:
+    def test_spills_when_memory_full(self, tmp_path):
+        repo = TraceRepository(
+            LogicalIORecord, max_memory_records=3, spill_dir=tmp_path
+        )
+        for i in range(10):
+            repo.append(rec(float(i)))
+        assert len(repo) == 10
+        # Spilled records come back in order, then the memory tail.
+        assert [r.timestamp for r in repo] == [float(i) for i in range(10)]
+
+    def test_spill_file_created(self, tmp_path):
+        repo = TraceRepository(
+            LogicalIORecord, max_memory_records=2, spill_dir=tmp_path
+        )
+        for i in range(5):
+            repo.append(rec(float(i)))
+        spills = list(tmp_path.glob("spill-*.csv"))
+        assert len(spills) == 1
+
+    def test_physical_records_spill_too(self, tmp_path):
+        repo = TraceRepository(
+            PhysicalIORecord, max_memory_records=2, spill_dir=tmp_path
+        )
+        records = [
+            PhysicalIORecord(float(i), "e0", i, 1, IOType.WRITE, "a")
+            for i in range(6)
+        ]
+        repo.extend(records)
+        assert list(repo) == records
+
+    def test_clear_removes_everything(self, tmp_path):
+        repo = TraceRepository(
+            LogicalIORecord, max_memory_records=2, spill_dir=tmp_path
+        )
+        for i in range(5):
+            repo.append(rec(float(i)))
+        repo.clear()
+        assert len(repo) == 0
+        assert list(repo) == []
+
+    def test_append_after_clear(self, tmp_path):
+        repo = TraceRepository(
+            LogicalIORecord, max_memory_records=2, spill_dir=tmp_path
+        )
+        for i in range(5):
+            repo.append(rec(float(i)))
+        repo.clear()
+        repo.append(rec(99.0))
+        assert [r.timestamp for r in repo] == [99.0]

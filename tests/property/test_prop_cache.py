@@ -1,0 +1,85 @@
+"""Property tests: cache partitions never violate their invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import CapacityError
+from repro.storage.cache import (
+    PAGE_BYTES,
+    LRUBlockCache,
+    PreloadPartition,
+    WriteDelayPartition,
+)
+
+items = st.sampled_from(["a", "b", "c", "d"])
+pages = st.integers(min_value=0, max_value=200)
+
+
+@given(st.lists(st.tuples(items, pages), max_size=300))
+@settings(max_examples=100)
+def test_lru_never_exceeds_capacity(accesses):
+    lru = LRUBlockCache(5 * PAGE_BYTES)
+    for item, page in accesses:
+        lru.access(item, page)
+        assert len(lru) <= 5
+
+
+@given(st.lists(st.tuples(items, pages), min_size=1, max_size=300))
+@settings(max_examples=100)
+def test_lru_most_recent_access_always_hits_next(accesses):
+    lru = LRUBlockCache(5 * PAGE_BYTES)
+    for item, page in accesses:
+        lru.access(item, page)
+    last_item, last_page = accesses[-1]
+    assert lru.access(last_item, last_page)
+
+
+@given(
+    st.lists(
+        st.tuples(items, st.integers(min_value=1, max_value=40)),
+        max_size=30,
+    )
+)
+@settings(max_examples=100)
+def test_preload_partition_accounting(pins):
+    part = PreloadPartition(64 * units.MB)
+    pinned: dict[str, int] = {}
+    for item, size_mb in pins:
+        size = size_mb * units.MB
+        try:
+            part.pin(item, size)
+        except CapacityError:
+            assert part.free_bytes < size
+        else:
+            pinned.setdefault(item, size)
+        assert part.used_bytes == sum(pinned.values())
+        assert 0 <= part.used_bytes <= part.capacity_bytes
+
+
+@given(st.lists(st.tuples(items, pages), max_size=400))
+@settings(max_examples=100)
+def test_write_delay_dirty_pages_bounded_by_threshold(writes):
+    part = WriteDelayPartition(20 * PAGE_BYTES, dirty_block_rate=0.5)
+    for item in ("a", "b", "c", "d"):
+        part.select(item)
+    for item, page in writes:
+        must_flush = part.absorb_write(item, page)
+        if must_flush:
+            part.flush_all()
+        # Never exceeds the flush threshold after handling.
+        assert part.dirty_pages < part.dirty_threshold_pages or not must_flush
+
+
+@given(st.lists(st.tuples(items, pages), max_size=200))
+@settings(max_examples=100)
+def test_flush_conserves_dirty_bytes(writes):
+    part = WriteDelayPartition(10 * units.GB, dirty_block_rate=1.0)
+    for item in ("a", "b", "c", "d"):
+        part.select(item)
+    unique = {(item, page) for item, page in writes}
+    for item, page in writes:
+        part.absorb_write(item, page)
+    plan = part.flush_all()
+    assert plan.total_bytes == len(unique) * PAGE_BYTES
+    assert part.dirty_pages == 0

@@ -1,0 +1,117 @@
+"""Property tests: the enclosure's energy timeline is exact.
+
+Whatever sequence of I/Os, settles, and policy flips happens, the
+timeline must remain consistent: time-in-state sums to the clock, energy
+equals Σ state-power × state-time, and the FIFO queue never reorders.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.enclosure import DiskEnclosure
+from repro.storage.power import PowerState
+
+
+@st.composite
+def operation_sequences(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["io", "settle", "enable", "disable"]),
+                st.floats(min_value=0.1, max_value=300.0, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    return ops
+
+
+def run_ops(ops):
+    enc = DiskEnclosure(
+        "e0", iops_random=2.0, iops_sequential=6.0, spin_down_timeout=52.0
+    )
+    clock = 0.0
+    for op, delta in ops:
+        clock += delta
+        if op == "io":
+            enc.submit(clock)
+        elif op == "settle":
+            enc.settle(clock)
+        elif op == "enable":
+            enc.enable_power_off(clock)
+        else:
+            enc.disable_power_off(clock)
+    enc.finish(clock + 400.0)
+    return enc
+
+
+@given(operation_sequences())
+@settings(max_examples=150, deadline=None)
+def test_time_in_states_sums_to_clock(ops):
+    enc = run_ops(ops)
+    total = sum(enc.time_in_state(s) for s in PowerState)
+    assert abs(total - enc.clock) < 1e-6
+
+
+@given(operation_sequences())
+@settings(max_examples=150, deadline=None)
+def test_energy_equals_power_times_time(ops):
+    enc = run_ops(ops)
+    expected = sum(
+        enc.power_model.watts(s) * enc.time_in_state(s) for s in PowerState
+    )
+    assert abs(enc.energy_joules() - expected) < 1e-6
+
+
+@given(operation_sequences())
+@settings(max_examples=150, deadline=None)
+def test_average_power_within_physical_bounds(ops):
+    enc = run_ops(ops)
+    avg = enc.average_watts()
+    assert enc.power_model.off_watts - 1e-9 <= avg
+    assert avg <= enc.power_model.spin_up_watts + 1e-9
+
+
+@given(operation_sequences())
+@settings(max_examples=150, deadline=None)
+def test_spin_counts_balance(ops):
+    enc = run_ops(ops)
+    # Every spin-up follows a spin-down; at most one cycle can be open.
+    assert 0 <= enc.spin_down_count - enc.spin_up_count <= 1
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_fifo_completions_are_monotone(deltas):
+    enc = DiskEnclosure("e0", iops_random=2.0)
+    clock = 0.0
+    completions = []
+    for delta in deltas:
+        clock += delta
+        completions.append(enc.submit(clock).completion)
+    assert completions == sorted(completions)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=500.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_response_never_below_service_time(deltas):
+    enc = DiskEnclosure("e0", iops_random=2.0, spin_down_timeout=52.0)
+    enc.enable_power_off(0.0)
+    clock = 0.0
+    for delta in deltas:
+        clock += delta
+        result = enc.submit(clock)
+        assert result.response_time >= enc.service_time(1, False) - 1e-9
+        assert result.wait_time >= 0.0

@@ -1,0 +1,63 @@
+"""Property tests: trace serialization round-trips exactly."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.reader import read_logical_trace, read_physical_trace
+from repro.trace.records import IOType, LogicalIORecord, PhysicalIORecord
+from repro.trace.writer import write_logical_trace, write_physical_trace
+
+item_ids = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="/-_."
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@st.composite
+def logical_records(draw):
+    # Timestamps quantized to microseconds: the writer serializes %.6f.
+    micros = draw(st.integers(min_value=0, max_value=10**12))
+    return LogicalIORecord(
+        timestamp=micros / 1e6,
+        item_id=draw(item_ids),
+        offset=draw(st.integers(min_value=0, max_value=2**40)),
+        size=draw(st.integers(min_value=1, max_value=2**30)),
+        io_type=draw(st.sampled_from(IOType)),
+        sequential=draw(st.booleans()),
+    )
+
+
+@st.composite
+def physical_records(draw):
+    micros = draw(st.integers(min_value=0, max_value=10**12))
+    return PhysicalIORecord(
+        timestamp=micros / 1e6,
+        enclosure=draw(item_ids),
+        block_address=draw(st.integers(min_value=0, max_value=2**32)),
+        count=draw(st.integers(min_value=1, max_value=10**6)),
+        io_type=draw(st.sampled_from(IOType)),
+        item_id=draw(st.none() | item_ids),
+    )
+
+
+@given(st.lists(logical_records(), max_size=50))
+@settings(max_examples=100)
+def test_logical_roundtrip(records):
+    buffer = io.StringIO()
+    write_logical_trace(records, buffer)
+    buffer.seek(0)
+    assert read_logical_trace(buffer) == records
+
+
+@given(st.lists(physical_records(), max_size=50))
+@settings(max_examples=100)
+def test_physical_roundtrip(records):
+    buffer = io.StringIO()
+    write_physical_trace(records, buffer)
+    buffer.seek(0)
+    assert read_physical_trace(buffer) == records

@@ -1,0 +1,67 @@
+"""Property tests: workload generators produce well-formed traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    build_dss_workload,
+    build_fileserver_workload,
+    build_oltp_workload,
+)
+from repro.workloads.dss import QUERY_TABLES
+
+seeds = st.integers(min_value=1, max_value=10_000)
+durations = st.floats(min_value=800.0, max_value=2600.0)
+
+
+def check_invariants(workload):
+    sizes = {item.item_id: item.size_bytes for item in workload.items}
+    last = 0.0
+    for record in workload.records:
+        # Time-ordered, inside the declared duration.
+        assert record.timestamp >= last
+        assert 0.0 <= record.timestamp < workload.duration
+        last = record.timestamp
+        # Every record targets a catalogued item and stays inside it.
+        assert record.item_id in sizes
+        assert 0 <= record.offset < sizes[record.item_id]
+        assert record.offset + record.size <= sizes[record.item_id] + (
+            record.size
+        )  # reads may touch the final partial page
+        assert record.size > 0
+    for item in workload.items:
+        assert 0 <= item.enclosure_index < workload.enclosure_count
+
+
+@given(seeds, durations)
+@settings(max_examples=10, deadline=None)
+def test_fileserver_invariants(seed, duration):
+    check_invariants(build_fileserver_workload(seed=seed, duration=duration))
+
+
+@given(seeds, durations)
+@settings(max_examples=10, deadline=None)
+def test_oltp_invariants(seed, duration):
+    check_invariants(build_oltp_workload(seed=seed, duration=duration))
+
+
+@given(seeds, st.lists(st.sampled_from(sorted(QUERY_TABLES)), min_size=1,
+                       max_size=4, unique=True))
+@settings(max_examples=10, deadline=None)
+def test_dss_invariants(seed, queries):
+    workload = build_dss_workload(
+        seed=seed, duration=2000.0, queries=tuple(queries)
+    )
+    check_invariants(workload)
+    # Phases tile the run in order.
+    assert [name for name, _, _ in workload.phases] == list(queries)
+    assert workload.phases[-1][2] <= workload.duration + 1e-6
+
+
+@given(seeds)
+@settings(max_examples=10, deadline=None)
+def test_generators_are_pure_functions_of_seed(seed):
+    a = build_oltp_workload(seed=seed, duration=900.0)
+    b = build_oltp_workload(seed=seed, duration=900.0)
+    assert a.records == b.records
+    assert a.items == b.items

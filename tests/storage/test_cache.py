@@ -1,0 +1,233 @@
+"""Tests for repro.storage.cache."""
+
+import pytest
+
+from repro import units
+from repro.errors import CapacityError
+from repro.storage.cache import (
+    PAGE_BYTES,
+    LRUBlockCache,
+    PreloadPartition,
+    StorageCache,
+    WriteDelayPartition,
+    block_to_page,
+)
+
+
+class TestBlockToPage:
+    def test_first_page(self):
+        assert block_to_page(0) == 0
+        assert block_to_page(63) == 0
+
+    def test_second_page(self):
+        assert block_to_page(64) == 1
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        lru = LRUBlockCache(10 * PAGE_BYTES)
+        assert not lru.access("a", 0)
+        assert lru.access("a", 0)
+
+    def test_eviction_order_is_lru(self):
+        lru = LRUBlockCache(2 * PAGE_BYTES)
+        lru.access("a", 0)
+        lru.access("a", 1)
+        lru.access("a", 0)  # touch 0 so 1 is the LRU victim
+        lru.access("a", 2)  # evicts 1
+        assert lru.access("a", 0)
+        assert not lru.access("a", 1)
+
+    def test_capacity_respected(self):
+        lru = LRUBlockCache(3 * PAGE_BYTES)
+        for page in range(100):
+            lru.access("a", page)
+        assert len(lru) <= 3
+
+    def test_zero_capacity_never_hits(self):
+        lru = LRUBlockCache(0)
+        assert not lru.access("a", 0)
+        assert not lru.access("a", 0)
+        assert len(lru) == 0
+
+    def test_invalidate_item(self):
+        lru = LRUBlockCache(10 * PAGE_BYTES)
+        lru.access("a", 0)
+        lru.access("a", 1)
+        lru.access("b", 0)
+        assert lru.invalidate_item("a") == 2
+        assert not lru.access("a", 0)
+        assert lru.access("b", 0)
+
+    def test_hit_ratio(self):
+        lru = LRUBlockCache(10 * PAGE_BYTES)
+        lru.access("a", 0)
+        lru.access("a", 0)
+        assert lru.hit_ratio == pytest.approx(0.5)
+
+    def test_hit_ratio_empty(self):
+        assert LRUBlockCache(PAGE_BYTES).hit_ratio == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUBlockCache(-1)
+
+
+class TestPreloadPartition:
+    def test_pin_and_query(self):
+        part = PreloadPartition(100 * units.MB)
+        part.pin("a", 10 * units.MB)
+        assert part.is_pinned("a")
+        assert part.used_bytes == 10 * units.MB
+        assert part.free_bytes == 90 * units.MB
+
+    def test_pin_is_idempotent(self):
+        part = PreloadPartition(100 * units.MB)
+        part.pin("a", 10 * units.MB)
+        part.pin("a", 10 * units.MB)
+        assert part.used_bytes == 10 * units.MB
+
+    def test_capacity_enforced(self):
+        part = PreloadPartition(10 * units.MB)
+        with pytest.raises(CapacityError):
+            part.pin("a", 11 * units.MB)
+
+    def test_unpin_frees_space(self):
+        part = PreloadPartition(10 * units.MB)
+        part.pin("a", 10 * units.MB)
+        part.unpin("a")
+        part.pin("b", 10 * units.MB)
+        assert part.is_pinned("b")
+        assert not part.is_pinned("a")
+
+    def test_unpin_unknown_is_noop(self):
+        PreloadPartition(units.MB).unpin("ghost")
+
+    def test_fits(self):
+        part = PreloadPartition(10 * units.MB)
+        assert part.fits(10 * units.MB)
+        assert not part.fits(11 * units.MB)
+
+    def test_item_ids(self):
+        part = PreloadPartition(units.GB)
+        part.pin("a", 1)
+        part.pin("b", 1)
+        assert part.item_ids() == {"a", "b"}
+
+
+class TestWriteDelayPartition:
+    def make(self, capacity_mb=1, rate=0.5) -> WriteDelayPartition:
+        return WriteDelayPartition(capacity_mb * units.MB, rate)
+
+    def test_unselected_write_raises(self):
+        part = self.make()
+        with pytest.raises(KeyError):
+            part.absorb_write("a", 0)
+
+    def test_absorb_below_threshold(self):
+        part = self.make(capacity_mb=100)
+        part.select("a")
+        assert part.absorb_write("a", 0) is False
+        assert part.dirty_pages == 1
+
+    def test_threshold_triggers_flush(self):
+        part = self.make(capacity_mb=1, rate=0.5)  # 4 pages, threshold 2
+        part.select("a")
+        assert part.absorb_write("a", 0) is False
+        assert part.absorb_write("a", 1) is True
+
+    def test_duplicate_page_not_double_counted(self):
+        part = self.make(capacity_mb=100)
+        part.select("a")
+        part.absorb_write("a", 0)
+        part.absorb_write("a", 0)
+        assert part.dirty_pages == 1
+
+    def test_flush_all_returns_dirty_bytes_and_clears(self):
+        part = self.make(capacity_mb=100)
+        part.select("a")
+        part.select("b")
+        part.absorb_write("a", 0)
+        part.absorb_write("a", 1)
+        part.absorb_write("b", 7)
+        plan = part.flush_all()
+        assert plan.dirty_bytes_by_item == {
+            "a": 2 * PAGE_BYTES,
+            "b": 1 * PAGE_BYTES,
+        }
+        assert plan.total_bytes == 3 * PAGE_BYTES
+        assert part.dirty_pages == 0
+        assert part.flush_count == 1
+
+    def test_flush_item_keeps_selection(self):
+        part = self.make(capacity_mb=100)
+        part.select("a")
+        part.absorb_write("a", 0)
+        plan = part.flush_item("a")
+        assert plan.total_bytes == PAGE_BYTES
+        assert part.is_selected("a")
+        assert part.dirty_pages == 0
+
+    def test_deselect_returns_dirty_data(self):
+        part = self.make(capacity_mb=100)
+        part.select("a")
+        part.absorb_write("a", 0)
+        plan = part.deselect("a")
+        assert plan.total_bytes == PAGE_BYTES
+        assert not part.is_selected("a")
+
+    def test_deselect_clean_item_returns_empty_plan(self):
+        part = self.make()
+        part.select("a")
+        assert part.deselect("a").total_bytes == 0
+
+    def test_is_dirty(self):
+        part = self.make(capacity_mb=100)
+        part.select("a")
+        part.absorb_write("a", 3)
+        assert part.is_dirty("a", 3)
+        assert not part.is_dirty("a", 4)
+        assert not part.is_dirty("b", 3)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            WriteDelayPartition(units.MB, 0.0)
+        with pytest.raises(ValueError):
+            WriteDelayPartition(units.MB, 1.5)
+
+
+class TestStorageCache:
+    def test_partition_sizes(self):
+        cache = StorageCache(
+            total_bytes=2 * units.GB,
+            preload_bytes=500 * units.MB,
+            write_delay_bytes=500 * units.MB,
+        )
+        assert cache.preload.capacity_bytes == 500 * units.MB
+        assert cache.write_delay.capacity_bytes == 500 * units.MB
+
+    def test_partition_overflow_rejected(self):
+        with pytest.raises(CapacityError):
+            StorageCache(
+                total_bytes=units.GB,
+                preload_bytes=units.GB,
+                write_delay_bytes=units.GB,
+            )
+
+    def test_preloaded_items_always_hit(self):
+        cache = StorageCache()
+        cache.preload.pin("a", units.MB)
+        assert cache.read_hit("a", 12345)
+
+    def test_dirty_pages_hit(self):
+        cache = StorageCache()
+        cache.write_delay.select("a")
+        cache.write_delay.absorb_write("a", 5)
+        assert cache.read_hit("a", 5)
+        assert not cache.read_hit("a", 6)  # miss inserts into LRU
+        assert cache.read_hit("a", 6)  # now LRU hit
+
+    def test_lru_fallback(self):
+        cache = StorageCache()
+        assert not cache.read_hit("b", 0)
+        assert cache.read_hit("b", 0)

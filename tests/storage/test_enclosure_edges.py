@@ -1,0 +1,95 @@
+"""Edge-case tests for the enclosure state machine."""
+
+import pytest
+
+from repro.storage.enclosure import DiskEnclosure
+from repro.storage.power import PowerState
+
+
+def enclosure(**kwargs):
+    defaults = dict(name="e0", iops_random=2.0, spin_down_timeout=52.0)
+    defaults.update(kwargs)
+    return DiskEnclosure(**defaults)
+
+
+class TestTransitionEdges:
+    def test_disable_during_spin_down_completes_the_transition(self):
+        enc = enclosure()
+        enc.enable_power_off(0.0)
+        enc.settle(53.0)
+        assert enc.state is PowerState.SPIN_DOWN
+        enc.disable_power_off(53.0)
+        enc.settle(500.0)
+        # Physics: a started spin-down finishes; the policy change only
+        # prevents *future* spin-downs.
+        assert enc.state is PowerState.OFF
+
+    def test_io_during_spin_up_queues_behind_it(self):
+        enc = enclosure()
+        enc.enable_power_off(0.0)
+        enc.settle(500.0)
+        first = enc.submit(500.0)  # triggers the spin-up
+        second = enc.submit(501.0)  # arrives mid-spin-up
+        assert second.start >= first.completion
+        assert enc.spin_up_count == 1
+
+    def test_occupy_wakes_an_off_enclosure(self):
+        enc = enclosure()
+        enc.enable_power_off(0.0)
+        enc.settle(500.0)
+        assert enc.state is PowerState.OFF
+        result = enc.occupy(500.0, 2.0)
+        assert result.wait_time == pytest.approx(
+            enc.power_model.spin_up_seconds
+        )
+
+    def test_zero_timeout_spins_down_immediately_after_service(self):
+        enc = enclosure(spin_down_timeout=0.0)
+        enc.enable_power_off(0.0)
+        done = enc.submit(1.0).completion
+        enc.settle(done + enc.power_model.spin_down_seconds + 0.01)
+        assert enc.state is PowerState.OFF
+
+    def test_hold_awake_with_power_off_disabled_is_harmless(self):
+        enc = enclosure()
+        enc.background_transfer(0.0, 100.0, 1.0, count=1, read=True)
+        enc.settle(1000.0)
+        assert enc.state is PowerState.IDLE
+
+    def test_repeated_enable_disable_cycles(self):
+        enc = enclosure()
+        clock = 0.0
+        for _ in range(5):
+            clock += 100.0
+            enc.enable_power_off(clock)
+            clock += 100.0
+            enc.disable_power_off(clock)
+        # One spin-down per enabled stretch (100 s > timeout 52 s).
+        assert enc.spin_down_count >= 1
+        total = sum(enc.time_in_state(s) for s in PowerState)
+        assert total == pytest.approx(enc.clock)
+
+    def test_average_watts_before_any_settle(self):
+        enc = enclosure()
+        assert enc.average_watts() == enc.power_model.idle_watts
+
+    def test_submit_in_settled_past_queues_at_clock(self):
+        enc = enclosure()
+        enc.settle(100.0)
+        result = enc.submit(50.0)  # arrival in the settled past
+        assert result.start >= 50.0
+        assert result.completion > result.start
+
+
+class TestLastIoTime:
+    def test_background_transfer_does_not_regress_last_io(self):
+        enc = enclosure()
+        enc.submit(100.0)
+        enc.background_transfer(50.0, 10.0, 1.0, count=1, read=True)
+        assert enc.last_io_time == 100.0
+
+    def test_background_transfer_advances_last_io(self):
+        enc = enclosure()
+        enc.submit(100.0)
+        enc.background_transfer(200.0, 10.0, 1.0, count=1, read=True)
+        assert enc.last_io_time == 200.0

@@ -1,0 +1,75 @@
+"""Failure-injection tests: migration under capacity pressure."""
+
+import pytest
+
+from repro import units
+from repro.errors import CapacityError
+from repro.storage.cache import StorageCache
+from repro.storage.controller import StorageController
+from repro.storage.enclosure import DiskEnclosure
+from repro.storage.migration import MigrationEngine, PlacementPlan
+from repro.storage.virtualization import BlockVirtualization
+
+
+def build(capacity=100 * units.MB):
+    encs = [
+        DiskEnclosure(f"e{i}", capacity_bytes=capacity) for i in range(3)
+    ]
+    virt = BlockVirtualization(encs)
+    for i in range(3):
+        virt.create_volume(f"v{i}", f"e{i}")
+    controller = StorageController(virt, StorageCache())
+    return MigrationEngine(controller), virt, controller
+
+
+class TestCapacityPressure:
+    def test_migrate_item_precheck_raises_before_charging(self):
+        engine, virt, controller = build()
+        virt.add_item("a", 80 * units.MB, "v0")
+        virt.add_item("b", 80 * units.MB, "v1")
+        src = virt.enclosure("e0")
+        energy_before = src.energy_joules()
+        with pytest.raises(CapacityError):
+            controller.migrate_item(10.0, "a", "e1")
+        # The failed move charged nothing and moved nothing.
+        assert controller.migrated_bytes == 0
+        assert src.energy_joules() == energy_before
+        assert virt.enclosure_of("a").name == "e0"
+
+    def test_engine_skips_infeasible_moves_and_continues(self):
+        engine, virt, _ = build()
+        virt.add_item("a", 80 * units.MB, "v0")
+        virt.add_item("b", 80 * units.MB, "v1")
+        virt.add_item("c", 10 * units.MB, "v0")
+        plan = PlacementPlan()
+        plan.add("a", "e1")  # cannot fit (b occupies e1)
+        plan.add("c", "e2")  # fits
+        report = engine.execute(0.0, plan)
+        assert report.moves_skipped == 1
+        assert report.moves_executed == 1
+        assert virt.enclosure_of("a").name == "e0"
+        assert virt.enclosure_of("c").name == "e2"
+
+    def test_skipped_moves_do_not_count_bytes(self):
+        engine, virt, _ = build()
+        virt.add_item("a", 80 * units.MB, "v0")
+        virt.add_item("b", 80 * units.MB, "v1")
+        plan = PlacementPlan()
+        plan.add("a", "e1")
+        report = engine.execute(0.0, plan)
+        assert report.bytes_moved == 0
+        assert engine.total_bytes_moved == 0
+
+    def test_sequential_dependent_moves(self):
+        # Move b away first, then a fits: plan order matters and the
+        # engine honours it.
+        engine, virt, _ = build()
+        virt.add_item("a", 80 * units.MB, "v0")
+        virt.add_item("b", 80 * units.MB, "v1")
+        plan = PlacementPlan()
+        plan.add("b", "e2", evacuation=True)  # executes first
+        plan.add("a", "e1")
+        report = engine.execute(0.0, plan)
+        assert report.moves_skipped == 0
+        assert virt.enclosure_of("a").name == "e1"
+        assert virt.enclosure_of("b").name == "e2"

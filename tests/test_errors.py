@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "StorageError",
+            "CapacityError",
+            "MappingError",
+            "PowerStateError",
+            "TraceError",
+            "ReplayError",
+            "PlacementError",
+            "WorkloadError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_storage_sub_hierarchy(self):
+        assert issubclass(errors.CapacityError, errors.StorageError)
+        assert issubclass(errors.MappingError, errors.StorageError)
+        assert issubclass(errors.PowerStateError, errors.StorageError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CapacityError("full")
+
+    def test_placement_error_carries_item(self):
+        from repro.core.placement import HotSetTooSmall
+
+        error = HotSetTooSmall("log overflows", item_id="tpcc/log")
+        assert error.item_id == "tpcc/log"
+        assert isinstance(error, errors.PlacementError)
+
+    def test_hot_set_too_small_default_item(self):
+        from repro.core.placement import HotSetTooSmall
+
+        assert HotSetTooSmall("empty hot set").item_id is None

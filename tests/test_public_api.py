@@ -1,0 +1,100 @@
+"""Tests: the package's public surface stays consistent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_matches_pyproject(self):
+        import tomllib
+        from pathlib import Path
+
+        pyproject = Path(repro.__file__).parents[2] / "pyproject.toml"
+        data = tomllib.loads(pyproject.read_text())
+        assert repro.__version__ == data["project"]["version"]
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_policies_importable_from_top_level(self):
+        from repro import (
+            DDRPolicy,
+            EnergyEfficientPolicy,
+            NoPowerSavingPolicy,
+            PDCPolicy,
+            PowerPolicy,
+        )
+
+        for cls in (
+            DDRPolicy,
+            EnergyEfficientPolicy,
+            NoPowerSavingPolicy,
+            PDCPolicy,
+        ):
+            assert issubclass(cls, PowerPolicy)
+
+    def test_policy_names_unique(self):
+        from repro import (
+            DDRPolicy,
+            EnergyEfficientPolicy,
+            NoPowerSavingPolicy,
+            PDCPolicy,
+        )
+        from repro.baselines.cacheonly import CacheOnlyPolicy
+        from repro.baselines.zoned import ZonedPolicy
+
+        names = {
+            cls.name
+            for cls in (
+                DDRPolicy,
+                EnergyEfficientPolicy,
+                NoPowerSavingPolicy,
+                PDCPolicy,
+                CacheOnlyPolicy,
+                ZonedPolicy,
+            )
+        }
+        assert len(names) == 6
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.analysis",
+            "repro.baselines",
+            "repro.core",
+            "repro.experiments",
+            "repro.monitoring",
+            "repro.storage",
+            "repro.trace",
+            "repro.workloads",
+        ],
+    )
+    def test_subpackages_import_cleanly(self, module):
+        importlib.import_module(module)
+
+    def test_py_typed_marker_shipped(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()
+
+    def test_docstrings_on_public_classes(self):
+        from repro import (
+            DDRPolicy,
+            EcoStorConfig,
+            EnergyEfficientPolicy,
+            PDCPolicy,
+            SimulationContext,
+        )
+
+        for obj in (
+            DDRPolicy,
+            EcoStorConfig,
+            EnergyEfficientPolicy,
+            PDCPolicy,
+            SimulationContext,
+        ):
+            assert obj.__doc__ and len(obj.__doc__) > 20

@@ -1,0 +1,78 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestByteConstants:
+    def test_kb(self):
+        assert units.KB == 1024
+
+    def test_mb(self):
+        assert units.MB == 1024**2
+
+    def test_gb(self):
+        assert units.GB == 1024**3
+
+    def test_tb(self):
+        assert units.TB == 1024**4
+
+    def test_block_size_is_4k(self):
+        assert units.BLOCK_SIZE == 4096
+
+
+class TestBytesToBlocks:
+    def test_zero(self):
+        assert units.bytes_to_blocks(0) == 0
+
+    def test_one_byte_occupies_a_block(self):
+        assert units.bytes_to_blocks(1) == 1
+
+    def test_exact_block(self):
+        assert units.bytes_to_blocks(units.BLOCK_SIZE) == 1
+
+    def test_block_plus_one_rounds_up(self):
+        assert units.bytes_to_blocks(units.BLOCK_SIZE + 1) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.bytes_to_blocks(-1)
+
+
+class TestBlocksToBytes:
+    def test_roundtrip_exact(self):
+        assert units.blocks_to_bytes(7) == 7 * units.BLOCK_SIZE
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.blocks_to_bytes(-1)
+
+    def test_inverse_of_bytes_to_blocks_for_multiples(self):
+        size = 40 * units.BLOCK_SIZE
+        assert units.blocks_to_bytes(units.bytes_to_blocks(size)) == size
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert units.format_bytes(2048) == "2.0 KB"
+
+    def test_gigabytes(self):
+        assert units.format_bytes(23.1 * units.GB) == "23.1 GB"
+
+    def test_terabytes(self):
+        assert units.format_bytes(3 * units.TB) == "3.0 TB"
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert units.format_duration(52) == "52 sec"
+
+    def test_minutes(self):
+        assert units.format_duration(120) == "2 min"
+
+    def test_hours(self):
+        assert units.format_duration(6480) == "1.8 hr"

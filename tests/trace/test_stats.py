@@ -1,0 +1,70 @@
+"""Tests for repro.trace.stats."""
+
+import pytest
+
+from repro.trace.records import IOType, LogicalIORecord
+from repro.trace.stats import interarrival_gaps, summarize
+
+
+def rec(t, item="a", kind=IOType.READ, size=4096, seq=False):
+    return LogicalIORecord(t, item, 0, size, kind, seq)
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.record_count == 0
+        assert summary.read_ratio == 0.0
+        assert summary.mean_iops == 0.0
+
+    def test_counts(self):
+        summary = summarize(
+            [rec(0.0), rec(1.0, kind=IOType.WRITE), rec(2.0)]
+        )
+        assert summary.record_count == 3
+        assert summary.read_count == 2
+        assert summary.write_count == 1
+        assert summary.read_ratio == pytest.approx(2 / 3)
+
+    def test_duration_and_iops(self):
+        summary = summarize([rec(0.0), rec(10.0)])
+        assert summary.duration == 10.0
+        assert summary.mean_iops == pytest.approx(0.2)
+
+    def test_bytes_and_items(self):
+        summary = summarize(
+            [rec(0.0, "a", size=100), rec(1.0, "b", size=200)]
+        )
+        assert summary.total_bytes == 300
+        assert summary.item_count == 2
+
+    def test_sequential_ratio(self):
+        summary = summarize([rec(0.0, seq=True), rec(1.0)])
+        assert summary.sequential_ratio == pytest.approx(0.5)
+
+    def test_per_item_read_ratio(self):
+        summary = summarize(
+            [rec(0.0, "a"), rec(1.0, "a", kind=IOType.WRITE), rec(2.0, "b")]
+        )
+        assert summary.item_read_ratio("a") == pytest.approx(0.5)
+        assert summary.item_read_ratio("b") == 1.0
+        assert summary.item_read_ratio("ghost") == 0.0
+
+
+class TestInterarrivalGaps:
+    def test_gaps_per_item(self):
+        gaps = interarrival_gaps(
+            [rec(0.0, "a"), rec(2.0, "a"), rec(5.0, "a"), rec(1.0, "b")]
+        )
+        assert gaps["a"] == [2.0, 3.0]
+        assert "b" not in gaps  # single I/O has no gap
+
+    def test_interleaved_items(self):
+        gaps = interarrival_gaps(
+            [rec(0.0, "a"), rec(1.0, "b"), rec(2.0, "a"), rec(4.0, "b")]
+        )
+        assert gaps["a"] == [2.0]
+        assert gaps["b"] == [3.0]
+
+    def test_empty(self):
+        assert interarrival_gaps([]) == {}

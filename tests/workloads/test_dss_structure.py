@@ -1,0 +1,77 @@
+"""Structural tests for the DSS generator's query timeline."""
+
+import pytest
+
+from repro.workloads.dss import (
+    QUERY_TABLES,
+    SCAN_DUTY,
+    TABLE_SIZES,
+    _query_durations,
+    build_dss_workload,
+)
+
+
+class TestQueryDurations:
+    def test_durations_cover_total(self):
+        durations = _query_durations(21600.0)
+        assert sum(durations.values()) == pytest.approx(21600.0)
+
+    def test_heavier_queries_run_longer(self):
+        durations = _query_durations(21600.0)
+        # Q8 references seven tables incl. lineitem; Q11 three small ones.
+        assert durations["Q8"] > durations["Q11"]
+
+    def test_every_query_has_a_duration(self):
+        durations = _query_durations(21600.0)
+        assert set(durations) == set(QUERY_TABLES)
+
+
+class TestScanWindows:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_dss_workload(duration=3000.0, queries=("Q6", "Q9"))
+
+    def test_scans_confined_to_scan_window(self, workload):
+        for name, start, end in workload.phases:
+            window_end = start + (end - start) * SCAN_DUTY
+            scans = [
+                r
+                for r in workload.records
+                if start <= r.timestamp < end
+                and r.item_id.startswith("tpch/")
+                and "/work/" not in r.item_id
+                and r.item_id != "tpch/log"
+            ]
+            assert scans, name
+            # All table reads land inside the scan window (+jitter).
+            assert max(r.timestamp for r in scans) <= window_end + 60.0
+
+    def test_compute_tail_is_quiet_on_db_enclosures(self, workload):
+        name, start, end = workload.phases[0]
+        tail_start = start + (end - start) * SCAN_DUTY + 60.0
+        tail_records = [
+            r
+            for r in workload.records
+            if tail_start <= r.timestamp < end
+            and "/work/" not in r.item_id
+            and r.item_id != "tpch/log"
+        ]
+        assert tail_records == []
+
+    def test_scans_cover_all_db_partitions_of_referenced_tables(
+        self, workload
+    ):
+        name, start, end = workload.phases[1]  # Q9
+        touched = {
+            r.item_id
+            for r in workload.records
+            if start <= r.timestamp < end
+            and r.item_id.startswith("tpch/lineitem")
+        }
+        assert len(touched) == 8  # all stripes
+
+    def test_table_sizes_are_at_documented_scale(self):
+        # lineitem at SF=100 is ~75 GB; we ship 1/8 of that.
+        assert TABLE_SIZES["lineitem"] == pytest.approx(
+            75 * 2**30 / 8, rel=0.01
+        )
