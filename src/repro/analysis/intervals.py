@@ -9,6 +9,8 @@ that is the power-saving opportunity it actually realized.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -26,10 +28,12 @@ class IntervalCurve:
 
     @property
     def total_length(self) -> float:
+        """Total accumulated long-interval length in seconds."""
         return self.cumulative[-1] if self.cumulative else 0.0
 
     @property
     def max_length(self) -> float:
+        """Length of the longest interval observed, in seconds."""
         return self.lengths[-1] if self.lengths else 0.0
 
     def cumulative_at(self, length: float) -> float:
@@ -52,7 +56,7 @@ def interval_curve(
     time").
     """
     if break_even_time <= 0:
-        raise ValueError("break_even_time must be positive")
+        raise ValidationError("break_even_time must be positive")
     longs = sorted(g for g in gaps if g > break_even_time)
     cumulative: list[float] = []
     total = 0.0

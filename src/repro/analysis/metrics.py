@@ -17,6 +17,8 @@ formula ``q = q_orig × Σr / Σr_orig`` is used as printed.
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
+
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -24,7 +26,7 @@ from typing import Iterable, Sequence
 def power_saving_percent(baseline_watts: float, policy_watts: float) -> float:
     """Percent reduction in average power versus the baseline run."""
     if baseline_watts <= 0:
-        raise ValueError("baseline_watts must be positive")
+        raise ValidationError("baseline_watts must be positive")
     return 100.0 * (baseline_watts - policy_watts) / baseline_watts
 
 
@@ -38,9 +40,9 @@ def transaction_throughput(
     read response under the evaluated policy.
     """
     if t_orig <= 0 or r_orig <= 0:
-        raise ValueError("t_orig and r_orig must be positive")
+        raise ValidationError("t_orig and r_orig must be positive")
     if r <= 0:
-        raise ValueError("r must be positive")
+        raise ValidationError("r must be positive")
     return t_orig * (r_orig / r)
 
 
@@ -49,11 +51,11 @@ def query_response_time(
 ) -> float:
     """TPC-H query response from summed read responses (§VII-A.5)."""
     if q_orig <= 0:
-        raise ValueError("q_orig must be positive")
+        raise ValidationError("q_orig must be positive")
     if sum_r_orig <= 0:
-        raise ValueError("sum_r_orig must be positive")
+        raise ValidationError("sum_r_orig must be positive")
     if sum_r < 0:
-        raise ValueError("sum_r must be non-negative")
+        raise ValidationError("sum_r must be non-negative")
     return q_orig * (sum_r / sum_r_orig)
 
 
@@ -69,6 +71,7 @@ class WindowResponse:
 
     @property
     def mean_read_response(self) -> float:
+        """Mean response time of read I/Os, in seconds."""
         if self.read_count == 0:
             return 0.0
         return self.read_response_sum / self.read_count
@@ -87,7 +90,7 @@ def window_read_responses(
     ordered = sorted(windows, key=lambda w: w[1])
     for (_, _, prev_end), (name, start, _) in zip(ordered, ordered[1:]):
         if start < prev_end:
-            raise ValueError(f"window {name!r} overlaps its predecessor")
+            raise ValidationError(f"window {name!r} overlaps its predecessor")
     counts = [0] * len(ordered)
     sums = [0.0] * len(ordered)
     starts = [w[1] for w in ordered]

@@ -10,6 +10,7 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
+from repro import units
 from repro.analysis.intervals import IntervalCurve
 
 #: Characters for horizontal bars.
@@ -128,7 +129,7 @@ def time_series_chart(
 
 def curves_overlay_summary(
     curves: Mapping[str, IntervalCurve],
-    probes: Sequence[float] = (60.0, 120.0, 600.0, 3600.0),
+    probes: Sequence[float] = (60.0, 120.0, 600.0, units.HOUR),
 ) -> str:
     """Compact multi-policy comparison: totals and probe points."""
     lines = [

@@ -8,6 +8,8 @@ same way.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro import units
 from typing import Sequence
 
 
@@ -49,18 +51,22 @@ def render_simple(title: str, rows: dict[str, str]) -> str:
 
 
 def watts(value: float) -> str:
+    """Format a power value for report tables, e.g. ``'270.0 W'``."""
     return f"{value:.1f} W"
 
 
 def percent(value: float) -> str:
+    """Format a percentage for report tables, e.g. ``'12.5 %'``."""
     return f"{value:.1f} %"
 
 
 def seconds(value: float) -> str:
+    """Format a duration, using milliseconds below one second."""
     if value < 1.0:
         return f"{value * 1000:.1f} ms"
     return f"{value:.2f} s"
 
 
 def gigabytes(value_bytes: float) -> str:
-    return f"{value_bytes / 2**30:.2f} GB"
+    """Format a byte count in gigabytes, e.g. ``'23.10 GB'``."""
+    return f"{value_bytes / units.GB:.2f} GB"

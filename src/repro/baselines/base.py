@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 
+from repro.errors import UsageError
 from repro.simulation import SimulationContext
 from repro.trace.records import LogicalIORecord
 
@@ -37,7 +38,7 @@ class PowerPolicy(abc.ABC):
 
     def _require_context(self) -> SimulationContext:
         if self.context is None:
-            raise RuntimeError(f"policy {self.name!r} is not bound to a context")
+            raise UsageError(f"policy {self.name!r} is not bound to a context")
         return self.context
 
     def on_start(self, now: float) -> None:

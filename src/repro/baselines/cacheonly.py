@@ -25,6 +25,7 @@ It exists to reproduce the paper's argument quantitatively: see
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
 from repro.baselines.base import PowerPolicy
 
 
@@ -36,11 +37,12 @@ class CacheOnlyPolicy(PowerPolicy):
     def __init__(self, refresh_period: float = 300.0) -> None:
         super().__init__()
         if refresh_period <= 0:
-            raise ValueError("refresh_period must be positive")
+            raise ValidationError("refresh_period must be positive")
         self.refresh_period = refresh_period
         self._next_checkpoint: float | None = None
 
     def on_start(self, now: float) -> None:
+        """Enable power-off everywhere and pin the whole item set."""
         context = self._require_context()
         for enclosure in context.enclosures:
             enclosure.enable_power_off(now)
@@ -55,10 +57,12 @@ class CacheOnlyPolicy(PowerPolicy):
         context.controller.select_write_delay(now, items)
 
     def next_checkpoint(self) -> float | None:
+        """Time of the next periodic cache refresh."""
         return self._next_checkpoint
 
     def on_checkpoint(self, now: float) -> None:
         # Re-sweep the item set (new items may have appeared); this is
         # cache housekeeping, not a placement determination.
+        """Refresh the pinned item selection for the next period."""
         self._select_everything(now)
         self._next_checkpoint = now + self.refresh_period

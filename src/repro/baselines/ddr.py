@@ -23,6 +23,7 @@ gigabytes (see EXPERIMENTS.md, "Substitutions").
 
 from __future__ import annotations
 
+from repro.errors import ValidationError
 from repro.baselines.base import PowerPolicy
 from repro.trace.records import LogicalIORecord
 
@@ -40,7 +41,7 @@ class DDRPolicy(PowerPolicy):
     ) -> None:
         super().__init__()
         if iops_smoothing_seconds <= 0:
-            raise ValueError("iops_smoothing_seconds must be positive")
+            raise ValidationError("iops_smoothing_seconds must be positive")
         self.monitoring_period = monitoring_period
         self.target_th = target_th
         self.iops_smoothing_seconds = iops_smoothing_seconds
@@ -52,11 +53,13 @@ class DDRPolicy(PowerPolicy):
 
     @property
     def low_th(self) -> float:
+        """Lower IOPS threshold (half the configured target)."""
         assert self.target_th is not None
         return self.target_th / 2.0
 
     # ------------------------------------------------------------------
     def on_start(self, now: float) -> None:
+        """Read DDR thresholds from the config and start the first window."""
         context = self._require_context()
         if self.monitoring_period is None:
             self.monitoring_period = context.config.ddr_monitoring_period
@@ -72,9 +75,11 @@ class DDRPolicy(PowerPolicy):
             enclosure.disable_power_off(now)
 
     def next_checkpoint(self) -> float | None:
+        """Time of the next DDR monitoring checkpoint."""
         return self._next_checkpoint
 
     def on_checkpoint(self, now: float) -> None:
+        """Rebalance data across gears from the window's IOPS profile."""
         context = self._require_context()
         window = now - self._window_start
         assert self.monitoring_period is not None

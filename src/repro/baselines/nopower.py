@@ -18,12 +18,15 @@ class NoPowerSavingPolicy(PowerPolicy):
     name = "no-power-saving"
 
     def on_start(self, now: float) -> None:
+        """Disable power-off on every enclosure (always-on baseline)."""
         context = self._require_context()
         for enclosure in context.enclosures:
             enclosure.disable_power_off(now)
 
     def next_checkpoint(self) -> float | None:
+        """Always ``None``: this baseline has no checkpoints."""
         return None
 
     def on_checkpoint(self, now: float) -> None:  # pragma: no cover
+        """Never called; the policy schedules no checkpoints."""
         raise AssertionError("no-power-saving policy has no checkpoints")

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.errors import ValidationError
 from repro.baselines.base import PowerPolicy
 from repro.storage.migration import PlacementPlan
 from repro.trace.records import LogicalIORecord
@@ -42,7 +43,7 @@ class PDCPolicy(PowerPolicy):
         PDC packs by predicted load, not by bytes alone."""
         super().__init__()
         if not 0 < load_fill_fraction <= 1:
-            raise ValueError("load_fill_fraction must be in (0, 1]")
+            raise ValidationError("load_fill_fraction must be in (0, 1]")
         self.monitoring_period = monitoring_period
         self.load_fill_fraction = load_fill_fraction
         self._next_checkpoint: float | None = None
@@ -51,6 +52,7 @@ class PDCPolicy(PowerPolicy):
 
     # ------------------------------------------------------------------
     def on_start(self, now: float) -> None:
+        """Read the PDC monitoring period and start the first window."""
         context = self._require_context()
         if self.monitoring_period is None:
             self.monitoring_period = context.config.pdc_monitoring_period
@@ -61,12 +63,15 @@ class PDCPolicy(PowerPolicy):
             enclosure.enable_power_off(now)
 
     def next_checkpoint(self) -> float | None:
+        """Time of the next PDC migration checkpoint."""
         return self._next_checkpoint
 
     def after_io(self, record: LogicalIORecord, response_time: float) -> None:
+        """Count item popularity for the current window."""
         self._popularity[record.item_id] += 1
 
     def on_checkpoint(self, now: float) -> None:
+        """Re-rank items by popularity and migrate across the array."""
         context = self._require_context()
         virt = context.virtualization
         config = context.config

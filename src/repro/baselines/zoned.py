@@ -120,6 +120,7 @@ class ZonedPolicy(PowerPolicy):
 
     # ------------------------------------------------------------------
     def bind(self, context: SimulationContext) -> None:
+        """Bind each zone's inner policy to a zone-scoped sub-context."""
         super().bind(context)
         names = set(context.virtualization.enclosure_names)
         for zone in self.zones:
@@ -173,6 +174,7 @@ class ZonedPolicy(PowerPolicy):
     # PowerPolicy interface: fan out to the zones
     # ------------------------------------------------------------------
     def on_start(self, now: float) -> None:
+        """Start every zone policy and fan monitoring out per zone."""
         context = self._require_context()
         # Physical records fan out to each zone's storage monitor.
         inner_tap = context.storage_monitor.on_physical
@@ -190,6 +192,7 @@ class ZonedPolicy(PowerPolicy):
             zone.policy.context.app_monitor.begin_window(now)
 
     def next_checkpoint(self) -> float | None:
+        """Earliest checkpoint requested by any zone policy."""
         times = [
             zone.policy.next_checkpoint()
             for zone in self.zones
@@ -198,6 +201,7 @@ class ZonedPolicy(PowerPolicy):
         return min(times) if times else None
 
     def on_checkpoint(self, now: float) -> None:
+        """Run checkpoints for each zone whose deadline has passed."""
         for zone in self.zones:
             checkpoint = zone.policy.next_checkpoint()
             if checkpoint is not None and checkpoint <= now:
@@ -207,6 +211,7 @@ class ZonedPolicy(PowerPolicy):
         )
 
     def after_io(self, record: LogicalIORecord, response_time: float) -> None:
+        """Route the I/O record to the owning zone's policy."""
         zone = self._zone_of(record.item_id)
         if zone is None:
             return
@@ -217,5 +222,6 @@ class ZonedPolicy(PowerPolicy):
         )
 
     def on_end(self, now: float) -> None:
+        """Finish every zone policy."""
         for zone in self.zones:
             zone.policy.on_end(now)

@@ -4,18 +4,21 @@ Subcommands::
 
     ecostor figures [--full] [--only fig06|fs|tpcc|tpch|intervals|tables]
     ecostor ablations [--full]
-    ecostor run WORKLOAD POLICY [--full]
+    ecostor run WORKLOAD POLICY [--full] [--audit]
     ecostor patterns WORKLOAD [--full]
     ecostor ssd-study / ecostor scaling-study
     ecostor export-trace WORKLOAD PATH [--full]
     ecostor replay-trace PATH POLICY [--enclosures N] [--msr]
     ecostor intervals WORKLOAD POLICY [--full]
+    ecostor lint [PATHS ...] [--format text|json] [--select RULE ...]
 
 ``figures`` regenerates every paper table/figure as text; ``run``
-replays one workload under one policy; ``export-trace`` /
-``replay-trace`` round-trip logical traces through CSV (or ingest real
-MSR-Cambridge block traces with ``--msr``); ``intervals`` draws a
-Fig 17-19 curve in the terminal.
+replays one workload under one policy (``--audit`` verifies the energy
+/ capacity / time invariants every monitoring period); ``export-trace``
+/ ``replay-trace`` round-trip logical traces through CSV (or ingest
+real MSR-Cambridge block traces with ``--msr``); ``intervals`` draws a
+Fig 17-19 curve in the terminal; ``lint`` runs the
+:mod:`repro.devtools` domain linter.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import units
 from repro.analysis.report import gigabytes, seconds, watts
 from repro.experiments.runner import STANDARD_POLICIES, run_cell
 from repro.experiments.testbed import WORKLOAD_NAMES, build_workload
@@ -65,7 +69,7 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = build_workload(args.workload, args.full)
     policy = STANDARD_POLICIES[args.policy]()
-    result = run_cell(workload, policy)
+    result = run_cell(workload, policy, audit=args.audit)
     print(f"workload:        {workload.name} ({workload.io_count} I/Os)")
     print(f"policy:          {result.policy_name}")
     print(f"enclosure power: {watts(result.enclosure_watts)}")
@@ -76,7 +80,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"determinations:  {result.determinations}")
     print(f"spin-ups:        {result.replay.spin_up_count}")
     print(f"cache hit ratio: {result.replay.cache_hit_ratio:.2f}")
+    if args.audit:
+        print(
+            f"audit:           {result.audit_checks} invariant checks, "
+            "0 violations"
+        )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import lint
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", *args.select]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint.main(argv)
 
 
 def _cmd_patterns(args: argparse.Namespace) -> int:
@@ -162,7 +184,7 @@ def _cmd_analyze_trace(args: argparse.Namespace) -> int:
     print(f"duration:     {summary.duration:,.1f} s")
     print(f"read ratio:   {summary.read_ratio:.2f}")
     print(f"mean IOPS:    {summary.mean_iops:.3f}")
-    print(f"total bytes:  {summary.total_bytes / 2**30:.2f} GB")
+    print(f"total bytes:  {summary.total_bytes / units.GB:.2f} GB")
     sizes = {item.item_id: item.size_bytes for item in workload.items}
     locations = {item.item_id: "e0" for item in workload.items}
     mix = pattern_fractions(
@@ -217,6 +239,7 @@ def _cmd_power_timeline(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``ecostor`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="ecostor",
         description=(
@@ -243,7 +266,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload", choices=WORKLOAD_NAMES)
     run.add_argument("policy", choices=sorted(STANDARD_POLICIES))
     run.add_argument("--full", action="store_true")
+    run.add_argument(
+        "--audit",
+        action="store_true",
+        help="verify energy/capacity/time invariants every monitoring period",
+    )
     run.set_defaults(func=_cmd_run)
+
+    lint = sub.add_parser(
+        "lint", help="run the domain linter (repro.devtools)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", nargs="+", metavar="RULE")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
 
     patterns = sub.add_parser("patterns", help="classify a workload (Fig 6)")
     patterns.add_argument("workload", choices=WORKLOAD_NAMES)
@@ -314,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``ecostor`` command line interface."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro.errors import ValidationError
 from repro.core.patterns import IOPattern, ItemProfile
 
 
@@ -39,7 +40,7 @@ def select_write_delay_items(
     period.
     """
     if cache_bytes < 0:
-        raise ValueError("cache_bytes must be non-negative")
+        raise ValidationError("cache_bytes must be non-negative")
     cold = set(cold_enclosures)
     selected: set[str] = set()
     budget = cache_bytes
@@ -92,7 +93,7 @@ def select_preload_items(
     Returns the selection in ranking order.
     """
     if cache_bytes < 0:
-        raise ValueError("cache_bytes must be non-negative")
+        raise ValidationError("cache_bytes must be non-negative")
     cold = set(cold_enclosures)
     pinned = already_pinned or set()
     # Already-pinned items stay candidates while P0 too: a pinned item

@@ -18,6 +18,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.errors import ValidationError
 from repro.core.patterns import IOPattern, ItemProfile
 
 
@@ -31,9 +32,11 @@ class HotColdSplit:
     n_hot: int
 
     def is_hot(self, enclosure: str) -> bool:
+        """Whether the enclosure is in the hot (always-on) tier."""
         return enclosure in self.hot
 
     def is_cold(self, enclosure: str) -> bool:
+        """Whether the enclosure is in the cold (power-managed) tier."""
         return enclosure in self.cold
 
 
@@ -52,9 +55,9 @@ def p3_peak_aggregate_iops(
     inflate ``N_hot`` and churn the hot set window over window.
     """
     if bucket_seconds <= 0:
-        raise ValueError("bucket_seconds must be positive")
+        raise ValidationError("bucket_seconds must be positive")
     if not 0 < percentile <= 100:
-        raise ValueError("percentile must be in (0, 100]")
+        raise ValidationError("percentile must be in (0, 100]")
     totals: defaultdict[int, int] = defaultdict(int)
     for profile in profiles.values():
         if profile.pattern is not IOPattern.P3:
@@ -76,9 +79,9 @@ def required_hot_count(
 ) -> tuple[int, float]:
     """``(N_hot, I_max)`` per the paper's Step 1 and Step 2."""
     if max_enclosure_iops <= 0:
-        raise ValueError("max_enclosure_iops must be positive")
+        raise ValidationError("max_enclosure_iops must be positive")
     if enclosure_size_bytes <= 0:
-        raise ValueError("enclosure_size_bytes must be positive")
+        raise ValidationError("enclosure_size_bytes must be positive")
     i_max = p3_peak_aggregate_iops(profiles, bucket_seconds)
     p3_bytes = sum(
         p.size_bytes
@@ -112,9 +115,9 @@ def choose_hot_cold(
     power-off enablement of the cold enclosures.
     """
     if n_hot < 0:
-        raise ValueError("n_hot must be non-negative")
+        raise ValidationError("n_hot must be non-negative")
     if stickiness < 1.0:
-        raise ValueError("stickiness must be >= 1")
+        raise ValidationError("stickiness must be >= 1")
     preferred = preferred_hot or set()
     p3_bytes: defaultdict[str, float] = defaultdict(float)
     for profile in profiles.values():

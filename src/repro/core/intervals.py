@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.errors import ValidationError
 from repro.trace.records import LogicalIORecord
 
 
@@ -32,10 +33,11 @@ class Interval:
 
     def __post_init__(self) -> None:
         if self.end < self.start:
-            raise ValueError(f"interval end {self.end} before start {self.start}")
+            raise ValidationError(f"interval end {self.end} before start {self.start}")
 
     @property
     def length(self) -> float:
+        """Interval length in seconds."""
         return self.end - self.start
 
 
@@ -50,18 +52,20 @@ class IOSequence:
 
     def __post_init__(self) -> None:
         if self.end < self.start:
-            raise ValueError(f"sequence end {self.end} before start {self.start}")
+            raise ValidationError(f"sequence end {self.end} before start {self.start}")
         if self.read_count < 0 or self.write_count < 0:
-            raise ValueError("counts must be non-negative")
+            raise ValidationError("counts must be non-negative")
         if self.read_count + self.write_count == 0:
-            raise ValueError("an I/O sequence must contain at least one I/O")
+            raise ValidationError("an I/O sequence must contain at least one I/O")
 
     @property
     def io_count(self) -> int:
+        """Number of I/Os in this access sequence."""
         return self.read_count + self.write_count
 
     @property
     def duration(self) -> float:
+        """Wall-clock span of the analysed window, in seconds."""
         return self.end - self.start
 
 
@@ -77,22 +81,27 @@ class ItemActivity:
 
     @property
     def io_count(self) -> int:
+        """Total number of I/Os across all sequences."""
         return sum(seq.io_count for seq in self.sequences)
 
     @property
     def read_count(self) -> int:
+        """Total read count across all sequences."""
         return sum(seq.read_count for seq in self.sequences)
 
     @property
     def write_count(self) -> int:
+        """Total write count across all sequences."""
         return sum(seq.write_count for seq in self.sequences)
 
     @property
     def has_long_interval(self) -> bool:
+        """Whether any interval exceeds the break-even time."""
         return bool(self.long_intervals)
 
     @property
     def total_long_interval_length(self) -> float:
+        """Summed length of all long intervals, in seconds."""
         return sum(interval.length for interval in self.long_intervals)
 
 
@@ -110,11 +119,11 @@ def extract_activity(
     qualifies iff it is *strictly longer* than the break-even time.
     """
     if window_end < window_start:
-        raise ValueError(
+        raise ValidationError(
             f"window end {window_end} before start {window_start}"
         )
     if break_even_time <= 0:
-        raise ValueError("break_even_time must be positive")
+        raise ValidationError("break_even_time must be positive")
 
     long_intervals: list[Interval] = []
     sequences: list[IOSequence] = []
@@ -153,7 +162,7 @@ def extract_activity(
     last_time = window_start
     for timestamp, is_read in events:
         if timestamp < last_time:
-            raise ValueError(
+            raise ValidationError(
                 f"events of item {item_id!r} are not time-ordered: "
                 f"{timestamp} after {last_time}"
             )

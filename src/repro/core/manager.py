@@ -96,6 +96,7 @@ class EnergyEfficientPolicy(PowerPolicy):
     # PowerPolicy interface
     # ------------------------------------------------------------------
     def on_start(self, now: float) -> None:
+        """Initialise the monitoring period and pattern-change triggers."""
         context = self._require_context()
         self._period = context.config.initial_monitoring_period
         self._next_checkpoint = now + self._period
@@ -107,12 +108,15 @@ class EnergyEfficientPolicy(PowerPolicy):
             enclosure.disable_power_off(now)
 
     def next_checkpoint(self) -> float | None:
+        """Time of the next periodic management checkpoint."""
         return self._next_checkpoint
 
     def on_checkpoint(self, now: float) -> None:
+        """Run one management cycle (analysis plus determination)."""
         self._run_management(now, triggered=False)
 
     def after_io(self, record: LogicalIORecord, response_time: float) -> None:
+        """Check pattern-change triggers against the finished I/O."""
         if not self.enable_triggers or self._split is None:
             return
         now = record.timestamp

@@ -25,6 +25,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro.errors import ValidationError
 from repro.core.intervals import ItemActivity, extract_activity
 from repro.trace.records import LogicalIORecord
 
@@ -80,6 +81,7 @@ class ItemProfile:
 
     @property
     def io_count(self) -> int:
+        """Number of I/Os in the profile (reads plus writes)."""
         return self.read_count + self.write_count
 
     @property
@@ -112,9 +114,9 @@ def build_profiles(
     the paper's Step 1 explicitly marks them.
     """
     if window_end <= window_start:
-        raise ValueError("window must have positive length")
+        raise ValidationError("window must have positive length")
     if iops_bucket_seconds <= 0:
-        raise ValueError("iops_bucket_seconds must be positive")
+        raise ValidationError("iops_bucket_seconds must be positive")
 
     window = window_end - window_start
     bucket_count = max(1, math.ceil(window / iops_bucket_seconds))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from repro.errors import ValidationError
 from repro.core.patterns import ItemProfile
 
 
@@ -33,13 +34,13 @@ def next_monitoring_period(
     avoid) downward.
     """
     if alpha <= 1.0:
-        raise ValueError("alpha must be > 1")
+        raise ValidationError("alpha must be > 1")
     if current_period <= 0:
-        raise ValueError("current_period must be positive")
+        raise ValidationError("current_period must be positive")
     if max_period <= 0:
-        raise ValueError("max_period must be positive")
+        raise ValidationError("max_period must be positive")
     if min_period < 0 or min_period > max_period:
-        raise ValueError("need 0 <= min_period <= max_period")
+        raise ValidationError("need 0 <= min_period <= max_period")
     lengths = list(long_interval_lengths)
     if not lengths:
         return max(min_period, min(current_period, max_period))

@@ -22,7 +22,7 @@ from typing import Mapping, Sequence
 
 from repro.core.hotcold import HotColdSplit, choose_hot_cold, required_hot_count
 from repro.core.patterns import IOPattern, ItemProfile
-from repro.errors import PlacementError
+from repro.errors import PlacementError, ValidationError
 from repro.storage.migration import PlacementPlan
 
 
@@ -65,7 +65,7 @@ class EnclosureLedger:
         bucket_seconds: float,
     ) -> None:
         if bucket_seconds <= 0:
-            raise ValueError("bucket_seconds must be positive")
+            raise ValidationError("bucket_seconds must be positive")
         self.bucket_seconds = bucket_seconds
         bucket_len = max(
             (len(p.bucket_counts) for p in profiles.values()), default=1
@@ -95,23 +95,29 @@ class EnclosureLedger:
             state.bucket_counts[index] -= count
 
     def move(self, item_id: str, target: str) -> None:
+        """Reassign an item to another enclosure, updating both tallies."""
         profile = self._profiles[item_id]
         self._unplace(profile)
         self._place(profile, target)
 
     def location(self, item_id: str) -> str:
+        """Enclosure currently holding the item."""
         return self._location[item_id]
 
     def used_bytes(self, enclosure: str) -> int:
+        """Bytes of item data placed on the enclosure."""
         return self._states[enclosure].used_bytes
 
     def mean_iops(self, enclosure: str) -> float:
+        """Mean IOPS aggregated over items placed on the enclosure."""
         return self._states[enclosure].mean_iops
 
     def peak_iops(self, enclosure: str) -> float:
+        """Peak bucketed IOPS among items placed on the enclosure."""
         return self._states[enclosure].peak_iops(self.bucket_seconds)
 
     def items_on(self, enclosure: str) -> list[str]:
+        """Sorted ids of the items placed on the enclosure."""
         return sorted(
             item for item, loc in self._location.items() if loc == enclosure
         )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.errors import ValidationError
 from repro.monitoring.storage import StorageMonitor
 
 
@@ -33,7 +34,7 @@ class PatternChangeTriggers:
 
     def __init__(self, break_even_time: float) -> None:
         if break_even_time <= 0:
-            raise ValueError("break_even_time must be positive")
+            raise ValidationError("break_even_time must be positive")
         self.break_even_time = break_even_time
         self._period_end = 0.0
 

@@ -1,0 +1,223 @@
+"""Runtime invariant auditor for simulation runs.
+
+The energy numbers the experiments report are integrals accumulated over
+hundreds of thousands of events; a single accounting slip (a state
+interval charged twice, a capacity counter that drifts) corrupts them
+*silently*.  :class:`InvariantAuditor` is the opt-in defence: the trace
+replayer calls :meth:`InvariantAuditor.check` at every policy monitoring
+period and once at the end of the run, and the auditor re-derives the
+books from first principles:
+
+* **Energy conservation** — each enclosure's per-state joules must equal
+  ``watts(state) × time_in_state(state)``, per-state times must sum to
+  the settled clock, and the :class:`~repro.storage.meter.PowerMeter`
+  reading must equal the independent per-enclosure/controller
+  recomputation.
+* **Capacity accounting** — cache partitions within their byte budgets,
+  and every enclosure's used-byte counter equal to the sum of the item
+  sizes placed on it (and within declared capacity).
+* **Monotonic time** — audit time, and every enclosure's settled clock,
+  never move backwards.
+
+Any violation raises :class:`~repro.errors.AuditError` whose message
+embeds a dump of the violating state.  Overhead is one settle + O(items)
+bookkeeping pass per monitoring period — negligible next to replay
+itself (see ``docs/devtools.md``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AuditError
+from repro.simulation import SimulationContext
+from repro.storage.cache import PAGE_BYTES
+from repro.storage.power import PowerState
+from repro.units import format_bytes
+
+__all__ = ["InvariantAuditor"]
+
+
+class InvariantAuditor:
+    """Checks simulation invariants each monitoring period.
+
+    Parameters
+    ----------
+    context:
+        The wired-up simulation under test.
+    rel_tol / abs_tol:
+        Tolerances for energy comparisons.  Energy is accumulated by
+        summation over many intervals, so exact equality is not expected;
+        the defaults allow normal float round-off while catching any
+        real accounting error (which shows up in whole joules).
+    """
+
+    def __init__(
+        self,
+        context: SimulationContext,
+        rel_tol: float = 1e-9,
+        abs_tol: float = 1e-6,
+    ) -> None:
+        self.context = context
+        self.rel_tol = rel_tol
+        self.abs_tol = abs_tol
+        self.checks_run = 0
+        self._last_now = 0.0
+        self._last_clock: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def check(self, now: float) -> None:
+        """Audit every invariant at virtual time ``now``.
+
+        Raises :class:`AuditError` listing all violations found, with a
+        state dump appended.  Settles enclosure timelines to ``now`` (a
+        no-op for enclosures already past it).
+        """
+        problems: list[str] = []
+        self._check_monotonic_time(now, problems)
+        self._check_energy_conservation(now, problems)
+        self._check_capacity(problems)
+        self.checks_run += 1
+        self._last_now = max(self._last_now, now)
+        for enclosure in self.context.enclosures:
+            self._last_clock[enclosure.name] = enclosure.clock
+        if problems:
+            details = "\n".join(f"  - {p}" for p in problems)
+            raise AuditError(
+                f"{len(problems)} invariant violation(s) at t={now:.3f}s:\n"
+                f"{details}\n{self.snapshot(now)}"
+            )
+
+    def snapshot(self, now: float) -> str:
+        """Dump of the audited state, embedded in audit failures."""
+        ctx = self.context
+        lines = [f"state dump at t={now:.3f}s:"]
+        for enc in ctx.enclosures:
+            lines.append(
+                f"  {enc.name}: state={enc.state.value} "
+                f"clock={enc.clock:.3f}s energy={enc.energy_joules():.3f}J "
+                f"ios={enc.io_count} spin-ups={enc.spin_up_count}"
+            )
+        cache = ctx.cache
+        lines.append(
+            "  cache: "
+            f"preload {format_bytes(cache.preload.used_bytes)}/"
+            f"{format_bytes(cache.preload.capacity_bytes)}, "
+            f"write-delay {cache.write_delay.dirty_pages}/"
+            f"{cache.write_delay.capacity_pages} pages dirty, "
+            f"lru {len(cache.lru)}/{cache.lru.capacity_pages} pages"
+        )
+        for name in ctx.virtualization.enclosure_names:
+            used = ctx.virtualization.used_bytes(name)
+            lines.append(f"  placement {name}: used {format_bytes(used)}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # individual invariants
+    # ------------------------------------------------------------------
+    def _close(self, a: float, b: float) -> bool:
+        return math.isclose(a, b, rel_tol=self.rel_tol, abs_tol=self.abs_tol)
+
+    def _check_monotonic_time(self, now: float, problems: list[str]) -> None:
+        if now < self._last_now - self.abs_tol:
+            problems.append(
+                f"audit time moved backwards: {now:.6f}s after "
+                f"{self._last_now:.6f}s"
+            )
+        for enc in self.context.enclosures:
+            previous = self._last_clock.get(enc.name)
+            if previous is not None and enc.clock < previous - self.abs_tol:
+                problems.append(
+                    f"{enc.name}: settled clock moved backwards "
+                    f"({enc.clock:.6f}s after {previous:.6f}s)"
+                )
+
+    def _check_energy_conservation(
+        self, now: float, problems: list[str]
+    ) -> None:
+        ctx = self.context
+        expected_total = 0.0
+        for enc in ctx.enclosures:
+            enc.settle(now)
+            state_sum = 0.0
+            for state in PowerState:
+                joules = enc.energy_joules(state)
+                seconds = enc.time_in_state(state)
+                recomputed = enc.power_model.watts(state) * seconds
+                state_sum += joules
+                if joules < -self.abs_tol or seconds < -self.abs_tol:
+                    problems.append(
+                        f"{enc.name}: negative accounting in {state.value} "
+                        f"({joules:.6f}J over {seconds:.6f}s)"
+                    )
+                elif not self._close(joules, recomputed):
+                    problems.append(
+                        f"{enc.name}: {state.value} energy {joules:.6f}J "
+                        f"!= watts x time = {recomputed:.6f}J"
+                    )
+            occupancy = sum(enc.time_in_state(s) for s in PowerState)
+            if not self._close(occupancy, enc.clock):
+                problems.append(
+                    f"{enc.name}: state occupancies sum to {occupancy:.6f}s "
+                    f"but clock is {enc.clock:.6f}s"
+                )
+            expected_total += enc.energy_joules()
+        if now <= 0:
+            return
+        reading = ctx.meter.read(now, ctx.controller)
+        if not self._close(reading.enclosure_joules, expected_total):
+            problems.append(
+                "power meter disagrees with per-enclosure energy: metered "
+                f"{reading.enclosure_joules:.6f}J, "
+                f"summed {expected_total:.6f}J"
+            )
+        model = ctx.meter.controller_model
+        recomputed = model.energy(now, ctx.controller.logical_io_count)
+        if not self._close(reading.controller_joules, recomputed):
+            problems.append(
+                "power meter disagrees with controller model: metered "
+                f"{reading.controller_joules:.6f}J, "
+                f"recomputed {recomputed:.6f}J"
+            )
+
+    def _check_capacity(self, problems: list[str]) -> None:
+        ctx = self.context
+        preload = ctx.cache.preload
+        if not 0 <= preload.used_bytes <= preload.capacity_bytes:
+            problems.append(
+                f"preload partition out of budget: used {preload.used_bytes} "
+                f"of {preload.capacity_bytes} bytes"
+            )
+        delay = ctx.cache.write_delay
+        if delay.dirty_pages < 0 or (
+            delay.capacity_pages and delay.dirty_pages > delay.capacity_pages
+        ):
+            problems.append(
+                f"write-delay partition overflow: {delay.dirty_pages} dirty "
+                f"pages of {delay.capacity_pages} "
+                f"({PAGE_BYTES} bytes per page)"
+            )
+        lru = ctx.cache.lru
+        if lru.capacity_pages and len(lru) > lru.capacity_pages:
+            problems.append(
+                f"LRU cache overflow: {len(lru)} pages of {lru.capacity_pages}"
+            )
+        virt = ctx.virtualization
+        for name in virt.enclosure_names:
+            used = virt.used_bytes(name)
+            recomputed = sum(
+                virt.item_size(item) for item in virt.items_on(name)
+            )
+            if used != recomputed:
+                problems.append(
+                    f"placement accounting drift on {name}: counter says "
+                    f"{used} bytes, items sum to {recomputed} bytes"
+                )
+            capacity = virt.enclosure(name).capacity_bytes
+            if used < 0 or (capacity and used > capacity):
+                problems.append(
+                    f"enclosure {name} over capacity: {used} of "
+                    f"{capacity} bytes"
+                )

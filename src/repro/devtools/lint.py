@@ -1,0 +1,230 @@
+"""Lint engine: file discovery, suppression comments, reporters, CLI.
+
+Run over a tree or single files::
+
+    python -m repro.devtools.lint src
+    ecostor lint src --format json
+    ecostor lint src/repro/storage --select R1 R4
+
+Exit status is 0 when clean, 1 when violations were found, 2 on usage
+errors (unknown rule, unreadable path).  A violation is silenced by a
+trailing comment on its line::
+
+    watts = joules / 3600.0  # lint: ignore[R2]
+    watts = joules / 3600.0  # lint: ignore          (all rules)
+
+Suppressions accept rule ids (``R2``) and names (``magic-number``).
+Files that fail to parse are reported under the pseudo-rule ``E0``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ValidationError
+from repro.devtools.rules import RULES, LintContext, Rule, Violation, resolve_rules
+
+__all__ = ["LintReport", "lint_file", "lint_paths", "main"]
+
+_SUPPRESSION = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
+)
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: tuple[Violation, ...]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        """Whether no violations survived suppression filtering."""
+        return not self.violations
+
+    def render_text(self) -> str:
+        """The default human-readable report."""
+        lines = [v.render() for v in self.violations]
+        noun = "file" if self.files_checked == 1 else "files"
+        if self.violations:
+            count = len(self.violations)
+            vnoun = "violation" if count == 1 else "violations"
+            lines.append(
+                f"{count} {vnoun} in {self.files_checked} {noun} checked"
+            )
+        else:
+            lines.append(f"clean: {self.files_checked} {noun} checked")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Machine-readable report for editor/CI integration."""
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "violations": [
+                    {
+                        "rule_id": v.rule_id,
+                        "rule_name": v.rule_name,
+                        "path": v.path,
+                        "line": v.line,
+                        "col": v.col,
+                        "message": v.message,
+                    }
+                    for v in self.violations
+                ],
+            },
+            indent=2,
+        )
+
+
+def _suppressions(source: str) -> dict[int, set[str] | None]:
+    """Map line number → suppressed rule keys (``None`` = all rules)."""
+    table: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION.search(line)
+        if match is None:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            table[lineno] = None
+        else:
+            table[lineno] = {
+                part.strip().lower() for part in spec.split(",") if part.strip()
+            }
+    return table
+
+
+def _is_suppressed(
+    violation: Violation, table: dict[int, set[str] | None]
+) -> bool:
+    if violation.line not in table:
+        return False
+    rules = table[violation.line]
+    if rules is None:
+        return True
+    return violation.rule_id.lower() in rules or violation.rule_name in rules
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    yield sub
+        elif path.is_file():
+            yield path
+        else:
+            raise ValidationError(f"no such file or directory: {path}")
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Violation]:
+    """Lint one file; returns surviving violations sorted by location."""
+    chosen = list(rules) if rules is not None else list(RULES.values())
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id="E0",
+                rule_name="parse-error",
+                path=str(path),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path=str(path), source=source, tree=tree)
+    table = _suppressions(source)
+    found: list[Violation] = []
+    for rule in chosen:
+        for violation in rule.check(ctx):
+            if not _is_suppressed(violation, table):
+                found.append(violation)
+    found.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return found
+
+
+def lint_paths(
+    paths: Iterable[str | Path], select: Iterable[str] | None = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the selected rules."""
+    rules = resolve_rules(list(select) if select else None)
+    violations: list[Violation] = []
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        violations.extend(lint_file(path, rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return LintReport(violations=tuple(violations), files_checked=files)
+
+
+def _list_rules() -> str:
+    width = max(len(rule.name) for rule in RULES.values())
+    return "\n".join(
+        f"{rule.rule_id}  {rule.name:<{width}}  {rule.summary}"
+        for rule in RULES.values()
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``lint`` entry points."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Domain linter for the repro codebase (stdlib-only).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RULE",
+        help="run only these rules (ids or names)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        report = lint_paths(args.paths, select=args.select)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = (
+        report.render_json() if args.format == "json" else report.render_text()
+    )
+    print(output)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -12,6 +12,24 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class ValidationError(ReproError, ValueError):
+    """An argument value is out of range or otherwise invalid.
+
+    Derives from :class:`ValueError` so callers that guard individual
+    calls with ``except ValueError`` keep working, while package-wide
+    ``except ReproError`` handlers see it too.
+    """
+
+
+class UsageError(ReproError, RuntimeError):
+    """An object was driven outside its documented protocol.
+
+    Examples: reading a measurement that was never enabled, or running a
+    policy that was never bound to a simulation context.  Derives from
+    :class:`RuntimeError` for backwards compatibility.
+    """
+
+
 class ConfigurationError(ReproError):
     """A configuration value is invalid or inconsistent."""
 
@@ -46,3 +64,13 @@ class PlacementError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was given unsatisfiable parameters."""
+
+
+class AuditError(ReproError):
+    """A runtime invariant of the simulation was violated.
+
+    Raised by :class:`repro.devtools.audit.InvariantAuditor` when energy
+    accounting, capacity accounting, or time monotonicity breaks.  The
+    message carries a dump of the violating state so the failure is
+    diagnosable without re-running under a debugger.
+    """

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.errors import ValidationError
 from repro.analysis.report import PaperRow, render_table, seconds, watts
 from repro.config import DEFAULT_CONFIG
 from repro.core.manager import EnergyEfficientPolicy
@@ -37,7 +38,7 @@ def run_ablation(
 ) -> ExperimentResult:
     """One ablated run (memoized; smoke-sized workloads by default)."""
     if ablation not in ABLATIONS:
-        raise ValueError(
+        raise ValidationError(
             f"unknown ablation {ablation!r}; choose from {sorted(ABLATIONS)}"
         )
     workload = build_workload(workload_name, full)
@@ -46,6 +47,7 @@ def run_ablation(
 
 
 def rows_for(workload_name: str, full: bool = False) -> list[PaperRow]:
+    """Ablation table rows for one workload."""
     reference = run_ablation(workload_name, "full", full)
     rows = [
         PaperRow(
@@ -75,6 +77,7 @@ def rows_for(workload_name: str, full: bool = False) -> list[PaperRow]:
 
 
 def run(full: bool = False) -> str:
+    """Render the ablation tables for all three workloads."""
     sections = []
     for name in ("fileserver", "tpcc", "tpch"):
         sections.append(

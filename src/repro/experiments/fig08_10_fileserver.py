@@ -23,6 +23,7 @@ WORKLOAD = "fileserver"
 
 
 def results(full: bool = True) -> dict[str, ExperimentResult]:
+    """Run the File Server comparison across all policies."""
     return comparison(WORKLOAD, full)
 
 
@@ -43,6 +44,7 @@ def fig10_rows(full: bool = True) -> list[PaperRow]:
 
 
 def run(full: bool = True) -> str:
+    """Render the Fig 8-10 File Server tables."""
     return "\n\n".join(
         [
             render_table("Fig 8 — File Server power", fig8_rows(full)),

@@ -23,6 +23,7 @@ WORKLOAD = "tpcc"
 
 
 def results(full: bool = True) -> dict[str, ExperimentResult]:
+    """Run the TPC-C comparison across all policies."""
     return comparison(WORKLOAD, full)
 
 
@@ -45,6 +46,7 @@ def measured_tpmc(full: bool = True) -> dict[str, float]:
 
 
 def fig12_rows(full: bool = True) -> list[PaperRow]:
+    """Fig 12 rows: measured tpmC throughput per policy."""
     tpmc = measured_tpmc(full)
     rows = []
     for policy in ("no-power-saving", "proposed", "pdc", "ddr"):
@@ -69,6 +71,7 @@ def fig13_rows(full: bool = True) -> list[PaperRow]:
 
 
 def run(full: bool = True) -> str:
+    """Render the Fig 11-13 TPC-C tables."""
     return "\n\n".join(
         [
             render_table("Fig 11 — TPC-C power", fig11_rows(full)),

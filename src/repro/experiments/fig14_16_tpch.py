@@ -27,6 +27,7 @@ WORKLOAD = "tpch"
 
 
 def results(full: bool = True) -> dict[str, ExperimentResult]:
+    """Run the TPC-H comparison across all policies."""
     return comparison(WORKLOAD, full)
 
 
@@ -54,6 +55,7 @@ def query_responses(
 
 
 def fig15_rows(full: bool = True) -> list[PaperRow]:
+    """Fig 15 rows: per-query response times per policy."""
     responses = query_responses(full)
     rows = []
     for query in FIG15_QUERIES:
@@ -87,6 +89,7 @@ def fig16_rows(full: bool = True) -> list[PaperRow]:
 
 
 def run(full: bool = True) -> str:
+    """Render the Fig 14-16 TPC-H tables."""
     return "\n\n".join(
         [
             render_table("Fig 14 — TPC-H power", fig14_rows(full)),

@@ -42,6 +42,7 @@ def total_lengths(
 
 
 def rows_for(workload_name: str, full: bool = True) -> list[PaperRow]:
+    """Cumulative long-interval rows for one workload's figure."""
     fig = FIGURE_BY_WORKLOAD[workload_name]
     totals = total_lengths(workload_name, full)
     rows = []
@@ -63,6 +64,7 @@ def rows_for(workload_name: str, full: bool = True) -> list[PaperRow]:
 
 
 def run(full: bool = True) -> str:
+    """Render the Fig 17-19 cumulative long-interval tables."""
     sections = []
     for name, fig in FIGURE_BY_WORKLOAD.items():
         sections.append(

@@ -59,6 +59,7 @@ def replicate(
 
 
 def rows(seeds: tuple[int, ...] = DEFAULT_SEEDS) -> list[PaperRow]:
+    """Replication rows: mean and spread over independent seeds."""
     out = []
     for name in _BUILDERS:
         mean, spread, values = replicate(name, seeds)
@@ -75,6 +76,7 @@ def rows(seeds: tuple[int, ...] = DEFAULT_SEEDS) -> list[PaperRow]:
 
 
 def run(seeds: tuple[int, ...] = DEFAULT_SEEDS) -> str:
+    """Render the multi-seed replication table."""
     return render_table(
         f"Replication study — {len(seeds)} independent seeds", rows(seeds)
     )

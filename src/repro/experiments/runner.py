@@ -50,21 +50,27 @@ class ExperimentResult:
     enclosure_watts: float
     #: Average power of the storage controller, in watts.
     controller_watts: float
+    #: Invariant-audit checks that ran (0 unless ``run_cell(audit=True)``).
+    audit_checks: int = 0
 
     @property
     def migrated_bytes(self) -> int:
+        """Bytes migrated between enclosures during the run."""
         return self.replay.migrated_bytes
 
     @property
     def determinations(self) -> int:
+        """Number of placement determinations the policy made."""
         return self.replay.determinations
 
     @property
     def mean_response(self) -> float:
+        """Mean response time across all I/Os, in seconds."""
         return self.replay.mean_response
 
     @property
     def mean_read_response(self) -> float:
+        """Mean response time of read I/Os, in seconds."""
         return self.replay.mean_read_response
 
 
@@ -72,11 +78,24 @@ def run_cell(
     workload: Workload,
     policy: PowerPolicy,
     config: EcoStorConfig = DEFAULT_CONFIG,
+    audit: bool = False,
 ) -> ExperimentResult:
-    """Replay one workload under one policy on a fresh testbed."""
+    """Replay one workload under one policy on a fresh testbed.
+
+    With ``audit=True`` an :class:`~repro.devtools.audit.InvariantAuditor`
+    rides along: every monitoring period the run's energy, capacity, and
+    time accounting is re-derived and any drift raises
+    :class:`~repro.errors.AuditError` instead of silently corrupting the
+    reported numbers.
+    """
     context = build_context(config, workload.enclosure_count)
     workload.install(context)
-    replayer = TraceReplayer(context, policy)
+    auditor = None
+    if audit:
+        from repro.devtools.audit import InvariantAuditor
+
+        auditor = InvariantAuditor(context)
+    replayer = TraceReplayer(context, policy, auditor=auditor)
     replay = replayer.run(workload.records, duration=workload.duration)
     curve = interval_curve(
         context.storage_monitor.all_intervals(), config.break_even_time
@@ -94,6 +113,7 @@ def run_cell(
         window_responses=windows,
         enclosure_watts=replay.power.enclosure_watts,
         controller_watts=replay.power.controller_watts,
+        audit_checks=auditor.checks_run if auditor is not None else 0,
     )
 
 

@@ -48,6 +48,7 @@ def sweep() -> dict[int, float]:
 
 
 def rows() -> list[PaperRow]:
+    """Scaling rows: power saving at each array size."""
     result = []
     for count in ENCLOSURE_SWEEP:
         base, ours = run_point(count)
@@ -64,4 +65,5 @@ def rows() -> list[PaperRow]:
 
 
 def run() -> str:
+    """Render the array-size scaling table."""
     return render_table("Scaling study — array size sweep (§IX)", rows())

@@ -80,6 +80,7 @@ def savings(results: dict[str, ExperimentResult]) -> dict[str, float]:
 
 
 def rows_for(workload_name: str = "fileserver", full: bool = False) -> list[PaperRow]:
+    """SSD-study rows comparing HDD and flash break-even."""
     results = run_study(workload_name, full)
     pct = savings(results)
     rows = []
@@ -100,6 +101,7 @@ def rows_for(workload_name: str = "fileserver", full: bool = False) -> list[Pape
 
 
 def run(workload_name: str = "fileserver", full: bool = False) -> str:
+    """Render the SSD-vs-HDD break-even study table."""
     return render_table(
         "SSD study — same method, flash break-even (§VIII-D)",
         rows_for(workload_name, full),

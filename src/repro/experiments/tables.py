@@ -118,6 +118,7 @@ def table2_rows(config: EcoStorConfig = PAPER_CONFIG) -> list[PaperRow]:
 
 
 def run(full: bool = True) -> str:
+    """Render Tables I-III (configuration and testbed parameters)."""
     scaled = DEFAULT_CONFIG
     return "\n\n".join(
         [

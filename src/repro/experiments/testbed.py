@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro import units
+from repro.errors import ValidationError
 from repro.config import DEFAULT_CONFIG, EcoStorConfig
 from repro.experiments.runner import ExperimentResult, run_comparison
 from repro.workloads import (
@@ -35,7 +37,7 @@ def build_workload(name: str, full: bool = True, seed: int = 0) -> Workload:
     experiment); other seeds give independent replicates.
     """
     if name == "fileserver":
-        kwargs = {} if full else {"duration": 3600.0}
+        kwargs = {} if full else {"duration": units.HOUR}
         return build_fileserver_workload(**kwargs, **_seed(1, seed))
     if name == "tpcc":
         kwargs = {} if full else {"duration": 2400.0}
@@ -47,7 +49,7 @@ def build_workload(name: str, full: bool = True, seed: int = 0) -> Workload:
             else {"duration": 5400.0, "queries": SMOKE_QUERIES}
         )
         return build_dss_workload(**kwargs, **_seed(3, seed))
-    raise ValueError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+    raise ValidationError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
 
 
 def _seed(default: int, seed: int) -> dict[str, int]:

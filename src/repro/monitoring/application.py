@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.errors import UsageError
 from repro.trace.records import LogicalIORecord
 
 
@@ -32,10 +33,12 @@ class ResponseStats:
 
     @property
     def mean_response(self) -> float:
+        """Mean response time across all I/Os, in seconds."""
         return self.response_sum / self.io_count if self.io_count else 0.0
 
     @property
     def mean_read_response(self) -> float:
+        """Mean response time of read I/Os, in seconds."""
         return self.read_response_sum / self.read_count if self.read_count else 0.0
 
 
@@ -82,12 +85,15 @@ class ApplicationMonitor:
         self._item_volume[item_id] = volume
 
     def unregister_item(self, item_id: str) -> None:
+        """Forget the item's volume mapping, if known."""
         self._item_volume.pop(item_id, None)
 
     def volume_of(self, item_id: str) -> str | None:
+        """Volume the item was registered on, or ``None``."""
         return self._item_volume.get(item_id)
 
     def known_items(self) -> set[str]:
+        """Ids of all items registered with the monitor."""
         return set(self._item_volume)
 
     # ------------------------------------------------------------------
@@ -114,6 +120,7 @@ class ApplicationMonitor:
 
     @property
     def window_start(self) -> float:
+        """Start time of the current monitoring window."""
         return self._window_start
 
     def window_records(self) -> list[LogicalIORecord]:
@@ -126,8 +133,9 @@ class ApplicationMonitor:
         self._window_start = now
 
     def full_trace(self) -> list[LogicalIORecord]:
+        """All retained logical records (requires retention enabled)."""
         if not self._keep_full_trace:
-            raise RuntimeError(
+            raise UsageError(
                 "full trace retention is disabled; construct with "
                 "keep_full_trace=True"
             )
@@ -137,6 +145,7 @@ class ApplicationMonitor:
     # measurements
     # ------------------------------------------------------------------
     def response_stats(self) -> ResponseStats:
+        """Snapshot of the response-time accumulators."""
         return ResponseStats(
             io_count=self.io_count,
             read_count=self.read_count,

@@ -15,6 +15,7 @@ import tempfile
 from pathlib import Path
 from typing import Generic, Iterator, TypeVar
 
+from repro.errors import ValidationError
 from repro.trace import reader as trace_reader
 from repro.trace import writer as trace_writer
 from repro.trace.records import LogicalIORecord, PhysicalIORecord
@@ -44,7 +45,7 @@ class TraceRepository(Generic[RecordT]):
         spill_dir: str | Path | None = None,
     ) -> None:
         if max_memory_records <= 0:
-            raise ValueError("max_memory_records must be positive")
+            raise ValidationError("max_memory_records must be positive")
         self.record_type = record_type
         self.max_memory_records = max_memory_records
         self._memory: list[RecordT] = []
@@ -56,11 +57,13 @@ class TraceRepository(Generic[RecordT]):
         return self._spilled_count + len(self._memory)
 
     def append(self, record: RecordT) -> None:
+        """Store one record, spilling to disk when memory fills up."""
         self._memory.append(record)
         if len(self._memory) >= self.max_memory_records:
             self._spill()
 
     def extend(self, records: list[RecordT]) -> None:
+        """Store each record in order via :meth:`append`."""
         for record in records:
             self.append(record)
 

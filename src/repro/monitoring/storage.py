@@ -30,6 +30,7 @@ class EnclosureWindowStats:
 
     @property
     def iops(self) -> float:
+        """Mean I/O rate over the window, in operations per second."""
         return self.io_count / self.window_seconds if self.window_seconds > 0 else 0.0
 
 
@@ -77,6 +78,7 @@ class StorageMonitor:
         self._last_io[name] = record.timestamp
 
     def begin_window(self, now: float) -> None:
+        """Reset per-window counters and mark the window start."""
         self._window_counts.clear()
         self._window_reads.clear()
         self._window_start = now
@@ -119,6 +121,7 @@ class StorageMonitor:
         return merged
 
     def last_io_time(self, enclosure: str) -> float | None:
+        """Timestamp of the enclosure's most recent I/O, if any."""
         return self._last_io.get(enclosure)
 
     # ------------------------------------------------------------------
@@ -147,6 +150,7 @@ class StorageMonitor:
         return samples
 
     def spin_up_count(self, enclosure: str) -> int:
+        """Number of spin-ups recorded for the enclosure."""
         return self.enclosures[enclosure].spin_up_count
 
     def spin_ups_since(self, enclosure: str, since: float) -> int:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
 from repro.storage.enclosure import DiskEnclosure
 from repro.trace.records import PowerSample
 
@@ -33,9 +34,9 @@ class PowerTimeline:
         self, enclosures: list[DiskEnclosure], interval_seconds: float = 60.0
     ) -> None:
         if interval_seconds <= 0:
-            raise ValueError("interval_seconds must be positive")
+            raise ValidationError("interval_seconds must be positive")
         if not enclosures:
-            raise ValueError("at least one enclosure is required")
+            raise ValidationError("at least one enclosure is required")
         self.enclosures = list(enclosures)
         self.interval_seconds = interval_seconds
         self.points: list[TimelinePoint] = []
@@ -47,9 +48,11 @@ class PowerTimeline:
 
     @property
     def next_sample_time(self) -> float:
+        """Time at which the next power sample is due."""
         return self._next_sample
 
     def sample_due(self, now: float) -> bool:
+        """Whether a power sample is due at time ``now``."""
         return now >= self._next_sample
 
     def sample(self, now: float) -> TimelinePoint | None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
 from repro.config import EcoStorConfig
 from repro.monitoring.application import ApplicationMonitor
 from repro.monitoring.storage import StorageMonitor
@@ -38,9 +39,11 @@ class SimulationContext:
 
     @property
     def enclosures(self) -> list[DiskEnclosure]:
+        """All disk enclosures in the simulated array."""
         return self.virtualization.enclosures()
 
     def enclosure_names(self) -> list[str]:
+        """Names of all enclosures in the simulated array."""
         return self.virtualization.enclosure_names
 
 
@@ -56,7 +59,7 @@ def build_context(
     (Table I's File Server creates 36 across 12 enclosures).
     """
     if enclosure_count <= 0:
-        raise ValueError("enclosure_count must be positive")
+        raise ValidationError("enclosure_count must be positive")
     enclosures = [
         DiskEnclosure(
             name=f"{enclosure_prefix}-{i:02d}",

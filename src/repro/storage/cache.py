@@ -21,7 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro import units
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ValidationError
 
 #: Cache lines are tracked at page granularity (64 blocks = 256 KiB) —
 #: enterprise controllers manage cache in large segments, and per-4-KiB
@@ -40,7 +40,7 @@ class LRUBlockCache:
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
-            raise ValueError("capacity must be non-negative")
+            raise ValidationError("capacity must be non-negative")
         self.capacity_pages = capacity_bytes // PAGE_BYTES
         self._blocks: OrderedDict[tuple[str, int], None] = OrderedDict()
         self.hits = 0
@@ -94,28 +94,32 @@ class PreloadPartition:
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
-            raise ValueError("capacity must be non-negative")
+            raise ValidationError("capacity must be non-negative")
         self.capacity_bytes = capacity_bytes
         self._items: dict[str, int] = {}
 
     @property
     def used_bytes(self) -> int:
+        """Bytes currently pinned in the cache."""
         return sum(self._items.values())
 
     @property
     def free_bytes(self) -> int:
+        """Remaining cache capacity in bytes."""
         return self.capacity_bytes - self.used_bytes
 
     def item_ids(self) -> set[str]:
+        """Ids of all pinned items."""
         return set(self._items)
 
     def fits(self, size_bytes: int) -> bool:
+        """Whether an item of this size fits in the free space."""
         return size_bytes <= self.free_bytes
 
     def pin(self, item_id: str, size_bytes: int) -> None:
         """Pin one data item; raises :class:`CapacityError` if it cannot fit."""
         if size_bytes < 0:
-            raise ValueError("size must be non-negative")
+            raise ValidationError("size must be non-negative")
         if item_id in self._items:
             return
         if size_bytes > self.free_bytes:
@@ -126,9 +130,11 @@ class PreloadPartition:
         self._items[item_id] = size_bytes
 
     def unpin(self, item_id: str) -> None:
+        """Remove the item from the cache, if present."""
         self._items.pop(item_id, None)
 
     def is_pinned(self, item_id: str) -> bool:
+        """Whether the item is currently pinned."""
         return item_id in self._items
 
 
@@ -140,6 +146,7 @@ class FlushPlan:
 
     @property
     def total_bytes(self) -> int:
+        """Total dirty bytes buffered across all items."""
         return sum(self.dirty_bytes_by_item.values())
 
 
@@ -155,9 +162,9 @@ class WriteDelayPartition:
 
     def __init__(self, capacity_bytes: int, dirty_block_rate: float = 0.5) -> None:
         if capacity_bytes < 0:
-            raise ValueError("capacity must be non-negative")
+            raise ValidationError("capacity must be non-negative")
         if not 0 < dirty_block_rate <= 1:
-            raise ValueError("dirty_block_rate must be in (0, 1]")
+            raise ValidationError("dirty_block_rate must be in (0, 1]")
         self.capacity_bytes = capacity_bytes
         self.dirty_block_rate = dirty_block_rate
         self._selected: set[str] = set()
@@ -166,6 +173,7 @@ class WriteDelayPartition:
 
     @property
     def capacity_pages(self) -> int:
+        """Cache capacity expressed in whole pages."""
         return self.capacity_bytes // PAGE_BYTES
 
     @property
@@ -175,12 +183,15 @@ class WriteDelayPartition:
 
     @property
     def dirty_pages(self) -> int:
+        """Number of dirty pages currently buffered."""
         return sum(len(pages) for pages in self._dirty.values())
 
     def selected_items(self) -> set[str]:
+        """Ids of items selected for write-delay buffering."""
         return set(self._selected)
 
     def is_selected(self, item_id: str) -> bool:
+        """Whether the item is selected for write-delay buffering."""
         return item_id in self._selected
 
     def select(self, item_id: str) -> None:
@@ -211,6 +222,7 @@ class WriteDelayPartition:
         return self.dirty_pages >= self.dirty_threshold_pages
 
     def is_dirty(self, item_id: str, page: int) -> bool:
+        """Whether the given page of the item is dirty."""
         return page in self._dirty.get(item_id, ())
 
     def flush_item(self, item_id: str) -> FlushPlan:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro import units
-from repro.errors import CapacityError, MappingError
+from repro.errors import CapacityError, MappingError, ValidationError
 from repro.storage import cache as cache_mod
 from repro.storage.cache import StorageCache
 from repro.storage.enclosure import DiskEnclosure, IOResult
@@ -56,9 +56,9 @@ class StorageController:
         physical_tap: PhysicalTap | None = None,
     ) -> None:
         if migration_throughput_bps <= 0:
-            raise ValueError("migration throughput must be positive")
+            raise ValidationError("migration throughput must be positive")
         if bulk_bandwidth_bps <= 0:
-            raise ValueError("bulk bandwidth must be positive")
+            raise ValidationError("bulk bandwidth must be positive")
         self.virtualization = virtualization
         self.cache = cache
         self.migration_throughput_bps = migration_throughput_bps
@@ -332,7 +332,7 @@ class StorageController:
         completion time.
         """
         if size_bytes <= 0:
-            raise ValueError("size_bytes must be positive")
+            raise ValidationError("size_bytes must be positive")
         src = self.virtualization.enclosure(source_enclosure)
         dst = self.virtualization.enclosure(target_enclosure)
         seconds = size_bytes / self.bulk_bandwidth_bps
@@ -356,6 +356,7 @@ class StorageController:
 
     @property
     def cache_hit_ratio(self) -> float:
+        """Fraction of logical I/Os absorbed by the cache."""
         if self.logical_io_count == 0:
             return 0.0
         return self.cache_hit_count / self.logical_io_count

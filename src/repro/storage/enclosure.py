@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import PowerStateError
+from repro.errors import PowerStateError, ValidationError
 from repro.storage.power import PowerModel, PowerState
 
 
@@ -91,9 +91,9 @@ class DiskEnclosure:
         spin_down_timeout: float = 52.0,
     ) -> None:
         if iops_random <= 0 or iops_sequential <= 0:
-            raise ValueError("IOPS capacities must be positive")
+            raise ValidationError("IOPS capacities must be positive")
         if spin_down_timeout < 0:
-            raise ValueError("spin_down_timeout must be non-negative")
+            raise ValidationError("spin_down_timeout must be non-negative")
         self.name = name
         self.power_model = power_model or PowerModel()
         self.iops_random = iops_random
@@ -288,7 +288,7 @@ class DiskEnclosure:
     def service_time(self, count: int, sequential: bool) -> float:
         """Pure service time for a batch of ``count`` I/Os."""
         if count <= 0:
-            raise ValueError("count must be positive")
+            raise ValidationError("count must be positive")
         rate = self.iops_sequential if sequential else self.iops_random
         return count / rate
 
@@ -308,7 +308,7 @@ class DiskEnclosure:
         queues at the current clock.
         """
         if count <= 0:
-            raise ValueError("count must be positive")
+            raise ValidationError("count must be positive")
         self.settle(max(now, self._clock))
         self._ensure_on()
         start = max(now, self._clock, self._busy_until)
@@ -347,9 +347,9 @@ class DiskEnclosure:
         applications' performance" means.
         """
         if duration < 0 or busy_seconds < 0:
-            raise ValueError("duration and busy_seconds must be non-negative")
+            raise ValidationError("duration and busy_seconds must be non-negative")
         if count <= 0:
-            raise ValueError("count must be positive")
+            raise ValidationError("count must be positive")
         # Entirely lazy: the transfer may be scheduled in the future (the
         # migration engine serializes moves), so the state machine is not
         # advanced here — that would turn the settled clock into a queue
@@ -382,9 +382,9 @@ class DiskEnclosure:
         behave exactly as in :meth:`submit`.
         """
         if seconds < 0:
-            raise ValueError("seconds must be non-negative")
+            raise ValidationError("seconds must be non-negative")
         if count <= 0:
-            raise ValueError("count must be positive")
+            raise ValidationError("count must be positive")
         self.settle(max(now, self._clock))
         self._ensure_on()
         start = max(now, self._clock, self._busy_until)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
 from repro.storage.controller import StorageController
 from repro.storage.enclosure import DiskEnclosure
 from repro.storage.power import ControllerPowerModel, PowerState
@@ -27,10 +28,12 @@ class PowerReading:
 
     @property
     def total_watts(self) -> float:
+        """Combined enclosure and controller power, in watts."""
         return self.enclosure_watts + self.controller_watts
 
     @property
     def total_joules(self) -> float:
+        """Combined enclosure and controller energy, in joules."""
         return self.enclosure_joules + self.controller_joules
 
 
@@ -43,7 +46,7 @@ class PowerMeter:
         controller_model: ControllerPowerModel | None = None,
     ) -> None:
         if not enclosures:
-            raise ValueError("at least one enclosure is required")
+            raise ValidationError("at least one enclosure is required")
         self.enclosures = list(enclosures)
         self.controller_model = controller_model or ControllerPowerModel()
 
@@ -55,7 +58,7 @@ class PowerMeter:
         when given (its cache traffic), else zero.
         """
         if now <= 0:
-            raise ValueError("measurement duration must be positive")
+            raise ValidationError("measurement duration must be positive")
         enclosure_joules = 0.0
         for enclosure in self.enclosures:
             enclosure.settle(now)

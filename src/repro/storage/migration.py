@@ -35,6 +35,7 @@ class PlacementPlan:
     moves: list[Move] = field(default_factory=list)
 
     def add(self, item_id: str, target_enclosure: str, evacuation: bool = False) -> None:
+        """Append one item move to the plan."""
         self.moves.append(Move(item_id, target_enclosure, evacuation))
 
     def ordered(self) -> list[Move]:
@@ -66,6 +67,7 @@ class MigrationReport:
 
     @property
     def duration(self) -> float:
+        """Wall-clock time the migration took, in seconds."""
         return self.completed_at - self.started_at
 
 

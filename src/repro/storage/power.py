@@ -16,9 +16,10 @@ paper's Table II value for the Hitachi AMS 2500 testbed.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ValidationError
 
 
 class PowerState(enum.Enum):
@@ -34,6 +35,39 @@ class PowerState(enum.Enum):
     def is_on(self) -> bool:
         """Whether the disks are spinning and able to serve I/O soon."""
         return self in (PowerState.ACTIVE, PowerState.IDLE)
+
+
+#: The legal power-state transition graph of a disk enclosure
+#: (§II-A / DiskEnclosure's state machine)::
+#:
+#:     ACTIVE ⇄ IDLE → SPIN_DOWN → OFF → SPIN_UP → IDLE or ACTIVE
+#:
+#: Every state change performed by the simulator must be an edge of this
+#: graph.  ``repro.devtools`` extracts this table statically (rule R4)
+#: to flag code that fabricates transitions outside the
+#: :class:`DiskEnclosure` API.
+LEGAL_TRANSITIONS: frozenset[tuple[PowerState, PowerState]] = frozenset(
+    {
+        (PowerState.ACTIVE, PowerState.IDLE),
+        (PowerState.IDLE, PowerState.ACTIVE),
+        (PowerState.IDLE, PowerState.SPIN_DOWN),
+        (PowerState.SPIN_DOWN, PowerState.OFF),
+        (PowerState.OFF, PowerState.SPIN_UP),
+        (PowerState.SPIN_UP, PowerState.IDLE),
+        (PowerState.SPIN_UP, PowerState.ACTIVE),
+    }
+)
+
+
+def can_transition(source: PowerState, target: PowerState) -> bool:
+    """Whether ``source → target`` is an edge of the legal state graph.
+
+    >>> can_transition(PowerState.IDLE, PowerState.SPIN_DOWN)
+    True
+    >>> can_transition(PowerState.OFF, PowerState.ACTIVE)
+    False
+    """
+    return (source, target) in LEGAL_TRANSITIONS
 
 
 @dataclass(frozen=True)
@@ -66,7 +100,7 @@ class PowerModel:
             raise ConfigurationError("transition times must be non-negative")
         if self.spin_up_watts < 0 or self.spin_down_watts < 0:
             raise ConfigurationError("transition powers must be non-negative")
-        if self.idle_watts == self.off_watts:
+        if math.isclose(self.idle_watts, self.off_watts):
             raise ConfigurationError(
                 "idle and off watts must differ for a break-even time to exist"
             )
@@ -110,7 +144,7 @@ class PowerModel:
     def energy_if_idle(self, gap_seconds: float) -> float:
         """Energy consumed by staying idle across a gap of this length."""
         if gap_seconds < 0:
-            raise ValueError("gap must be non-negative")
+            raise ValidationError("gap must be non-negative")
         return self.idle_watts * gap_seconds
 
     def energy_if_power_cycled(self, gap_seconds: float) -> float:
@@ -122,7 +156,7 @@ class PowerModel:
         penalises cycling across too-short gaps.
         """
         if gap_seconds < 0:
-            raise ValueError("gap must be non-negative")
+            raise ValidationError("gap must be non-negative")
         off_time = max(0.0, gap_seconds - self.transition_seconds)
         return self.transition_energy + self.off_watts * off_time
 
@@ -149,9 +183,9 @@ class ControllerPowerModel:
     def energy(self, duration_seconds: float, io_count: int) -> float:
         """Total controller energy over a run."""
         if duration_seconds < 0:
-            raise ValueError("duration must be non-negative")
+            raise ValidationError("duration must be non-negative")
         if io_count < 0:
-            raise ValueError("io_count must be non-negative")
+            raise ValidationError("io_count must be non-negative")
         return self.base_watts * duration_seconds + self.joules_per_io * io_count
 
     def average_watts(self, duration_seconds: float, io_count: int) -> float:

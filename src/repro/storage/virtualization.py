@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import units
-from repro.errors import CapacityError, MappingError
+from repro.errors import CapacityError, MappingError, ValidationError
 from repro.storage.enclosure import DiskEnclosure
 
 
@@ -41,6 +41,7 @@ class PhysicalExtent:
 
     @property
     def size_bytes(self) -> int:
+        """Volume size in bytes."""
         return units.blocks_to_bytes(self.blocks)
 
 
@@ -49,10 +50,10 @@ class BlockVirtualization:
 
     def __init__(self, enclosures: list[DiskEnclosure]) -> None:
         if not enclosures:
-            raise ValueError("at least one enclosure is required")
+            raise ValidationError("at least one enclosure is required")
         names = [enc.name for enc in enclosures]
         if len(set(names)) != len(names):
-            raise ValueError(f"duplicate enclosure names: {names}")
+            raise ValidationError(f"duplicate enclosure names: {names}")
         self._enclosures: dict[str, DiskEnclosure] = {
             enc.name: enc for enc in enclosures
         }
@@ -68,15 +69,18 @@ class BlockVirtualization:
     # ------------------------------------------------------------------
     @property
     def enclosure_names(self) -> list[str]:
+        """Names of all registered enclosures."""
         return list(self._enclosures)
 
     def enclosure(self, name: str) -> DiskEnclosure:
+        """Look up an enclosure by name."""
         try:
             return self._enclosures[name]
         except KeyError:
             raise MappingError(f"unknown enclosure {name!r}") from None
 
     def enclosures(self) -> list[DiskEnclosure]:
+        """All registered enclosures, in registration order."""
         return list(self._enclosures.values())
 
     def create_volume(self, name: str, enclosure: str) -> Volume:
@@ -90,6 +94,7 @@ class BlockVirtualization:
         return volume
 
     def volume(self, name: str) -> Volume:
+        """Look up a volume by name."""
         try:
             return self._volumes[name]
         except KeyError:
@@ -97,6 +102,7 @@ class BlockVirtualization:
 
     @property
     def volume_names(self) -> list[str]:
+        """Names of all registered volumes."""
         return list(self._volumes)
 
     # ------------------------------------------------------------------
@@ -111,7 +117,7 @@ class BlockVirtualization:
         if item_id in self._item_volume:
             raise MappingError(f"data item {item_id!r} already placed")
         if size_bytes <= 0:
-            raise ValueError(f"item size must be positive: {size_bytes}")
+            raise ValidationError(f"item size must be positive: {size_bytes}")
         vol = self.volume(volume)
         enc = self.enclosure(vol.enclosure)
         if enc.capacity_bytes and self._used_bytes[enc.name] + size_bytes > (
@@ -130,6 +136,7 @@ class BlockVirtualization:
         self._used_bytes[enc.name] += size_bytes
 
     def remove_item(self, item_id: str) -> None:
+        """Delete an item and release its space on the enclosure."""
         volume = self._item_volume.pop(item_id, None)
         if volume is None:
             raise MappingError(f"unknown data item {item_id!r}")
@@ -138,24 +145,29 @@ class BlockVirtualization:
         self._item_base.pop(item_id)
 
     def has_item(self, item_id: str) -> bool:
+        """Whether the item is mapped to a volume."""
         return item_id in self._item_volume
 
     def item_ids(self) -> list[str]:
+        """Ids of all mapped items."""
         return list(self._item_volume)
 
     def item_size(self, item_id: str) -> int:
+        """Size of the item in bytes."""
         try:
             return self._item_size[item_id]
         except KeyError:
             raise MappingError(f"unknown data item {item_id!r}") from None
 
     def volume_of(self, item_id: str) -> Volume:
+        """Volume holding the item."""
         try:
             return self._volumes[self._item_volume[item_id]]
         except KeyError:
             raise MappingError(f"unknown data item {item_id!r}") from None
 
     def enclosure_of(self, item_id: str) -> DiskEnclosure:
+        """Enclosure holding the item (via its volume)."""
         return self.enclosure(self.volume_of(item_id).enclosure)
 
     def extent_of(self, item_id: str) -> PhysicalExtent:
@@ -188,12 +200,14 @@ class BlockVirtualization:
         ]
 
     def used_bytes(self, enclosure: str) -> int:
+        """Bytes of item data stored on the enclosure."""
         try:
             return self._used_bytes[enclosure]
         except KeyError:
             raise MappingError(f"unknown enclosure {enclosure!r}") from None
 
     def free_bytes(self, enclosure: str) -> int:
+        """Remaining capacity of the enclosure in bytes."""
         enc = self.enclosure(enclosure)
         if not enc.capacity_bytes:
             raise MappingError(

@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.errors import ValidationError
 from repro import units
 
 
@@ -28,6 +29,7 @@ class IOType(enum.Enum):
 
     @property
     def is_read(self) -> bool:
+        """Whether this is the read I/O type."""
         return self is IOType.READ
 
     @classmethod
@@ -38,7 +40,7 @@ class IOType(enum.Enum):
             return cls.READ
         if normalized in ("W", "WRITE"):
             return cls.WRITE
-        raise ValueError(f"unknown I/O type {text!r}")
+        raise ValidationError(f"unknown I/O type {text!r}")
 
 
 @dataclass(frozen=True, order=True)
@@ -59,14 +61,15 @@ class LogicalIORecord:
 
     def __post_init__(self) -> None:
         if self.timestamp < 0:
-            raise ValueError(f"timestamp must be non-negative: {self.timestamp}")
+            raise ValidationError(f"timestamp must be non-negative: {self.timestamp}")
         if self.offset < 0:
-            raise ValueError(f"offset must be non-negative: {self.offset}")
+            raise ValidationError(f"offset must be non-negative: {self.offset}")
         if self.size <= 0:
-            raise ValueError(f"size must be positive: {self.size}")
+            raise ValidationError(f"size must be positive: {self.size}")
 
     @property
     def is_read(self) -> bool:
+        """Whether this logical record is a read."""
         return self.io_type.is_read
 
     def block_range(self) -> range:
@@ -78,7 +81,7 @@ class LogicalIORecord:
     def page_range(self, page_bytes: int) -> range:
         """Cache-page indices touched by this I/O."""
         if page_bytes <= 0:
-            raise ValueError("page_bytes must be positive")
+            raise ValidationError("page_bytes must be positive")
         first = self.offset // page_bytes
         last = (self.offset + self.size - 1) // page_bytes
         return range(first, last + 1)
@@ -101,12 +104,13 @@ class PhysicalIORecord:
 
     def __post_init__(self) -> None:
         if self.timestamp < 0:
-            raise ValueError(f"timestamp must be non-negative: {self.timestamp}")
+            raise ValidationError(f"timestamp must be non-negative: {self.timestamp}")
         if self.count <= 0:
-            raise ValueError(f"count must be positive: {self.count}")
+            raise ValidationError(f"count must be positive: {self.count}")
 
     @property
     def is_read(self) -> bool:
+        """Whether this physical record is a read."""
         return self.io_type.is_read
 
 

@@ -12,7 +12,11 @@ energy and latency costs land in the same accounting as application I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.audit import InvariantAuditor
+    from repro.monitoring.timeline import PowerTimeline
 
 from repro.baselines.base import PowerPolicy
 from repro.errors import ReplayError
@@ -40,10 +44,12 @@ class ReplayResult:
 
     @property
     def mean_response(self) -> float:
+        """Mean response time across all I/Os, in seconds."""
         return self.response.mean_response
 
     @property
     def mean_read_response(self) -> float:
+        """Mean response time of read I/Os, in seconds."""
         return self.response.mean_read_response
 
 
@@ -54,17 +60,26 @@ class TraceReplayer:
     :class:`~repro.monitoring.timeline.PowerTimeline`: when given, the
     replayer samples it as virtual time passes, producing the §III-B
     power-consumption series alongside the run-level averages.
+
+    ``auditor`` (optional) is a
+    :class:`~repro.devtools.audit.InvariantAuditor`: when given, it is
+    invoked after every policy checkpoint (i.e. once per monitoring
+    period) and once at the end of the run, raising
+    :class:`~repro.errors.AuditError` if any simulation invariant —
+    energy conservation, capacity accounting, monotonic time — breaks.
     """
 
     def __init__(
         self,
         context: SimulationContext,
         policy: PowerPolicy,
-        timeline=None,
+        timeline: "PowerTimeline | None" = None,
+        auditor: "InvariantAuditor | None" = None,
     ) -> None:
         self.context = context
         self.policy = policy
         self.timeline = timeline
+        self.auditor = auditor
         policy.bind(context)
 
     def run(
@@ -122,6 +137,8 @@ class TraceReplayer:
             enclosure.finish(final)
         if self.timeline is not None:
             self.timeline.finish(final)
+        if self.auditor is not None:
+            self.auditor.check(final)
 
         power = context.meter.read(final, controller)
         return ReplayResult(
@@ -145,6 +162,8 @@ class TraceReplayer:
             if checkpoint is None or checkpoint > until:
                 return
             self.policy.on_checkpoint(checkpoint)
+            if self.auditor is not None:
+                self.auditor.check(checkpoint)
             follow_up = self.policy.next_checkpoint()
             if follow_up is not None and follow_up <= checkpoint:
                 raise ReplayError(

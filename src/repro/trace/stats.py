@@ -31,25 +31,30 @@ class TraceSummary:
 
     @property
     def duration(self) -> float:
+        """Trace time span in seconds."""
         return self.end_time - self.start_time
 
     @property
     def read_ratio(self) -> float:
+        """Fraction of records that are reads."""
         return self.read_count / self.record_count if self.record_count else 0.0
 
     @property
     def sequential_ratio(self) -> float:
+        """Fraction of records that continue a sequential run."""
         return (
             self.sequential_count / self.record_count if self.record_count else 0.0
         )
 
     @property
     def mean_iops(self) -> float:
+        """Mean I/O rate over the trace, in operations per second."""
         if self.duration <= 0:
             return 0.0
         return self.record_count / self.duration
 
     def item_read_ratio(self, item_id: str) -> float:
+        """Fraction of the item's I/Os that are reads."""
         total = self.ios_per_item.get(item_id, 0)
         if not total:
             return 0.0

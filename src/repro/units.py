@@ -4,30 +4,58 @@ The simulator works in SI base units throughout: **seconds** for time,
 **bytes** for data sizes, **watts** for power, and **joules** for energy.
 These constants exist so that call sites read naturally
 (``5 * units.MINUTE``, ``500 * units.MB``) instead of sprinkling magic
-numbers.
+numbers — and ``repro.devtools`` rule R2 enforces exactly that.
+
+Types are deliberately consistent: data-size constants are ``int``
+(byte counts are exact), while time and power constants are ``float``
+(they scale continuous quantities).  All are :data:`typing.Final`.
 """
 
 from __future__ import annotations
 
+from typing import Final
+
+from repro.errors import ValidationError
+
 # --- data sizes (binary multiples, as storage vendors use for cache) ----
-KB: int = 1024
-MB: int = 1024 * KB
-GB: int = 1024 * MB
-TB: int = 1024 * GB
+KB: Final[int] = 1024
+MB: Final[int] = 1024 * KB
+GB: Final[int] = 1024 * MB
+TB: Final[int] = 1024 * GB
 
 #: Size of one I/O block in the block-virtualization layer.  Enterprise
 #: storage commonly exposes 4 KiB blocks; all offsets/sizes in physical
 #: records are multiples of this.
-BLOCK_SIZE: int = 4 * KB
+BLOCK_SIZE: Final[int] = 4 * KB
 
 # --- time ----------------------------------------------------------------
-SECOND: float = 1.0
-MINUTE: float = 60.0
-HOUR: float = 3600.0
+SECOND: Final[float] = 1.0
+MINUTE: Final[float] = 60.0
+HOUR: Final[float] = 60.0 * MINUTE
+DAY: Final[float] = 24.0 * HOUR
 
 # --- power / energy -------------------------------------------------------
-WATT: float = 1.0
-KILOWATT: float = 1000.0
+WATT: Final[float] = 1.0
+KILOWATT: Final[float] = 1000.0
+
+#: Suffix → byte multiplier accepted by :func:`parse_size`.  Decimal-SI
+#: spellings (``KB``) and explicit binary spellings (``KiB``) both map to
+#: the binary multiples used throughout the simulator.
+_SIZE_SUFFIXES: Final[dict[str, int]] = {
+    "B": 1,
+    "KB": KB,
+    "KIB": KB,
+    "K": KB,
+    "MB": MB,
+    "MIB": MB,
+    "M": MB,
+    "GB": GB,
+    "GIB": GB,
+    "G": GB,
+    "TB": TB,
+    "TIB": TB,
+    "T": TB,
+}
 
 
 def bytes_to_blocks(size: int) -> int:
@@ -37,19 +65,79 @@ def bytes_to_blocks(size: int) -> int:
 
     >>> bytes_to_blocks(1)
     1
+    >>> bytes_to_blocks(4096)
+    1
+    >>> bytes_to_blocks(4097)
+    2
     >>> bytes_to_blocks(8192)
     2
+    >>> bytes_to_blocks(0)
+    0
+    >>> bytes_to_blocks(-1)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ValidationError: size must be non-negative, got -1
     """
     if size < 0:
-        raise ValueError(f"size must be non-negative, got {size}")
+        raise ValidationError(f"size must be non-negative, got {size}")
     return -(-size // BLOCK_SIZE)
 
 
 def blocks_to_bytes(blocks: int) -> int:
-    """Return the byte size of ``blocks`` whole blocks."""
+    """Return the byte size of ``blocks`` whole blocks.
+
+    >>> blocks_to_bytes(2)
+    8192
+    """
     if blocks < 0:
-        raise ValueError(f"blocks must be non-negative, got {blocks}")
+        raise ValidationError(f"blocks must be non-negative, got {blocks}")
     return blocks * BLOCK_SIZE
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable size (``'500 MB'``, ``'2GiB'``) into bytes.
+
+    Multipliers are binary (``1 KB == 1024 B``), matching the constants
+    above; a bare number means bytes.  Fractional values are allowed and
+    rounded to whole bytes.
+
+    >>> parse_size("500 MB")
+    524288000
+    >>> parse_size("2GiB")
+    2147483648
+    >>> parse_size("4 KiB") == BLOCK_SIZE
+    True
+    >>> parse_size("1.5 KB")
+    1536
+    >>> parse_size("512")
+    512
+    >>> parse_size("ten MB")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ValidationError: unparseable size 'ten MB'
+    >>> parse_size("12 QB")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ValidationError: unknown size suffix 'QB' in '12 QB'
+    """
+    stripped = text.strip()
+    number = stripped
+    suffix = ""
+    for index, char in enumerate(stripped):
+        if char.isalpha():
+            number, suffix = stripped[:index], stripped[index:]
+            break
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValidationError(f"unparseable size {text!r}") from None
+    suffix = suffix.strip().upper()
+    if suffix and suffix not in _SIZE_SUFFIXES:
+        raise ValidationError(f"unknown size suffix {suffix!r} in {text!r}")
+    multiplier = _SIZE_SUFFIXES.get(suffix, 1)
+    if value < 0:
+        raise ValidationError(f"size must be non-negative, got {text!r}")
+    return round(value * multiplier)
 
 
 def format_bytes(size: float) -> str:

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro import units
 from repro.trace.records import IOType, LogicalIORecord
 
@@ -35,7 +36,7 @@ class EventStream:
     def __post_init__(self) -> None:
         n = len(self.times)
         if not (len(self.is_read) == len(self.offsets) == len(self.sizes) == n):
-            raise ValueError("event arrays must have equal length")
+            raise ValidationError("event arrays must have equal length")
 
 
 def steady_events(
@@ -55,7 +56,7 @@ def steady_events(
     item: one wall-to-wall I/O sequence, no long interval.
     """
     if not 0 < gap_low <= gap_high:
-        raise ValueError("need 0 < gap_low <= gap_high")
+        raise ValidationError("need 0 < gap_low <= gap_high")
     # Over-allocate gaps so the stream always reaches the window end —
     # a truncated stream would leave a spurious trailing Long Interval
     # and misclassify a steady (P3-shaped) item as P1/P2.
@@ -99,11 +100,11 @@ def steady_with_lulls_events(
     lets the adaptive monitoring period grow (paper §IV-H).
     """
     if not 0 < gap_low <= gap_high:
-        raise ValueError("need 0 < gap_low <= gap_high")
+        raise ValidationError("need 0 < gap_low <= gap_high")
     if not 0 <= lull_probability < 1:
-        raise ValueError("lull_probability must be in [0, 1)")
+        raise ValidationError("lull_probability must be in [0, 1)")
     if not 0 < lull_low <= lull_high:
-        raise ValueError("need 0 < lull_low <= lull_high")
+        raise ValidationError("need 0 < lull_low <= lull_high")
     mean_gap = (1 - lull_probability) * (gap_low + gap_high) / 2 + (
         lull_probability * (lull_low + lull_high) / 2
     )
@@ -150,9 +151,9 @@ def burst_events(
     (read-heavy) or P2 (write-heavy).
     """
     if mean_interburst <= 0 or min_interburst < 0:
-        raise ValueError("inter-burst times must be positive")
+        raise ValidationError("inter-burst times must be positive")
     if burst_size_low <= 0 or burst_size_high < burst_size_low:
-        raise ValueError("bad burst size range")
+        raise ValidationError("bad burst size range")
     times_list: list[np.ndarray] = []
     clock = start + max(
         min_interburst, float(rng.exponential(mean_interburst))
@@ -203,7 +204,7 @@ def scan_events(
     bills the sequential service rate.
     """
     if scan_duration <= 0 or iops <= 0:
-        raise ValueError("scan_duration and iops must be positive")
+        raise ValidationError("scan_duration and iops must be positive")
     count = max(1, int(scan_duration * iops))
     jitter = rng.uniform(-0.4, 0.4, size=count) / iops
     times = scan_start + (np.arange(count) + 0.5) / iops + jitter

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro import units
 from repro.workloads.base import (
     EventStream,
@@ -131,7 +132,7 @@ def build_dss_workload(
     selected = queries or tuple(QUERY_TABLES)
     unknown = [q for q in selected if q not in QUERY_TABLES]
     if unknown:
-        raise ValueError(f"unknown TPC-H queries: {unknown}")
+        raise ValidationError(f"unknown TPC-H queries: {unknown}")
     enclosure_count = db_enclosure_count + 1
     items: list[DataItemSpec] = []
     streams: list[EventStream] = []

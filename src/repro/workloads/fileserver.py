@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro import units
 from repro.workloads.base import (
     EventStream,
@@ -63,7 +64,7 @@ def build_fileserver_workload(
     experiments; tests use shorter ``duration`` instead).
     """
     if intensity <= 0:
-        raise ValueError("intensity must be positive")
+        raise ValidationError("intensity must be positive")
     rng = np.random.default_rng(seed)
     items: list[DataItemSpec] = []
     volumes: list[tuple[str, int]] = []

@@ -79,9 +79,11 @@ class Workload:
 
     @property
     def io_count(self) -> int:
+        """Number of records in the generated trace."""
         return len(self.records)
 
     def item_ids(self) -> list[str]:
+        """Ids of all data items in the set."""
         return [item.item_id for item in self.items]
 
     def install(self, context: SimulationContext) -> None:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro import units
 from repro.workloads.base import EventStream, burst_events, merge_streams, steady_events
 from repro.workloads.items import DataItemSpec, Workload
@@ -68,7 +69,7 @@ def build_oltp_workload(
     database partitions.
     """
     if intensity <= 0:
-        raise ValueError("intensity must be positive")
+        raise ValidationError("intensity must be positive")
     rng = np.random.default_rng(seed)
     enclosure_count = db_enclosure_count + 1
     items: list[DataItemSpec] = []

@@ -1,0 +1,6 @@
+"""Fixture: trips R1 (float equality on a time-valued expression) only."""
+
+
+def _deadline_passed(elapsed_seconds: float, deadline: float) -> bool:
+    """Compare two time quantities with ``==`` — exactly what R1 forbids."""
+    return elapsed_seconds == deadline

@@ -1,0 +1,6 @@
+"""Fixture: trips R2 (magic number shadowing a units constant) only."""
+
+
+def _cache_budget_bytes() -> int:
+    """Spell 16 KiB with a bare 1024 instead of ``units.KB``."""
+    return 16 * 1024

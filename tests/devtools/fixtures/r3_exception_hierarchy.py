@@ -1,0 +1,8 @@
+"""Fixture: trips R3 (raising a banned builtin exception) only."""
+
+
+def _require_positive(value: int) -> int:
+    """Raise builtin ValueError instead of repro.errors.ValidationError."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return value

@@ -1,0 +1,7 @@
+"""Fixture: trips R4 (illegal power-state transition pair) only."""
+
+from repro.storage.power import PowerState
+
+#: OFF -> ACTIVE skips the mandatory spin-up: not an edge of
+#: storage.power.LEGAL_TRANSITIONS.
+_SHORTCUT = (PowerState.OFF, PowerState.ACTIVE)

@@ -1,0 +1,5 @@
+"""Fixture: trips R5 (undocumented/unannotated public function) only."""
+
+
+def compute(value):
+    return value + value

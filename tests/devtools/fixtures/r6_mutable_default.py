@@ -1,0 +1,6 @@
+"""Fixture: trips R6 (mutable default argument) only."""
+
+
+def _merge(extra: list[str] = []) -> tuple[str, ...]:
+    """Use a shared list literal as a default value."""
+    return tuple(extra)

@@ -1,0 +1,17 @@
+"""Run the repro.units doctests as part of the regular suite.
+
+CI also runs ``python -m pytest --doctest-modules src/repro/units.py``;
+this test keeps the examples exercised under a plain ``pytest`` run.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+from repro import units
+
+
+def test_units_doctests_pass() -> None:
+    results = doctest.testmod(units)
+    assert results.attempted >= 15
+    assert results.failed == 0
