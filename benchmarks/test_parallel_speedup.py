@@ -1,0 +1,52 @@
+"""Parallel experiment engine: sweep wall-clock at --jobs 1 vs --jobs N.
+
+Not a paper figure: tracks the engine's fan-out overhead/speedup on this
+machine.  The speedup is *measured and reported*, never asserted — on a
+single-core container the parallel run is legitimately no faster — but
+result equality between the two paths is asserted on every run, which
+is the property the figures actually depend on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.parallel import (
+    ExperimentEngine,
+    ExperimentCell,
+    PolicySpec,
+    WorkloadSpec,
+)
+from repro.experiments.runner import STANDARD_POLICIES
+
+JOBS = min(4, os.cpu_count() or 1)
+
+
+def sweep_cells():
+    return [
+        ExperimentCell(workload=WorkloadSpec(name=name), policy=PolicySpec(name=p))
+        for name in ("fileserver", "tpcc", "tpch")
+        for p in STANDARD_POLICIES
+    ]
+
+
+def timed_run(jobs: int):
+    engine = ExperimentEngine(jobs=jobs)
+    started = time.perf_counter()
+    outcomes = engine.run_cells(sweep_cells())
+    return time.perf_counter() - started, [o.require() for o in outcomes]
+
+
+def test_parallel_sweep_wall_clock(report):
+    serial_seconds, serial_results = timed_run(jobs=1)
+    parallel_seconds, parallel_results = timed_run(jobs=JOBS)
+    assert parallel_results == serial_results
+    ratio = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    report(
+        "Parallel engine — 12-cell smoke sweep wall-clock\n"
+        f"  --jobs 1      {serial_seconds:7.2f} s\n"
+        f"  --jobs {JOBS}      {parallel_seconds:7.2f} s\n"
+        f"  speedup       {ratio:7.2f} x  "
+        f"({os.cpu_count() or 1} CPU(s) visible; results bit-identical)"
+    )

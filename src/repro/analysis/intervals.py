@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.errors import ValidationError
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -25,6 +26,17 @@ class IntervalCurve:
     lengths: tuple[float, ...]
     #: Cumulative total length at each point (seconds).
     cumulative: tuple[float, ...]
+
+    @cached_property
+    def _lengths_array(self) -> np.ndarray:
+        """Lengths as an ndarray, built once per curve for probe calls.
+
+        ``cumulative_at`` used to rebuild this array on every probe —
+        O(n) per call on curves with thousands of intervals.  The
+        instance is frozen, so the cache can never go stale; equality
+        and hashing still use only the dataclass fields.
+        """
+        return np.asarray(self.lengths)
 
     @property
     def total_length(self) -> float:
@@ -40,7 +52,7 @@ class IntervalCurve:
         """Total interval time from intervals no longer than ``length``."""
         if not self.lengths:
             return 0.0
-        index = np.searchsorted(np.asarray(self.lengths), length, side="right")
+        index = np.searchsorted(self._lengths_array, length, side="right")
         if index == 0:
             return 0.0
         return self.cumulative[index - 1]

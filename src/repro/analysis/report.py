@@ -10,7 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import units
-from typing import Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - layering: annotation only
+    from repro.experiments.runner import ExperimentResult
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,40 @@ def render_simple(title: str, rows: dict[str, str]) -> str:
     for key, value in rows.items():
         lines.append(f"  {key:<{width}}  {value}")
     return "\n".join(lines)
+
+
+def experiment_rows(
+    results: Mapping[str, "ExperimentResult"],
+) -> list[PaperRow]:
+    """Measured-only summary rows for a policy → result mapping.
+
+    Consumes :class:`~repro.experiments.runner.ExperimentResult` values
+    regardless of provenance — run inline, in a worker, or
+    reconstructed from the parallel engine's JSON cache — since the
+    serialized form round-trips losslessly.
+    """
+    rows = []
+    for policy, result in results.items():
+        rows.append(
+            PaperRow(
+                label=f"{result.workload_name} {policy}",
+                paper="-",
+                measured=watts(result.enclosure_watts),
+                note=(
+                    f"response {seconds(result.mean_response)}, "
+                    f"migrated {gigabytes(result.migrated_bytes)}, "
+                    f"{result.determinations} determinations"
+                ),
+            )
+        )
+    return rows
+
+
+def render_experiment_table(
+    title: str, results: Mapping[str, "ExperimentResult"]
+) -> str:
+    """Render one workload's policy results as a text table."""
+    return render_table(title, experiment_rows(results))
 
 
 def watts(value: float) -> str:

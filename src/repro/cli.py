@@ -2,6 +2,8 @@
 
 Subcommands::
 
+    ecostor experiments [--workloads ...] [--policies ...] [--jobs N]
+                        [--cache-dir DIR] [--full] [--verify-serial]
     ecostor figures [--full] [--only fig06|fs|tpcc|tpch|intervals|tables]
     ecostor ablations [--full]
     ecostor run WORKLOAD POLICY [--full] [--audit]
@@ -12,11 +14,16 @@ Subcommands::
     ecostor intervals WORKLOAD POLICY [--full]
     ecostor lint [PATHS ...] [--format text|json] [--select RULE ...]
 
-``figures`` regenerates every paper table/figure as text; ``run``
-replays one workload under one policy (``--audit`` verifies the energy
-/ capacity / time invariants every monitoring period); ``export-trace``
-/ ``replay-trace`` round-trip logical traces through CSV (or ingest
-real MSR-Cambridge block traces with ``--msr``); ``intervals`` draws a
+``experiments`` runs a (workload × policy) sweep through the parallel
+experiment engine — ``--jobs`` workers, results memoized on disk under
+``--cache-dir``, per-cell failure isolation, and ``--verify-serial`` to
+re-run serially and assert bit-identical results; ``figures``
+regenerates every paper table/figure as text (``--jobs``/``--cache-dir``
+route its sweeps through the same engine); ``run`` replays one workload
+under one policy (``--audit`` verifies the energy / capacity / time
+invariants every monitoring period); ``export-trace`` /
+``replay-trace`` round-trip logical traces through CSV (or ingest real
+MSR-Cambridge block traces with ``--msr``); ``intervals`` draws a
 Fig 17-19 curve in the terminal; ``lint`` runs the
 :mod:`repro.devtools` domain linter.
 """
@@ -34,7 +41,93 @@ from repro.experiments.testbed import WORKLOAD_NAMES, build_workload
 _FIGURE_SECTIONS = ("tables", "fig06", "fs", "tpcc", "tpch", "intervals")
 
 
+def _progress(line: str) -> None:
+    """Engine progress callback: one line per finished cell, to stderr."""
+    print(line, file=sys.stderr)
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the parallel-engine flags shared by the sweep commands."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiment cells (1 = run inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the on-disk result cache (default: no cache)",
+    )
+
+
+def _apply_engine_options(args: argparse.Namespace) -> None:
+    """Route this process's sweeps through an engine built from the flags."""
+    if args.jobs != 1 or args.cache_dir is not None:
+        from repro.experiments import parallel
+
+        parallel.configure(
+            jobs=args.jobs, cache_dir=args.cache_dir, progress=_progress
+        )
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_experiment_table
+    from repro.experiments import parallel
+
+    workloads = args.workloads or list(WORKLOAD_NAMES)
+    policies = args.policies or list(STANDARD_POLICIES)
+    cells = [
+        parallel.ExperimentCell(
+            workload=parallel.WorkloadSpec(name=workload, full=args.full),
+            policy=parallel.PolicySpec(name=policy),
+        )
+        for workload in workloads
+        for policy in policies
+    ]
+    engine = parallel.ExperimentEngine(
+        jobs=args.jobs, cache_dir=args.cache_dir, progress=_progress
+    )
+    outcomes = engine.run_cells(cells)
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    for outcome in failed:
+        print(f"FAILED {outcome.cell.label}:\n{outcome.error}", file=sys.stderr)
+    for workload in workloads:
+        results = {
+            o.cell.policy.name: o.result
+            for o in outcomes
+            if o.ok and o.cell.workload.name == workload
+        }
+        if results:
+            print(render_experiment_table(f"Experiments — {workload}", results))
+            print()
+    print(
+        f"cells: {len(outcomes)} total, {engine.cache_hits} cached, "
+        f"{engine.replays} replayed, {engine.failures} failed"
+    )
+    status = 1 if failed else 0
+    if args.verify_serial:
+        serial = parallel.ExperimentEngine(jobs=1)
+        serial_outcomes = serial.run_cells(cells)
+        mismatched = [
+            o.cell.label
+            for o, s in zip(outcomes, serial_outcomes)
+            if o.ok != s.ok or (o.ok and o.result != s.result)
+        ]
+        if mismatched:
+            print("verify-serial: MISMATCH in " + ", ".join(mismatched))
+            status = 1
+        else:
+            print(
+                "verify-serial: parallel results identical to serial replay "
+                f"({len(serial_outcomes)} cells)"
+            )
+    return status
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
+    _apply_engine_options(args)
     from repro.experiments import (
         fig06_patterns,
         fig08_10_fileserver,
@@ -62,6 +155,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_ablations(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
 
+    _apply_engine_options(args)
     print(ablations.run(full=args.full))
     return 0
 
@@ -122,6 +216,7 @@ def _cmd_ssd_study(args: argparse.Namespace) -> int:
 def _cmd_scaling_study(args: argparse.Namespace) -> int:
     from repro.experiments import scaling
 
+    _apply_engine_options(args)
     print(scaling.run())
     return 0
 
@@ -248,6 +343,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    experiments = sub.add_parser(
+        "experiments",
+        help="parallel cached (workload x policy) sweep",
+    )
+    experiments.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=WORKLOAD_NAMES,
+        help="workloads to sweep (default: all three)",
+    )
+    experiments.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(STANDARD_POLICIES),
+        help="policies to sweep (default: all four)",
+    )
+    experiments.add_argument("--full", action="store_true")
+    _add_engine_options(experiments)
+    experiments.add_argument(
+        "--verify-serial",
+        action="store_true",
+        help="re-run the sweep serially and assert identical results",
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+
     figures = sub.add_parser("figures", help="regenerate paper tables/figures")
     figures.add_argument("--full", action="store_true", help="paper-length runs")
     figures.add_argument(
@@ -256,10 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=_FIGURE_SECTIONS,
         help="subset of figure groups",
     )
+    _add_engine_options(figures)
     figures.set_defaults(func=_cmd_figures)
 
     abl = sub.add_parser("ablations", help="run the mechanism ablations")
     abl.add_argument("--full", action="store_true")
+    _add_engine_options(abl)
     abl.set_defaults(func=_cmd_ablations)
 
     run = sub.add_parser("run", help="replay one workload under one policy")
@@ -294,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     scaling = sub.add_parser(
         "scaling-study", help="array-size sweep (§IX future work)"
     )
+    _add_engine_options(scaling)
     scaling.set_defaults(func=_cmd_scaling_study)
 
     export = sub.add_parser(

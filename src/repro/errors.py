@@ -66,6 +66,17 @@ class WorkloadError(ReproError):
     """A workload generator was given unsatisfiable parameters."""
 
 
+class ExperimentError(ReproError):
+    """An experiment cell could not be completed.
+
+    Raised by :mod:`repro.experiments.parallel` when a sweep cell fails
+    (its worker raised) and the caller asks for the cell's result anyway,
+    or when a cell specification does not resolve to a known workload or
+    policy.  The message carries the failed cell's label and, for worker
+    failures, the remote traceback.
+    """
+
+
 class AuditError(ReproError):
     """A runtime invariant of the simulation was violated.
 

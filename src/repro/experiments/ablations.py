@@ -18,9 +18,7 @@ from functools import lru_cache
 from repro.errors import ValidationError
 from repro.analysis.report import PaperRow, render_table, seconds, watts
 from repro.config import DEFAULT_CONFIG
-from repro.core.manager import EnergyEfficientPolicy
-from repro.experiments.runner import ExperimentResult, run_cell
-from repro.experiments.testbed import build_workload
+from repro.experiments.runner import ExperimentResult
 
 ABLATIONS: dict[str, dict[str, bool]] = {
     "full": {},
@@ -33,6 +31,34 @@ ABLATIONS: dict[str, dict[str, bool]] = {
 
 
 @lru_cache(maxsize=None)
+def _ablation_results(
+    workload_name: str, full: bool
+) -> dict[str, ExperimentResult]:
+    """Every ablation of one workload, in one engine sweep (memoized).
+
+    Running all six variants as one cell batch lets a configured
+    parallel engine replay them concurrently and cache each variant
+    under its own (workload, policy-options) key.
+    """
+    from repro.experiments import parallel
+
+    cells = [
+        parallel.ExperimentCell(
+            workload=parallel.WorkloadSpec(name=workload_name, full=full),
+            policy=parallel.PolicySpec(
+                name="proposed", options=tuple(sorted(overrides.items()))
+            ),
+            config=DEFAULT_CONFIG,
+        )
+        for overrides in ABLATIONS.values()
+    ]
+    outcomes = parallel.default_engine().run_cells(cells)
+    return {
+        name: outcome.require()
+        for name, outcome in zip(ABLATIONS, outcomes)
+    }
+
+
 def run_ablation(
     workload_name: str, ablation: str, full: bool = False
 ) -> ExperimentResult:
@@ -41,9 +67,7 @@ def run_ablation(
         raise ValidationError(
             f"unknown ablation {ablation!r}; choose from {sorted(ABLATIONS)}"
         )
-    workload = build_workload(workload_name, full)
-    policy = EnergyEfficientPolicy(**ABLATIONS[ablation])
-    return run_cell(workload, policy, DEFAULT_CONFIG)
+    return _ablation_results(workload_name, full)[ablation]
 
 
 def rows_for(workload_name: str, full: bool = False) -> list[PaperRow]:

@@ -73,6 +73,24 @@ class ExperimentResult:
         """Mean response time of read I/Os, in seconds."""
         return self.replay.mean_read_response
 
+    def to_dict(self) -> dict:
+        """Lossless plain-JSON-types view of this result.
+
+        Round-trips exactly through :meth:`from_dict` — the parallel
+        engine relies on this to keep worker and cache results
+        bit-identical to the serial path.
+        """
+        from repro.experiments.serialize import result_to_dict
+
+        return result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        from repro.experiments.serialize import result_from_dict
+
+        return result_from_dict(data)
+
 
 def run_cell(
     workload: Workload,

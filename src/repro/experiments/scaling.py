@@ -14,11 +14,7 @@ from functools import lru_cache
 
 from repro.analysis.metrics import power_saving_percent
 from repro.analysis.report import PaperRow, render_table, watts
-from repro.baselines.nopower import NoPowerSavingPolicy
 from repro.config import DEFAULT_CONFIG
-from repro.core.manager import EnergyEfficientPolicy
-from repro.experiments.runner import run_cell
-from repro.workloads import build_fileserver_workload
 
 #: Array sizes swept (enclosures); 12 is the paper's Table I layout.
 ENCLOSURE_SWEEP = (6, 12, 18)
@@ -29,12 +25,28 @@ SWEEP_DURATION = 5400.0
 
 @lru_cache(maxsize=None)
 def run_point(enclosure_count: int) -> tuple[float, float]:
-    """(baseline watts, proposed watts) for one array size."""
-    workload = build_fileserver_workload(
-        duration=SWEEP_DURATION, enclosure_count=enclosure_count
+    """(baseline watts, proposed watts) for one array size.
+
+    Both cells of the point go through the parallel experiment engine
+    as one batch, so a configured engine replays them concurrently and
+    caches each under its own (trace-fingerprint, policy) key.
+    """
+    from repro.experiments import parallel
+
+    workload = parallel.WorkloadSpec(
+        name="fileserver",
+        overrides=(
+            ("duration", SWEEP_DURATION),
+            ("enclosure_count", enclosure_count),
+        ),
     )
-    base = run_cell(workload, NoPowerSavingPolicy(), DEFAULT_CONFIG)
-    ours = run_cell(workload, EnergyEfficientPolicy(), DEFAULT_CONFIG)
+    cells = parallel.standard_cells(
+        workload, DEFAULT_CONFIG, policies=("no-power-saving", "proposed")
+    )
+    base, ours = (
+        outcome.require()
+        for outcome in parallel.default_engine().run_cells(cells)
+    )
     return base.enclosure_watts, ours.enclosure_watts
 
 

@@ -1,0 +1,87 @@
+"""Lossless JSON serialization for :class:`ExperimentResult`.
+
+The parallel experiment engine moves results across process boundaries
+and persists them in its on-disk cache, so every measured quantity must
+round-trip *exactly*: ``result_from_json(result_to_json(r)) == r`` for
+any result the runner can produce.  Floats survive because
+:func:`json.dumps` emits ``repr``-shortest representations, which Python
+parses back to the identical IEEE-754 value; everything else in a result
+is ints, strings, and containers of those.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any, Mapping
+
+from repro.analysis.intervals import IntervalCurve
+from repro.analysis.metrics import WindowResponse
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentResult
+from repro.monitoring.application import ResponseStats
+from repro.storage.meter import PowerReading
+from repro.trace.replay import ReplayResult
+
+#: Bump when the serialized layout changes; stale cache entries with a
+#: different format are treated as misses, never mis-parsed.
+RESULT_FORMAT = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Flatten a result (and every nested dataclass) to plain JSON types."""
+    data = asdict(result)
+    data["format"] = RESULT_FORMAT
+    return data
+
+
+def result_from_dict(data: Mapping[str, Any]) -> ExperimentResult:
+    """Rebuild a result from :func:`result_to_dict` output.
+
+    Raises :class:`~repro.errors.ExperimentError` when the payload's
+    format marker is missing or from a different serializer version.
+    """
+    if data.get("format") != RESULT_FORMAT:
+        raise ExperimentError(
+            f"unsupported result format {data.get('format')!r}; "
+            f"this serializer reads format {RESULT_FORMAT}"
+        )
+    replay = data["replay"]
+    curve = data["interval_curve"]
+    return ExperimentResult(
+        workload_name=data["workload_name"],
+        policy_name=data["policy_name"],
+        replay=ReplayResult(
+            policy_name=replay["policy_name"],
+            duration_seconds=replay["duration_seconds"],
+            io_count=replay["io_count"],
+            response=ResponseStats(**replay["response"]),
+            power=PowerReading(**replay["power"]),
+            migrated_bytes=replay["migrated_bytes"],
+            migration_count=replay["migration_count"],
+            determinations=replay["determinations"],
+            cache_hit_ratio=replay["cache_hit_ratio"],
+            spin_up_count=replay["spin_up_count"],
+            spin_down_count=replay["spin_down_count"],
+        ),
+        interval_curve=IntervalCurve(
+            lengths=tuple(curve["lengths"]),
+            cumulative=tuple(curve["cumulative"]),
+        ),
+        window_responses=[
+            WindowResponse(**window) for window in data["window_responses"]
+        ],
+        enclosure_watts=data["enclosure_watts"],
+        controller_watts=data["controller_watts"],
+        audit_checks=data["audit_checks"],
+    )
+
+
+def result_to_json(result: ExperimentResult) -> str:
+    """Serialize a result to a deterministic JSON string."""
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def result_from_json(text: str) -> ExperimentResult:
+    """Parse a result serialized by :func:`result_to_json`."""
+    return result_from_dict(json.loads(text))

@@ -14,7 +14,7 @@ from functools import lru_cache
 from repro import units
 from repro.errors import ValidationError
 from repro.config import DEFAULT_CONFIG, EcoStorConfig
-from repro.experiments.runner import ExperimentResult, run_comparison
+from repro.experiments.runner import ExperimentResult
 from repro.workloads import (
     build_dss_workload,
     build_fileserver_workload,
@@ -60,9 +60,18 @@ def _seed(default: int, seed: int) -> dict[str, int]:
 def comparison(
     name: str, full: bool = True, config: EcoStorConfig = DEFAULT_CONFIG
 ) -> dict[str, ExperimentResult]:
-    """All four policies over one workload, memoized per process."""
-    workload = build_workload(name, full)
-    return run_comparison(workload, config=config)
+    """All four policies over one workload, memoized per process.
+
+    Routed through the parallel experiment engine: with the default
+    engine configuration (one job, no cache) the cells replay inline
+    and the results are numerically identical to
+    :func:`~repro.experiments.runner.run_comparison`; after
+    ``repro.experiments.parallel.configure(jobs=..., cache_dir=...)``
+    the same call fans out across workers and reuses cached cells.
+    """
+    from repro.experiments import parallel
+
+    return parallel.comparison_results(name, full=full, config=config)
 
 
 def clear_cache() -> None:

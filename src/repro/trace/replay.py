@@ -94,7 +94,24 @@ class TraceReplayer:
         closed properly: pending policy checkpoints up to the end run,
         dirty cache data is flushed, and every enclosure's energy
         timeline is settled to the end.
+
+        Boundary convention: a policy checkpoint scheduled exactly at a
+        record's timestamp runs *before* that record is submitted (the
+        checkpoint closes the monitoring window ending at that instant;
+        the record opens the next one).  Tests pin this ordering — the
+        parallel experiment engine depends on every replay, serial or
+        not, making the same decision sequence.
+
+        An empty trace replays to a well-defined zero-I/O result when a
+        positive ``duration`` is given (idle power over the window).
+        Without one there is no measurement window at all, which raises
+        :class:`~repro.errors.ReplayError` — as does a non-positive
+        declared ``duration``.
         """
+        if duration is not None and duration <= 0.0:
+            raise ReplayError(
+                f"declared duration must be positive, got {duration}"
+            )
         context = self.context
         policy = self.policy
         app = context.app_monitor
@@ -123,6 +140,11 @@ class TraceReplayer:
             policy.after_io(record, response)
             count += 1
 
+        if count == 0 and duration is None:
+            raise ReplayError(
+                "cannot replay an empty trace without an explicit "
+                "duration: there is no measurement window"
+            )
         end = duration if duration is not None else last_ts
         if end < last_ts:
             raise ReplayError(
@@ -156,11 +178,25 @@ class TraceReplayer:
         )
 
     def _run_checkpoints(self, until: float) -> None:
-        """Run every policy checkpoint scheduled at or before ``until``."""
+        """Run every policy checkpoint scheduled at or before ``until``.
+
+        Power-timeline samples that fall due at or before a checkpoint
+        are taken *before* the policy acts: a checkpoint may settle (or
+        re-state) the enclosures at its own time, and sampling a
+        boundary only afterwards would lump the whole span's energy
+        into the first boundary and report zero for the rest.  This
+        also yields intermediate samples inside idle gaps longer than
+        the sampling interval — previously nothing was sampled until
+        the next record arrived (or ``timeline.finish``).
+        """
         while True:
             checkpoint = self.policy.next_checkpoint()
             if checkpoint is None or checkpoint > until:
                 return
+            if self.timeline is not None and self.timeline.sample_due(
+                checkpoint
+            ):
+                self.timeline.sample(checkpoint)
             self.policy.on_checkpoint(checkpoint)
             if self.auditor is not None:
                 self.auditor.check(checkpoint)

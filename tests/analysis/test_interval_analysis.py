@@ -48,6 +48,25 @@ class TestIntervalCurve:
             interval_curve([], 0.0)
 
 
+class TestCachedProbeArray:
+    """cumulative_at precomputes its numpy array once per curve."""
+
+    def test_probe_results_unchanged_after_caching(self):
+        curve = interval_curve([60.0, 100.0, 200.0], BE)
+        probes = (0.0, 59.0, 60.0, 150.0, 200.0, 10_000.0)
+        first = [curve.cumulative_at(p) for p in probes]
+        second = [curve.cumulative_at(p) for p in probes]
+        assert first == second == [0.0, 0.0, 60.0, 160.0, 360.0, 360.0]
+
+    def test_array_is_built_once_and_reused(self):
+        curve = interval_curve([60.0, 100.0], BE)
+        curve.cumulative_at(70.0)
+        array = curve._lengths_array
+        curve.cumulative_at(120.0)
+        assert curve._lengths_array is array
+        assert list(array) == list(curve.lengths)
+
+
 class TestHelpers:
     def test_total_long_interval_length(self):
         assert total_long_interval_length([10.0, 60.0, 70.0], BE) == 130.0

@@ -31,6 +31,39 @@ class TestParser:
             build_parser().parse_args(["figures", "--only", "fig99"])
 
 
+class TestExperimentsCommand:
+    def test_parses_engine_flags(self):
+        args = build_parser().parse_args(
+            ["experiments", "--workloads", "tpcc", "--policies", "pdc",
+             "--jobs", "4", "--cache-dir", "/tmp/c", "--verify-serial"]
+        )
+        assert args.workloads == ["tpcc"]
+        assert args.policies == ["pdc"]
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.verify_serial
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--workloads", "mysql"])
+
+    def test_sweep_verifies_against_serial(self, capsys, tmp_path):
+        argv = [
+            "experiments", "--workloads", "tpcc",
+            "--policies", "no-power-saving", "pdc",
+            "--jobs", "2", "--cache-dir", str(tmp_path), "--verify-serial",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Experiments — tpcc" in out
+        assert "cells: 2 total, 0 cached, 2 replayed, 0 failed" in out
+        assert "verify-serial: parallel results identical to serial replay" in out
+        # Second invocation hits the warm cache: zero replays.
+        assert main(argv[:-1]) == 0
+        out = capsys.readouterr().out
+        assert "cells: 2 total, 2 cached, 0 replayed, 0 failed" in out
+
+
 class TestExecution:
     def test_patterns_command(self, capsys):
         assert main(["patterns", "tpcc"]) == 0

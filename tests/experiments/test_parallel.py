@@ -1,0 +1,316 @@
+"""Tests for the parallel experiment engine and its result cache.
+
+The acceptance criteria from the engine's design live here verbatim:
+a four-policy smoke TPC-C grid run with ``jobs=4`` must produce
+*numerically identical* ``ExperimentResult``s to the serial path, and a
+second invocation against a warm cache must perform **zero replays**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.config import DEFAULT_CONFIG
+from repro.errors import ExperimentError, ValidationError
+from repro.experiments import parallel
+from repro.experiments.parallel import (
+    CellOutcome,
+    ExperimentCell,
+    ExperimentEngine,
+    PolicySpec,
+    WorkloadSpec,
+    standard_cells,
+    workload_fingerprint,
+)
+from repro.experiments.runner import STANDARD_POLICIES, run_cell
+from repro.experiments.serialize import (
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.experiments.testbed import build_workload, comparison
+
+
+@pytest.fixture(scope="module")
+def grid_cells() -> list[ExperimentCell]:
+    """The acceptance grid: smoke TPC-C under all four paper policies."""
+    return [
+        ExperimentCell(workload=WorkloadSpec(name="tpcc"), policy=PolicySpec(name=p))
+        for p in STANDARD_POLICIES
+    ]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("ecostor-cache")
+
+
+@pytest.fixture(scope="module")
+def parallel_run(grid_cells, cache_dir):
+    """Cold-cache multiprocess run of the acceptance grid."""
+    engine = ExperimentEngine(jobs=4, cache_dir=cache_dir)
+    return engine, engine.run_cells(grid_cells)
+
+
+@pytest.fixture(scope="module")
+def serial_run(grid_cells):
+    """Uncached in-process run of the same grid."""
+    engine = ExperimentEngine(jobs=1)
+    return engine, engine.run_cells(grid_cells)
+
+
+def small_cell(policy: str = "no-power-saving") -> ExperimentCell:
+    """A fast single cell for tests that need their own replay."""
+    return ExperimentCell(
+        workload=WorkloadSpec(name="tpcc", overrides=(("duration", 1300.0),)),
+        policy=PolicySpec(name=policy),
+    )
+
+
+class TestAcceptance:
+    def test_parallel_identical_to_serial(self, parallel_run, serial_run):
+        _, par = parallel_run
+        _, ser = serial_run
+        assert all(o.ok for o in par)
+        assert all(o.ok for o in ser)
+        assert [o.result for o in par] == [o.result for o in ser]
+
+    def test_cold_run_replays_every_cell(self, parallel_run):
+        engine, outcomes = parallel_run
+        assert engine.cache_hits == 0
+        assert engine.replays == len(outcomes) == 4
+        assert engine.failures == 0
+        assert not any(o.from_cache for o in outcomes)
+
+    def test_warm_cache_performs_zero_replays(
+        self, grid_cells, cache_dir, parallel_run, monkeypatch
+    ):
+        _, cold = parallel_run
+        # Prove no execution path is even reachable on the warm run.
+        monkeypatch.setattr(
+            parallel, "_execute_cell_safe",
+            lambda cell: pytest.fail("warm run replayed a cell"),
+        )
+        engine = ExperimentEngine(jobs=4, cache_dir=cache_dir)
+        warm = engine.run_cells(grid_cells)
+        assert engine.replays == 0
+        assert engine.cache_hits == 4
+        assert all(o.from_cache for o in warm)
+        assert [o.result for o in warm] == [o.result for o in cold]
+
+    def test_engine_matches_direct_run_cell(self, serial_run):
+        _, outcomes = serial_run
+        direct = run_cell(build_workload("tpcc", full=False), NoPowerSavingPolicy())
+        assert outcomes[0].cell.policy.name == "no-power-saving"
+        assert outcomes[0].result == direct
+
+    def test_outcomes_come_back_in_input_order(self, parallel_run, grid_cells):
+        _, outcomes = parallel_run
+        assert [o.cell for o in outcomes] == grid_cells
+
+
+class TestRouting:
+    def test_comparison_results_maps_policy_names(self, cache_dir, parallel_run):
+        _, outcomes = parallel_run
+        engine = ExperimentEngine(jobs=1, cache_dir=cache_dir)
+        results = parallel.comparison_results("tpcc", full=False, engine=engine)
+        assert engine.replays == 0  # same cells: answered from the warm cache
+        assert results == {o.cell.policy.name: o.result for o in outcomes}
+
+    def test_testbed_comparison_routes_through_engine(self, parallel_run):
+        _, outcomes = parallel_run
+        results = comparison("tpcc", full=False)
+        assert set(results) == set(STANDARD_POLICIES)
+        for outcome in outcomes:
+            assert results[outcome.cell.policy.name] == outcome.result
+
+    def test_standard_cells_figure_order(self):
+        cells = standard_cells(WorkloadSpec(name="tpcc"))
+        assert [c.policy.name for c in cells] == list(STANDARD_POLICIES)
+
+
+class TestSerialization:
+    def test_json_round_trip_is_exact(self, serial_run):
+        _, outcomes = serial_run
+        for outcome in outcomes:
+            result = outcome.result
+            restored = result_from_json(result_to_json(result))
+            assert restored == result
+            assert isinstance(restored.interval_curve.lengths, tuple)
+            assert isinstance(restored.interval_curve.cumulative, tuple)
+            assert isinstance(restored.window_responses, list)
+
+    def test_result_methods_round_trip(self, serial_run):
+        _, outcomes = serial_run
+        result = outcomes[0].result
+        assert type(result).from_dict(result.to_dict()) == result
+
+    def test_format_mismatch_rejected(self, serial_run):
+        _, outcomes = serial_run
+        data = result_to_dict(outcomes[0].result)
+        data["format"] = 999
+        with pytest.raises(ExperimentError):
+            result_from_dict(data)
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        cell = small_cell()
+        assert cell.cache_key() == cell.cache_key()
+
+    def test_config_change_invalidates(self):
+        cell = small_cell()
+        other = replace(cell, config=replace(DEFAULT_CONFIG, spin_down_timeout=60.0))
+        assert cell.cache_key() != other.cache_key()
+
+    def test_policy_options_invalidate(self):
+        cell = ExperimentCell(
+            workload=small_cell().workload,
+            policy=PolicySpec(name="proposed"),
+        )
+        other = replace(
+            cell,
+            policy=PolicySpec(name="proposed", options=(("enable_migration", False),)),
+        )
+        assert cell.cache_key() != other.cache_key()
+
+    def test_workload_change_invalidates(self):
+        cell = small_cell()
+        other = replace(
+            cell, workload=WorkloadSpec(name="tpcc", overrides=(("duration", 2600.0),))
+        )
+        seeded = replace(cell, workload=WorkloadSpec(name="tpcc", seed=7))
+        assert len({cell.cache_key(), other.cache_key(), seeded.cache_key()}) == 3
+
+    def test_audit_flag_invalidates(self):
+        cell = small_cell()
+        assert cell.cache_key() != replace(cell, audit=True).cache_key()
+
+    def test_fingerprint_reflects_trace_content(self):
+        spec = WorkloadSpec(name="tpcc", overrides=(("duration", 1300.0),))
+        same = WorkloadSpec(name="tpcc", overrides=(("duration", 1300.0),))
+        longer = WorkloadSpec(name="tpcc", overrides=(("duration", 2600.0),))
+        assert workload_fingerprint(spec) == workload_fingerprint(same)
+        assert workload_fingerprint(spec) != workload_fingerprint(longer)
+
+
+class TestCacheRobustness:
+    def test_corrupt_entry_is_a_miss_and_gets_rewritten(self, tmp_path):
+        cell = small_cell()
+        first = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        (result,) = (o.require() for o in first.run_cells([cell]))
+        path = tmp_path / f"{cell.cache_key()}.json"
+        assert path.exists()
+        path.write_text("{ not json", encoding="utf-8")
+        second = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        (again,) = (o.require() for o in second.run_cells([cell]))
+        assert second.cache_hits == 0 and second.replays == 1
+        assert again == result
+        third = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        third.run_cells([cell])
+        assert third.cache_hits == 1 and third.replays == 0
+
+    def test_wrong_key_entry_is_a_miss(self, tmp_path):
+        cell = small_cell()
+        first = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        first.run_cells([cell])
+        path = tmp_path / f"{cell.cache_key()}.json"
+        # Simulate a hash collision / renamed file: stored key disagrees.
+        text = path.read_text(encoding="utf-8").replace(cell.cache_key(), "0" * 64)
+        path.write_text(text, encoding="utf-8")
+        second = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        second.run_cells([cell])
+        assert second.cache_hits == 0 and second.replays == 1
+
+
+class TestFailureIsolation:
+    def test_one_bad_cell_does_not_kill_the_sweep(self, monkeypatch):
+        def boom() -> None:
+            raise RuntimeError("policy factory exploded")
+
+        monkeypatch.setitem(STANDARD_POLICIES, "boom", boom)
+        cells = [small_cell(), small_cell("boom")]
+        engine = ExperimentEngine(jobs=1)
+        good, bad = engine.run_cells(cells)
+        assert good.ok and good.result is not None
+        assert not bad.ok and bad.from_cache is False
+        assert "policy factory exploded" in bad.error
+        assert engine.failures == 1 and engine.replays == 2
+        with pytest.raises(ExperimentError, match="boom"):
+            bad.require()
+
+    def test_require_on_success_returns_result(self, serial_run):
+        _, outcomes = serial_run
+        assert outcomes[0].require() is outcomes[0].result
+
+
+class TestSpecs:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown policy"):
+            PolicySpec(name="magic").build()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown workload"):
+            WorkloadSpec(name="mysql", overrides=(("duration", 1.0),)).build()
+
+    def test_labels(self):
+        cell = ExperimentCell(
+            workload=WorkloadSpec(name="tpcc", seed=3),
+            policy=PolicySpec(name="proposed", options=(("enable_migration", False),)),
+        )
+        assert cell.label == "tpcc[smoke,seed=3] x proposed(enable_migration=False)"
+
+    def test_cells_are_picklable(self):
+        import pickle
+
+        cell = small_cell()
+        assert pickle.loads(pickle.dumps(cell)) == cell
+
+
+class TestEngineConfiguration:
+    @pytest.fixture
+    def restore_defaults(self):
+        saved = (
+            parallel._DEFAULTS.jobs,
+            parallel._DEFAULTS.cache_dir,
+            parallel._DEFAULTS.progress,
+        )
+        yield
+        (
+            parallel._DEFAULTS.jobs,
+            parallel._DEFAULTS.cache_dir,
+            parallel._DEFAULTS.progress,
+        ) = saved
+
+    def test_configure_feeds_default_engine(self, restore_defaults, tmp_path):
+        lines: list[str] = []
+        parallel.configure(jobs=2, cache_dir=tmp_path, progress=lines.append)
+        engine = parallel.default_engine()
+        assert engine.jobs == 2
+        assert engine.cache_dir == tmp_path
+        assert engine.progress == lines.append
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentEngine(jobs=0)
+        with pytest.raises(ValidationError):
+            parallel.configure(jobs=0)
+
+    def test_progress_reports_cache_hits(self, grid_cells, cache_dir, parallel_run):
+        lines: list[str] = []
+        engine = ExperimentEngine(jobs=1, cache_dir=cache_dir, progress=lines.append)
+        engine.run_cells(grid_cells)
+        assert len(lines) == 4
+        assert lines[0] == "[1/4] tpcc[smoke] x no-power-saving: cached"
+        assert all(line.endswith("cached") for line in lines)
+
+
+class TestOutcome:
+    def test_ok_flags(self):
+        cell = small_cell()
+        assert CellOutcome(cell=cell, result=None, error="trace").ok is False
+        assert CellOutcome(cell=cell).ok is True
