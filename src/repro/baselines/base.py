@@ -14,6 +14,7 @@ import abc
 
 from repro.errors import UsageError
 from repro.simulation import SimulationContext
+from repro.storage.enclosure import DiskEnclosure
 from repro.trace.records import LogicalIORecord
 
 
@@ -28,6 +29,10 @@ class PowerPolicy(abc.ABC):
         #: Number of data-placement determinations performed — the paper
         #: reports this count for every method (§VII-D).
         self.determinations = 0
+        #: Per-enclosure end times of degraded-mode cool-down windows.
+        self._cooldown_until: dict[str, float] = {}
+        #: Times degraded mode vetoed a power-off enablement.
+        self.degraded_cooldowns = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -43,6 +48,47 @@ class PowerPolicy(abc.ABC):
 
     def on_start(self, now: float) -> None:
         """Called once at replay start (time ``now``, usually 0)."""
+
+    # ------------------------------------------------------------------
+    # degraded-mode power-off gate (repro.faults)
+    # ------------------------------------------------------------------
+    def apply_power_off(
+        self, enclosure: DiskEnclosure, now: float, enable: bool
+    ) -> bool:
+        """Enable/disable power-off on one enclosure through the
+        degraded-mode gate; returns whether power-off ended up enabled.
+
+        Every policy routes its power-off decisions through here.  When
+        an enclosure's recent spin-up failures (within
+        ``config.spin_up_failure_window``) reach
+        ``config.spin_up_failure_threshold``, the enclosure enters a
+        cool-down of ``config.power_off_cooldown`` seconds during which
+        enablement is vetoed — a drive that keeps failing to spin up
+        should not keep being spun down.  Without fault injection there
+        are no recorded failures and the gate is a transparent
+        pass-through, so zero-fault behaviour is unchanged.
+        """
+        if not enable:
+            enclosure.disable_power_off(now)
+            return False
+        until = self._cooldown_until.get(enclosure.name, 0.0)
+        if now < until:
+            enclosure.disable_power_off(now)
+            return False
+        failures = enclosure.spin_up_failure_times
+        if failures:
+            config = self._require_context().config
+            window_start = now - config.spin_up_failure_window
+            recent = sum(1 for t in failures if t >= window_start)
+            if recent >= config.spin_up_failure_threshold:
+                self._cooldown_until[enclosure.name] = (
+                    now + config.power_off_cooldown
+                )
+                self.degraded_cooldowns += 1
+                enclosure.disable_power_off(now)
+                return False
+        enclosure.enable_power_off(now)
+        return True
 
     @abc.abstractmethod
     def next_checkpoint(self) -> float | None:

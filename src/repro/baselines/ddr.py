@@ -101,12 +101,15 @@ class DDRPolicy(PowerPolicy):
                 cold.add(name)
         self.determinations += 1
 
+        # Power-off decisions go through the degraded-mode gate: a cold
+        # enclosure whose spin-ups keep failing is vetoed for a
+        # cool-down window (repro.faults); without faults the gate is a
+        # pass-through.
         for enclosure in context.enclosures:
             if enclosure.name in cold:
-                if enclosure.name not in self._cold:
-                    enclosure.enable_power_off(now)
+                self.apply_power_off(enclosure, now, True)
             elif enclosure.name in self._cold:
-                enclosure.disable_power_off(now)
+                self.apply_power_off(enclosure, now, False)
         self._cold = cold
 
         context.storage_monitor.begin_window(now)

@@ -58,9 +58,10 @@ class PDCPolicy(PowerPolicy):
             self.monitoring_period = context.config.pdc_monitoring_period
         self._next_checkpoint = now + self.monitoring_period
         self._window_start = now
-        # PDC lets any disk spin down once its load drops.
+        # PDC lets any disk spin down once its load drops (subject to
+        # the degraded-mode gate under fault injection).
         for enclosure in context.enclosures:
-            enclosure.enable_power_off(now)
+            self.apply_power_off(enclosure, now, True)
 
     def next_checkpoint(self) -> float | None:
         """Time of the next PDC migration checkpoint."""
@@ -166,6 +167,12 @@ class PDCPolicy(PowerPolicy):
                     plan.add(item, target)
 
         context.migration_engine.execute(now, plan)
+
+        # Re-evaluate the degraded-mode gate every period: an enclosure
+        # whose spin-ups keep failing must stop spinning down for its
+        # cool-down window, and re-qualifies automatically afterwards.
+        for enclosure in context.enclosures:
+            self.apply_power_off(enclosure, now, True)
 
         self._popularity.clear()
         self._window_start = now

@@ -13,6 +13,8 @@ Subcommands::
     ecostor replay-trace PATH POLICY [--enclosures N] [--msr]
     ecostor intervals WORKLOAD POLICY [--full]
     ecostor lint [PATHS ...] [--format text|json] [--select RULE ...]
+    ecostor chaos [--workload W] [--seeds N ...] [--faults KIND ...]
+                  [--policies P ...] [--full] [--jobs N] [--cache-dir DIR]
 
 ``experiments`` runs a (workload × policy) sweep through the parallel
 experiment engine — ``--jobs`` workers, results memoized on disk under
@@ -25,7 +27,9 @@ invariants every monitoring period); ``export-trace`` /
 ``replay-trace`` round-trip logical traces through CSV (or ingest real
 MSR-Cambridge block traces with ``--msr``); ``intervals`` draws a
 Fig 17-19 curve in the terminal; ``lint`` runs the
-:mod:`repro.devtools` domain linter.
+:mod:`repro.devtools` domain linter; ``chaos`` sweeps policies against
+seeded fault plans (:mod:`repro.faults`) with the invariant auditor
+armed and reports the energy-vs-availability frontier.
 """
 
 from __future__ import annotations
@@ -180,6 +184,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "0 violations"
         )
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(
+        workload=args.workload,
+        full=args.full,
+        seeds=tuple(args.seeds),
+        policies=args.policies,
+        kinds=args.faults,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        progress=_progress,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -394,6 +415,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify energy/capacity/time invariants every monitoring period",
     )
     run.set_defaults(func=_cmd_run)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="policies x fault plans sweep with the invariant auditor armed",
+    )
+    chaos.add_argument(
+        "--workload",
+        choices=WORKLOAD_NAMES,
+        default="tpcc",
+        help="workload to replay under faults (default: tpcc)",
+    )
+    chaos.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[11],
+        help="chaos seeds; each derives one full fault-plan grid",
+    )
+    chaos.add_argument(
+        "--faults",
+        nargs="+",
+        metavar="KIND",
+        default=None,
+        help="fault-plan kinds to sweep (default: all, incl. baseline)",
+    )
+    chaos.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(STANDARD_POLICIES),
+        default=None,
+        help="policies to stress (default: all four)",
+    )
+    chaos.add_argument("--full", action="store_true")
+    _add_engine_options(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
 
     lint = sub.add_parser(
         "lint", help="run the domain linter (repro.devtools)"

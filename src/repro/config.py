@@ -111,6 +111,21 @@ class EcoStorConfig:
     #: throughput loss.
     service_headroom: float = 2.0
 
+    # --- fault tolerance (repro.faults) ---------------------------------
+    #: Base wait of the controller's capped exponential backoff between
+    #: spin-up retry attempts (virtual-time seconds).
+    fault_backoff_base: float = 1.0
+    #: Cap on a single backoff wait.
+    fault_backoff_cap: float = 64.0
+    #: Spin-up failures within the sliding window that trip degraded
+    #: mode: the policy stops enabling power-off on that enclosure.
+    spin_up_failure_threshold: int = 3
+    #: Sliding window over which recent spin-up failures are counted.
+    spin_up_failure_window: float = 30.0 * units.MINUTE
+    #: Cool-down during which degraded mode keeps vetoing power-off
+    #: enablement for a tripped enclosure.
+    power_off_cooldown: float = 30.0 * units.MINUTE
+
     # --- baselines ------------------------------------------------------
     #: PDC re-ranking period (paper: 30 min, from [11]).
     pdc_monitoring_period: float = 30.0 * units.MINUTE
@@ -154,6 +169,24 @@ class EcoStorConfig:
         if self.service_headroom < 1.0:
             raise ConfigurationError(
                 f"service_headroom must be >= 1, got {self.service_headroom}"
+            )
+        if self.fault_backoff_base <= 0 or (
+            self.fault_backoff_cap < self.fault_backoff_base
+        ):
+            raise ConfigurationError(
+                "fault backoff requires 0 < base <= cap, got "
+                f"base={self.fault_backoff_base}, cap={self.fault_backoff_cap}"
+            )
+        if self.spin_up_failure_threshold < 1:
+            raise ConfigurationError(
+                "spin_up_failure_threshold must be >= 1, got "
+                f"{self.spin_up_failure_threshold}"
+            )
+        if self.spin_up_failure_window <= 0 or self.power_off_cooldown <= 0:
+            raise ConfigurationError(
+                "spin_up_failure_window and power_off_cooldown must be "
+                "positive, got "
+                f"{self.spin_up_failure_window} and {self.power_off_cooldown}"
             )
         # The physical break-even of the power model should agree with the
         # algorithmic parameter to within 20 %, otherwise the placement

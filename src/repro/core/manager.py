@@ -220,12 +220,11 @@ class EnergyEfficientPolicy(PowerPolicy):
         for item_id in preload_items:
             context.controller.preload_item(now, item_id)
 
-        # Step 7: power-off only for the cold enclosures.
+        # Step 7: power-off only for the cold enclosures, routed through
+        # the degraded-mode gate (repro.faults): a cold enclosure whose
+        # spin-ups keep failing is kept powered for a cool-down window.
         for enclosure in context.enclosures:
-            if split.is_cold(enclosure.name):
-                enclosure.enable_power_off(now)
-            else:
-                enclosure.disable_power_off(now)
+            self.apply_power_off(enclosure, now, split.is_cold(enclosure.name))
 
         # Step 8: next monitoring period.
         if self.adaptive_period:

@@ -18,6 +18,12 @@ books from first principles:
   sizes placed on it (and within declared capacity).
 * **Monotonic time** — audit time, and every enclosure's settled clock,
   never move backwards.
+* **Fault discipline** (:mod:`repro.faults`) — acknowledged writes are
+  conserved (every page absorbed into write-delay is either still dirty
+  or was flushed: ``absorbed == flushed + dirty``, exact integers), no
+  physical I/O started service inside an injected outage window, and
+  after a cache-battery failure no acknowledged dirty data lingers in
+  the write-delay partition.
 
 Any violation raises :class:`~repro.errors.AuditError` whose message
 embeds a dump of the violating state.  Overhead is one settle + O(items)
@@ -79,6 +85,7 @@ class InvariantAuditor:
         self._check_monotonic_time(now, problems)
         self._check_energy_conservation(now, problems)
         self._check_capacity(problems)
+        self._check_faults(now, problems)
         self.checks_run += 1
         self._last_now = max(self._last_now, now)
         for enclosure in self.context.enclosures:
@@ -221,3 +228,36 @@ class InvariantAuditor:
                     f"enclosure {name} over capacity: {used} of "
                     f"{capacity} bytes"
                 )
+
+    def _check_faults(self, now: float, problems: list[str]) -> None:
+        ctx = self.context
+        # Acknowledged-write conservation holds with or without a fault
+        # clock: every page ever absorbed into the write-delay partition
+        # is either still dirty or was flushed to disk.  Exact integer
+        # identity — any slip here means an acknowledged write vanished
+        # (or was flushed twice).
+        delay = ctx.cache.write_delay
+        if delay.absorbed_pages != delay.flushed_pages + delay.dirty_pages:
+            problems.append(
+                "acknowledged-write conservation broken: absorbed "
+                f"{delay.absorbed_pages} pages != flushed "
+                f"{delay.flushed_pages} + dirty {delay.dirty_pages}"
+            )
+        clock = ctx.fault_clock
+        if clock is None:
+            return
+        # No physical I/O may start service inside an injected outage
+        # window; the enclosures record any slip as a violation.
+        for violation in clock.outage_violations:
+            problems.append(f"I/O served during outage: {violation}")
+        # After a cache-battery failure the controller must have
+        # force-flushed every acknowledged dirty page: battery-less
+        # write-delay data would be lost on a power event.
+        if ctx.controller.battery_failed and delay.dirty_pages:
+            problems.append(
+                "cache battery failed at "
+                f"t={clock.battery_failure_time:.3f}s but "
+                f"{delay.dirty_pages} dirty page(s) still sit in the "
+                "write-delay partition at "
+                f"t={now:.3f}s (acknowledged writes at risk)"
+            )

@@ -2,7 +2,7 @@
 
 Each rule inspects one module's :mod:`ast` tree and yields
 :class:`Violation` records.  Rules are registered in :data:`RULES` and
-addressed by a short id (``R1`` … ``R6``) or a descriptive name — both
+addressed by a short id (``R1`` … ``R7``) or a descriptive name — both
 work in ``--select`` and in suppression comments
 (``# lint: ignore[R2]`` / ``# lint: ignore[magic-number]``).
 
@@ -19,6 +19,7 @@ R4     power-state           transitions only via the enclosure API, and
                              only edges of ``LEGAL_TRANSITIONS``
 R5     public-api            public functions are annotated and documented
 R6     mutable-default       no mutable default argument values
+R7     naked-except          no bare ``except:`` / ``except Exception:``
 =====  ====================  ==============================================
 """
 
@@ -364,6 +365,7 @@ _FALLBACK_TRANSITIONS = frozenset(
         ("OFF", "SPIN_UP"),
         ("SPIN_UP", "IDLE"),
         ("SPIN_UP", "ACTIVE"),
+        ("SPIN_UP", "OFF"),
     }
 )
 
@@ -608,6 +610,59 @@ class MutableDefaultRule(Rule):
             isinstance(node, ast.Call)
             and _terminal_name(node.func) in _MUTABLE_CALLS
         )
+
+
+# ---------------------------------------------------------------------------
+# R7: naked exception handlers
+# ---------------------------------------------------------------------------
+
+#: Exception names too broad to catch: a handler naming one of these
+#: swallows AuditError, fault-injection errors, and genuine bugs alike.
+#: Catch the narrowest ReproError subclass that the guarded code can
+#: actually raise; true isolation boundaries (worker pools) carry an
+#: explicit ``# lint: ignore[R7]`` with a justification.
+_NAKED_EXCEPTS = {"BaseException", "Exception"}
+
+
+@_register
+class NakedExceptRule(Rule):
+    """R7: bare ``except:`` or ``except Exception/BaseException:``."""
+
+    rule_id = "R7"
+    name = "naked-except"
+    summary = (
+        "handlers must name the narrowest exception they expect; a "
+        "naked except hides AuditError and injected-fault failures"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Flag handlers with no type, or an over-broad builtin type."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare except: catches everything, including "
+                    "KeyboardInterrupt — name the exception(s) expected",
+                )
+                continue
+            types = (
+                node.type.elts
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for exc in types:
+                name = _terminal_name(exc)
+                if name in _NAKED_EXCEPTS:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"except {name}: is too broad — it silently "
+                        "swallows audit and fault-injection failures; "
+                        "catch the narrowest expected type",
+                    )
 
 
 def resolve_rules(selectors: Iterable[str] | None = None) -> list[Rule]:

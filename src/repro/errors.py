@@ -50,6 +50,64 @@ class PowerStateError(StorageError):
     """An illegal power-state transition was requested."""
 
 
+class FaultError(StorageError):
+    """Base class for injected-fault conditions (:mod:`repro.faults`).
+
+    These model *hardware* misbehaviour scheduled by a
+    :class:`~repro.faults.plan.FaultPlan`; the storage controller
+    catches them and degrades gracefully (retry, re-route, buffer),
+    so they normally never escape a replay.
+    """
+
+
+class SpinUpFailedError(FaultError):
+    """A spin-up attempt failed (transient); the caller should retry.
+
+    The failed attempt's time and energy have already been charged to
+    the enclosure's timeline — retrying is not free.
+    """
+
+    def __init__(self, enclosure: str, at: float) -> None:
+        super().__init__(
+            f"spin-up of enclosure {enclosure!r} failed at t={at:.3f}s"
+        )
+        self.enclosure = enclosure
+        self.at = at
+
+
+class EnclosureUnavailableError(FaultError):
+    """An enclosure is inside an injected outage window.
+
+    ``until`` is the virtual time the outage ends; the caller can wait
+    it out (delaying the I/O) or serve the request elsewhere.
+    """
+
+    def __init__(self, enclosure: str, at: float, until: float) -> None:
+        super().__init__(
+            f"enclosure {enclosure!r} unavailable at t={at:.3f}s "
+            f"(outage until t={until:.3f}s)"
+        )
+        self.enclosure = enclosure
+        self.at = at
+        self.until = until
+
+
+class MigrationAbortedError(FaultError):
+    """A data-item migration was aborted mid-transfer by fault injection.
+
+    Raised *before* any placement book is mutated: the item stays on its
+    source enclosure and per-enclosure used-bytes are untouched, so the
+    migration engine only has to count the abort and move on.
+    """
+
+    def __init__(self, item_id: str, at: float) -> None:
+        super().__init__(
+            f"migration of item {item_id!r} aborted at t={at:.3f}s"
+        )
+        self.item_id = item_id
+        self.at = at
+
+
 class TraceError(ReproError):
     """A trace file or record stream is malformed."""
 

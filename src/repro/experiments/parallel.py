@@ -44,13 +44,15 @@ from repro.experiments.runner import (
     run_cell,
 )
 from repro.experiments.serialize import result_from_dict, result_to_dict
+from repro.faults.plan import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.baselines.base import PowerPolicy
     from repro.workloads.items import Workload
 
 #: Bump to invalidate every existing cache entry (key-scheme changes).
-CACHE_FORMAT = 1
+#: Format 2 added the fault-plan fingerprint to the key.
+CACHE_FORMAT = 2
 
 #: Option value types allowed in specs: JSON-representable scalars.
 SpecValue = bool | int | float | str
@@ -182,19 +184,46 @@ class ExperimentCell:
     policy: PolicySpec
     config: EcoStorConfig = DEFAULT_CONFIG
     audit: bool = False
+    #: Fault plan injected into the run; ``None`` means zero faults.
+    faults: FaultPlan | None = None
 
     @property
     def label(self) -> str:
         """``workload × policy`` tag used in progress lines and errors."""
-        return f"{self.workload.label} x {self.policy.label}"
+        base = f"{self.workload.label} x {self.policy.label}"
+        if self.faults is not None and self.faults:
+            return f"{base} + faults[{self.faults.label}]"
+        return base
+
+    def _faults_fingerprint(self) -> str | None:
+        """Content hash of the cell's fault plan (``None`` when faultless).
+
+        A cached result is only valid for the exact fault schedule that
+        produced it, so anything that cannot be fingerprinted losslessly
+        must never silently share a key with the faultless run — reject
+        it instead of guessing.
+        """
+        if self.faults is None:
+            return None
+        if not isinstance(self.faults, FaultPlan):
+            raise ExperimentError(
+                f"cell {self.workload.label} x {self.policy.label} has an "
+                f"un-fingerprintable fault plan of type "
+                f"{type(self.faults).__name__}; pass a repro.faults.FaultPlan"
+            )
+        if not self.faults:
+            return None
+        return self.faults.fingerprint()
 
     def cache_key(self) -> str:
         """Deterministic content hash identifying this cell's result.
 
         Mixes the workload fingerprint (trace content, not just its
-        name), the policy name and options, every config field, and the
-        audit flag.  Any input change yields a new key; unrelated code
-        changes do not.
+        name), the policy name and options, every config field, the
+        audit flag, and the fault-plan fingerprint (``None`` for the
+        faultless cell — an empty plan and no plan replay identically,
+        so they share a key).  Any input change yields a new key;
+        unrelated code changes do not.
         """
         payload = {
             "format": CACHE_FORMAT,
@@ -208,6 +237,7 @@ class ExperimentCell:
             },
             "config": asdict(self.config),
             "audit": self.audit,
+            "faults": self._faults_fingerprint(),
         }
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -242,7 +272,7 @@ def _execute_cell(cell: ExperimentCell) -> dict[str, Any]:
     """Run one cell and return its serialized result (worker body)."""
     result = run_cell(
         cell.workload.build(), cell.policy.build(), cell.config,
-        audit=cell.audit,
+        audit=cell.audit, faults=cell.faults,
     )
     return result_to_dict(result)
 
@@ -261,7 +291,7 @@ def _execute_cell_safe(
     try:
         payload = _execute_cell(cell)
         return True, payload, time.perf_counter() - started
-    except Exception:
+    except Exception:  # lint: ignore[R7] - worker isolation boundary
         return False, traceback.format_exc(), time.perf_counter() - started
 
 
@@ -420,7 +450,7 @@ class ExperimentEngine:
                         item = futures[future]
                         try:
                             ok, payload, elapsed = future.result()
-                        except Exception:
+                        except Exception:  # lint: ignore[R7] - pool boundary
                             # Worker died (pool broken, unpicklable
                             # payload, ...): isolate as a cell failure.
                             ok, payload, elapsed = (

@@ -20,6 +20,7 @@ from repro.baselines.nopower import NoPowerSavingPolicy
 from repro.baselines.pdc import PDCPolicy
 from repro.config import DEFAULT_CONFIG, EcoStorConfig
 from repro.core.manager import EnergyEfficientPolicy
+from repro.faults.plan import FaultPlan
 from repro.simulation import build_context
 from repro.trace.replay import ReplayResult, TraceReplayer
 from repro.workloads.items import Workload
@@ -97,6 +98,7 @@ def run_cell(
     policy: PowerPolicy,
     config: EcoStorConfig = DEFAULT_CONFIG,
     audit: bool = False,
+    faults: FaultPlan | None = None,
 ) -> ExperimentResult:
     """Replay one workload under one policy on a fresh testbed.
 
@@ -105,8 +107,12 @@ def run_cell(
     time accounting is re-derived and any drift raises
     :class:`~repro.errors.AuditError` instead of silently corrupting the
     reported numbers.
+
+    ``faults`` injects a :class:`~repro.faults.plan.FaultPlan` into the
+    testbed (spin-up failures, outages, battery loss, ...); ``None`` or
+    an empty plan replays bit-identically to the pre-fault engine.
     """
-    context = build_context(config, workload.enclosure_count)
+    context = build_context(config, workload.enclosure_count, faults=faults)
     workload.install(context)
     auditor = None
     if audit:

@@ -19,13 +19,15 @@ from repro.analysis.intervals import IntervalCurve
 from repro.analysis.metrics import WindowResponse
 from repro.errors import ExperimentError
 from repro.experiments.runner import ExperimentResult
+from repro.faults.report import AvailabilityReport
 from repro.monitoring.application import ResponseStats
 from repro.storage.meter import PowerReading
 from repro.trace.replay import ReplayResult
 
 #: Bump when the serialized layout changes; stale cache entries with a
 #: different format are treated as misses, never mis-parsed.
-RESULT_FORMAT = 1
+#: Format 2 added the per-run :class:`AvailabilityReport`.
+RESULT_FORMAT = 2
 
 
 def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
@@ -48,6 +50,7 @@ def result_from_dict(data: Mapping[str, Any]) -> ExperimentResult:
         )
     replay = data["replay"]
     curve = data["interval_curve"]
+    availability = replay["availability"]
     return ExperimentResult(
         workload_name=data["workload_name"],
         policy_name=data["policy_name"],
@@ -63,6 +66,14 @@ def result_from_dict(data: Mapping[str, Any]) -> ExperimentResult:
             cache_hit_ratio=replay["cache_hit_ratio"],
             spin_up_count=replay["spin_up_count"],
             spin_down_count=replay["spin_down_count"],
+            availability=AvailabilityReport(
+                **{
+                    **availability,
+                    "at_risk_series": tuple(
+                        tuple(point) for point in availability["at_risk_series"]
+                    ),
+                }
+            ),
         ),
         interval_curve=IntervalCurve(
             lengths=tuple(curve["lengths"]),

@@ -1,0 +1,56 @@
+"""Deterministic, seeded fault injection for the storage simulator.
+
+The paper's three mechanisms — data placement, preload, write delay —
+all trade availability and durability risk for energy: spin-down/up
+cycles stress drives, write delay holds acknowledged writes in a
+battery-backed cache, and migrations move data while the workload runs.
+This package models the scenarios where that hardware misbehaves:
+
+* :mod:`repro.faults.plan` — typed fault events
+  (:class:`~repro.faults.plan.SpinUpFailure`,
+  :class:`~repro.faults.plan.EnclosureOutage`,
+  :class:`~repro.faults.plan.CacheBatteryFailure`,
+  :class:`~repro.faults.plan.SlowSpinUp`,
+  :class:`~repro.faults.plan.MigrationAbort`) collected into a
+  picklable, JSON-round-trippable :class:`~repro.faults.plan.FaultPlan`;
+* :mod:`repro.faults.model` — a seeded
+  :class:`~repro.faults.model.FaultModel` drawing per-enclosure faults
+  keyed off spin-cycle counts (aggressive power-off ⇒ more faults);
+* :mod:`repro.faults.clock` — the runtime
+  :class:`~repro.faults.clock.FaultClock` the storage layer consults;
+* :mod:`repro.faults.report` — the
+  :class:`~repro.faults.report.AvailabilityReport` attached to every
+  :class:`~repro.trace.replay.ReplayResult`;
+* :mod:`repro.faults.chaos` — the ``ecostor chaos`` harness sweeping
+  policies × fault plans through the parallel experiment engine.
+
+Everything is virtual-time deterministic: the same plan (or seed)
+replayed over the same trace produces a bit-identical result.
+"""
+
+from repro.faults.clock import FaultClock, SpinUpVerdict
+from repro.faults.model import FaultModel
+from repro.faults.plan import (
+    EMPTY_PLAN,
+    CacheBatteryFailure,
+    EnclosureOutage,
+    FaultPlan,
+    MigrationAbort,
+    SlowSpinUp,
+    SpinUpFailure,
+)
+from repro.faults.report import AvailabilityReport
+
+__all__ = [
+    "AvailabilityReport",
+    "EMPTY_PLAN",
+    "CacheBatteryFailure",
+    "EnclosureOutage",
+    "FaultClock",
+    "FaultModel",
+    "FaultPlan",
+    "MigrationAbort",
+    "SlowSpinUp",
+    "SpinUpFailure",
+    "SpinUpVerdict",
+]

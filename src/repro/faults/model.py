@@ -1,0 +1,112 @@
+"""Seeded probabilistic fault model.
+
+The model draws per-enclosure faults from a seed without any mutable RNG
+state: every draw is a pure SHA-256 hash of ``(seed, purpose, enclosure,
+counter)`` mapped to a uniform float in ``[0, 1)``.  Two properties
+follow:
+
+* **Determinism** — the same seed over the same simulation replays the
+  exact same fault sequence, independent of call order elsewhere.
+* **Proportionality** — spin-up faults are keyed off the enclosure's
+  spin-*cycle* index, so a policy that powers enclosures off more
+  aggressively faces proportionally more spin-up faults.  An enclosure
+  that never powers off never rolls the dice.
+
+Failure streaks are bounded by :attr:`FaultModel.max_consecutive_failures`
+so every retry loop in the controller is guaranteed to terminate: a
+streak always ends in a successful attempt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+from repro.errors import ValidationError
+
+
+def _uniform(seed: int, *key: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by ``(seed, *key)``."""
+    payload = "|".join([str(seed), *[str(part) for part in key]])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-enclosure fault probabilities drawn deterministically from a seed.
+
+    ``spin_up_failure_prob`` is the probability that a given spin-up
+    *cycle* (the first attempt after an OFF period) fails; a failing
+    cycle draws a streak length in ``[1, max_consecutive_failures]`` and
+    the enclosure fails that many consecutive attempts before the next
+    one succeeds.  ``slow_spin_up_prob`` is the per-attempt probability
+    that a (successful) spin-up takes ``slow_spin_up_multiplier`` times
+    the nominal latency.
+    """
+
+    seed: int
+    spin_up_failure_prob: float = 0.0
+    max_consecutive_failures: int = 2
+    slow_spin_up_prob: float = 0.0
+    slow_spin_up_multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("spin_up_failure_prob", "slow_spin_up_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValidationError(
+                    f"{name} must be in [0, 1), got {value!r} — a probability "
+                    "of 1.0 would make every spin-up cycle fail and starve "
+                    "retry loops"
+                )
+        if self.max_consecutive_failures < 1:
+            raise ValidationError(
+                "max_consecutive_failures must be >= 1, got "
+                f"{self.max_consecutive_failures!r}"
+            )
+        if self.slow_spin_up_multiplier < 1.0:
+            raise ValidationError(
+                "slow_spin_up_multiplier must be >= 1.0, got "
+                f"{self.slow_spin_up_multiplier!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether the model can inject any fault at all."""
+        return self.spin_up_failure_prob > 0.0 or self.slow_spin_up_prob > 0.0
+
+    def spin_up_failures(self, enclosure: str, cycle: int) -> int:
+        """Consecutive failures injected into spin-up cycle ``cycle``.
+
+        Returns ``0`` for a clean cycle, otherwise a streak length in
+        ``[1, max_consecutive_failures]``.
+        """
+        if self.spin_up_failure_prob <= 0.0:
+            return 0
+        if _uniform(self.seed, "spin-up", enclosure, cycle) >= (
+            self.spin_up_failure_prob
+        ):
+            return 0
+        span = _uniform(self.seed, "streak", enclosure, cycle)
+        return 1 + int(span * self.max_consecutive_failures)
+
+    def spin_up_multiplier(self, enclosure: str, attempt: int) -> float:
+        """Latency multiplier for spin-up attempt number ``attempt``."""
+        if self.slow_spin_up_prob <= 0.0:
+            return 1.0
+        if _uniform(self.seed, "slow", enclosure, attempt) < (
+            self.slow_spin_up_prob
+        ):
+            return self.slow_spin_up_multiplier
+        return 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for JSON round-tripping."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        return cls(**dict(data))

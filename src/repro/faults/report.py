@@ -1,0 +1,98 @@
+"""Availability accounting attached to every replay result.
+
+Energy numbers alone cannot rank policies once faults are in play: a
+policy that powers off aggressively may save watts while racking up
+spin-up retries and queue delay.  :class:`AvailabilityReport` is the
+second axis — it summarises how much the injected faults actually hurt,
+so the chaos harness can report an energy-vs-availability frontier.
+
+A zero-fault run produces a report equal to ``AvailabilityReport()``
+(all counters zero, empty series), which keeps
+:class:`~repro.trace.replay.ReplayResult` equality bit-identical with
+pre-fault replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.baselines.base import PowerPolicy
+    from repro.simulation import SimulationContext
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """How injected faults affected service during one replay.
+
+    "I/Os" here are controller-issued operations: application requests
+    plus maintenance transfers (flushes, preloads, migrations).
+    """
+
+    #: Operations refused at least once (outage window hit).
+    denied_ios: int = 0
+    #: Operations that completed late because of a fault.
+    delayed_ios: int = 0
+    #: Spin-up retry attempts performed by the controller.
+    spin_up_retries: int = 0
+    #: Failed spin-up attempts injected across all enclosures.
+    spin_up_failures: int = 0
+    #: Largest fault-imposed extra wait on a single operation (seconds).
+    max_queue_delay: float = 0.0
+    #: Total fault-imposed extra wait across all operations (seconds).
+    fault_delay_seconds: float = 0.0
+    #: Enclosure-seconds spent inside outage windows (merged, clipped).
+    unavailability_seconds: float = 0.0
+    #: Writes absorbed by the write-delay partition as an emergency
+    #: buffer while their home enclosure was unavailable.
+    emergency_buffered_ios: int = 0
+    #: Forced flushes (battery failure, outage-end drains).
+    emergency_flushes: int = 0
+    #: Peak acknowledged-but-unflushed bytes held without battery backing.
+    at_risk_peak_bytes: int = 0
+    #: Integral of at-risk bytes over time (byte-seconds).
+    at_risk_byte_seconds: float = 0.0
+    #: Compacted ``(time, at_risk_bytes)`` samples (changes only).
+    at_risk_series: tuple[tuple[float, int], ...] = ()
+    #: Migrations aborted by fault injection.
+    migration_aborts: int = 0
+    #: Times degraded mode vetoed a policy's power-off enablement.
+    degraded_cooldowns: int = 0
+    #: I/Os whose service started inside an outage window (must be 0;
+    #: the InvariantAuditor fails the run otherwise).
+    outage_violations: int = 0
+
+    @property
+    def faulted(self) -> bool:
+        """Whether any fault left a trace on this run."""
+        return self != AvailabilityReport()
+
+
+def availability_from_context(
+    context: "SimulationContext",
+    policy: "PowerPolicy",
+    end: float,
+) -> AvailabilityReport:
+    """Assemble the report from controller / clock / policy counters."""
+    controller = context.controller
+    clock = context.fault_clock
+    if clock is None:
+        return AvailabilityReport()
+    return AvailabilityReport(
+        denied_ios=controller.fault_denied_ios,
+        delayed_ios=controller.fault_delayed_ios,
+        spin_up_retries=controller.fault_spin_up_retries,
+        spin_up_failures=clock.spin_up_failures_injected,
+        max_queue_delay=controller.fault_max_queue_delay,
+        fault_delay_seconds=controller.fault_delay_seconds,
+        unavailability_seconds=clock.unavailability_seconds(end),
+        emergency_buffered_ios=controller.emergency_buffered_ios,
+        emergency_flushes=controller.emergency_flushes,
+        at_risk_peak_bytes=controller.at_risk_peak_bytes,
+        at_risk_byte_seconds=controller.at_risk_byte_seconds,
+        at_risk_series=tuple(controller.at_risk_samples),
+        migration_aborts=controller.migration_aborts,
+        degraded_cooldowns=getattr(policy, "degraded_cooldowns", 0),
+        outage_violations=len(clock.outage_violations),
+    )

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 from repro.errors import ValidationError
 from repro.config import EcoStorConfig
+from repro.faults.clock import FaultClock
+from repro.faults.plan import FaultPlan
 from repro.monitoring.application import ApplicationMonitor
 from repro.monitoring.storage import StorageMonitor
 from repro.storage.cache import StorageCache
@@ -36,6 +38,9 @@ class SimulationContext:
     storage_monitor: StorageMonitor
     migration_engine: MigrationEngine
     meter: PowerMeter
+    #: Fault oracle (:mod:`repro.faults`); ``None`` for zero-fault runs,
+    #: in which case the storage layer takes its pre-fault code paths.
+    fault_clock: FaultClock | None = None
 
     @property
     def enclosures(self) -> list[DiskEnclosure]:
@@ -51,12 +56,18 @@ def build_context(
     config: EcoStorConfig,
     enclosure_count: int,
     enclosure_prefix: str = "enc",
+    faults: FaultPlan | None = None,
 ) -> SimulationContext:
     """Assemble a fresh storage system with ``enclosure_count`` enclosures.
 
     Every enclosure gets one default volume named after it, so callers can
     place items immediately; workload builders may create more volumes
     (Table I's File Server creates 36 across 12 enclosures).
+
+    ``faults`` installs a :class:`~repro.faults.clock.FaultClock` wired
+    into every enclosure and the controller.  A ``None`` or empty plan
+    installs nothing at all, so zero-fault runs execute the exact
+    pre-fault code paths (bit-identical results).
     """
     if enclosure_count <= 0:
         raise ValidationError("enclosure_count must be positive")
@@ -86,7 +97,15 @@ def build_context(
         cache,
         migration_throughput_bps=config.migration_throughput_bps,
         physical_tap=storage_monitor.on_physical,
+        retry_backoff_base=config.fault_backoff_base,
+        retry_backoff_cap=config.fault_backoff_cap,
     )
+    fault_clock: FaultClock | None = None
+    if faults is not None and faults:
+        fault_clock = FaultClock(faults)
+        for enclosure in enclosures:
+            enclosure.set_fault_clock(fault_clock)
+        controller.set_fault_clock(fault_clock)
     return SimulationContext(
         config=config,
         virtualization=virtualization,
@@ -96,6 +115,7 @@ def build_context(
         storage_monitor=storage_monitor,
         migration_engine=MigrationEngine(controller),
         meter=PowerMeter(enclosures, config.controller_power),
+        fault_clock=fault_clock,
     )
 
 

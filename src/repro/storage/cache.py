@@ -170,6 +170,14 @@ class WriteDelayPartition:
         self._selected: set[str] = set()
         self._dirty: dict[str, set[int]] = {}
         self.flush_count = 0
+        #: Acknowledged-write conservation books: every page ever absorbed
+        #: (acknowledged to the application) is either still dirty here or
+        #: has been handed to a flush.  The invariant auditor asserts
+        #: ``absorbed_pages == flushed_pages + dirty_pages`` at all times,
+        #: which is what "no acknowledged write is ever lost" means in
+        #: page units.
+        self.absorbed_pages = 0
+        self.flushed_pages = 0
 
     @property
     def capacity_pages(self) -> int:
@@ -190,6 +198,10 @@ class WriteDelayPartition:
         """Ids of items selected for write-delay buffering."""
         return set(self._selected)
 
+    def dirty_items(self) -> list[str]:
+        """Ids of items holding dirty pages, in first-dirtied order."""
+        return [item for item, pages in self._dirty.items() if pages]
+
     def is_selected(self, item_id: str) -> bool:
         """Whether the item is selected for write-delay buffering."""
         return item_id in self._selected
@@ -208,6 +220,7 @@ class WriteDelayPartition:
         pages = self._dirty.pop(item_id, set())
         if not pages:
             return FlushPlan({})
+        self.flushed_pages += len(pages)
         return FlushPlan({item_id: len(pages) * PAGE_BYTES})
 
     def absorb_write(self, item_id: str, page: int) -> bool:
@@ -218,7 +231,10 @@ class WriteDelayPartition:
         """
         if item_id not in self._selected:
             raise KeyError(f"item {item_id!r} is not write-delay selected")
-        self._dirty.setdefault(item_id, set()).add(page)
+        pages = self._dirty.setdefault(item_id, set())
+        if page not in pages:
+            pages.add(page)
+            self.absorbed_pages += 1
         return self.dirty_pages >= self.dirty_threshold_pages
 
     def is_dirty(self, item_id: str, page: int) -> bool:
@@ -230,6 +246,7 @@ class WriteDelayPartition:
         pages = self._dirty.pop(item_id, set())
         if not pages:
             return FlushPlan({})
+        self.flushed_pages += len(pages)
         return FlushPlan({item_id: len(pages) * PAGE_BYTES})
 
     def flush_all(self) -> FlushPlan:
@@ -240,6 +257,9 @@ class WriteDelayPartition:
                 for item_id, pages in self._dirty.items()
                 if pages
             }
+        )
+        self.flushed_pages += sum(
+            len(pages) for pages in self._dirty.values()
         )
         self._dirty.clear()
         self.flush_count += 1

@@ -16,15 +16,25 @@ subscribes there) as :class:`~repro.trace.records.PhysicalIORecord`.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro import units
-from repro.errors import CapacityError, MappingError, ValidationError
+from repro.errors import (
+    CapacityError,
+    EnclosureUnavailableError,
+    MappingError,
+    MigrationAbortedError,
+    SpinUpFailedError,
+    ValidationError,
+)
 from repro.storage import cache as cache_mod
 from repro.storage.cache import StorageCache
 from repro.storage.enclosure import DiskEnclosure, IOResult
 from repro.storage.virtualization import BlockVirtualization
 from repro.trace.records import IOType, LogicalIORecord, PhysicalIORecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.clock import FaultClock
 
 #: Latency of an I/O served entirely from the controller cache.
 CACHE_HIT_LATENCY = 0.0002
@@ -54,16 +64,25 @@ class StorageController:
         migration_throughput_bps: float = 60.0 * units.MB,
         bulk_bandwidth_bps: float = BULK_BANDWIDTH_BPS,
         physical_tap: PhysicalTap | None = None,
+        retry_backoff_base: float = 1.0,
+        retry_backoff_cap: float = 64.0,
     ) -> None:
         if migration_throughput_bps <= 0:
             raise ValidationError("migration throughput must be positive")
         if bulk_bandwidth_bps <= 0:
             raise ValidationError("bulk bandwidth must be positive")
+        if retry_backoff_base <= 0 or retry_backoff_cap < retry_backoff_base:
+            raise ValidationError(
+                "retry backoff requires 0 < base <= cap, got "
+                f"base={retry_backoff_base!r}, cap={retry_backoff_cap!r}"
+            )
         self.virtualization = virtualization
         self.cache = cache
         self.migration_throughput_bps = migration_throughput_bps
         self.bulk_bandwidth_bps = bulk_bandwidth_bps
         self._physical_tap = physical_tap
+        self.retry_backoff_base = retry_backoff_base
+        self.retry_backoff_cap = retry_backoff_cap
 
         self.logical_io_count = 0
         self.cache_hit_count = 0
@@ -72,12 +91,165 @@ class StorageController:
         self.preloaded_bytes = 0
         self.flushed_bytes = 0
 
+        # Fault handling (:mod:`repro.faults`).  All of this is inert —
+        # strictly zero-cost on the hot path — until a fault clock is
+        # attached, so zero-fault runs take the pre-fault code paths.
+        self._fault_clock: FaultClock | None = None
+        self._battery_failed = False
+        #: Items we selected into write delay as an emergency buffer
+        #: because their home enclosure was inside an outage window.
+        self._emergency_items: set[str] = set()
+        #: The policy's own most recent write-delay selection, so a
+        #: drained emergency item is only deselected when the policy
+        #: does not also want it.
+        self._policy_selected: set[str] = set()
+        self.fault_denied_ios = 0
+        self.fault_delayed_ios = 0
+        self.fault_spin_up_retries = 0
+        self.fault_delay_seconds = 0.0
+        self.fault_max_queue_delay = 0.0
+        self.emergency_buffered_ios = 0
+        self.emergency_flushes = 0
+        self.migration_aborts = 0
+        self._at_risk_last_time: float | None = None
+        self._at_risk_last_bytes = 0
+        self.at_risk_peak_bytes = 0
+        self.at_risk_byte_seconds = 0.0
+        self.at_risk_samples: list[tuple[float, int]] = []
+
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
     def set_physical_tap(self, tap: PhysicalTap | None) -> None:
         """Attach the storage monitor's physical-trace listener."""
         self._physical_tap = tap
+
+    def set_fault_clock(self, clock: "FaultClock") -> None:
+        """Attach the simulation's fault oracle (:mod:`repro.faults`)."""
+        self._fault_clock = clock
+
+    @property
+    def battery_failed(self) -> bool:
+        """Whether the cache battery has failed (seen by the auditor)."""
+        return self._battery_failed
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def on_time(self, now: float) -> None:
+        """Advance fault bookkeeping to ``now`` (no-op without faults).
+
+        Called on every application I/O and at every replay checkpoint,
+        so battery failures are noticed and emergency buffers drained at
+        deterministic points of virtual time.
+        """
+        if self._fault_clock is None:
+            return
+        self._check_battery(now)
+        self._drain_emergency(now)
+        self._note_at_risk(now)
+
+    def _check_battery(self, now: float) -> None:
+        """React to a scheduled cache-battery failure.
+
+        The instant the failure is noticed, every acknowledged write in
+        the write-delay buffer is force-flushed — spinning enclosures up
+        even at energy cost — and write delay stays disabled for the
+        rest of the run, so no acknowledged write is ever lost.
+        """
+        if self._battery_failed:
+            return
+        failure_time = self._fault_clock.battery_failure_time
+        if failure_time is None or now < failure_time:
+            return
+        self._battery_failed = True
+        wd = self.cache.write_delay
+        self._note_at_risk(min(failure_time, now))
+        had_dirty = wd.dirty_pages > 0
+        completion = self.flush_write_delay(now)
+        if had_dirty:
+            self.emergency_flushes += 1
+        for item_id in list(wd.selected_items()):
+            wd.deselect(item_id)
+        self._emergency_items.clear()
+        self._policy_selected = set()
+        self._note_at_risk(max(now, completion))
+
+    def _drain_emergency(self, now: float) -> None:
+        """Flush emergency-buffered items whose outage has ended."""
+        for item_id in sorted(self._emergency_items):
+            enclosure = self.virtualization.enclosure_of(item_id)
+            if self._fault_clock.outage_at(enclosure.name, now) is not None:
+                continue
+            self._emergency_items.discard(item_id)
+            if item_id in self._policy_selected:
+                # The policy also selected this item; its dirty pages
+                # keep draining through the normal write-delay flushes.
+                continue
+            plan = self.cache.write_delay.deselect(item_id)
+            if plan.dirty_bytes_by_item:
+                self._execute_flush(now, plan.dirty_bytes_by_item)
+                self.emergency_flushes += 1
+
+    def _note_at_risk(self, now: float) -> None:
+        """Integrate at-risk dirty bytes (acknowledged, battery gone)."""
+        if not self._battery_failed:
+            return
+        bytes_now = self.cache.write_delay.dirty_pages * cache_mod.PAGE_BYTES
+        if self._at_risk_last_time is None:
+            self._at_risk_last_time = now
+        elif now > self._at_risk_last_time:
+            self.at_risk_byte_seconds += self._at_risk_last_bytes * (
+                now - self._at_risk_last_time
+            )
+            self._at_risk_last_time = now
+        self._at_risk_last_bytes = bytes_now
+        self.at_risk_peak_bytes = max(self.at_risk_peak_bytes, bytes_now)
+        if not self.at_risk_samples or self.at_risk_samples[-1][1] != bytes_now:
+            self.at_risk_samples.append((now, bytes_now))
+
+    def _with_fault_retry(
+        self,
+        now: float,
+        attempt: Callable[[float], IOResult],
+    ) -> tuple[IOResult, float]:
+        """Run one physical operation, retrying across injected faults.
+
+        Outage refusals are waited out (retry at the window's end);
+        failed spin-ups retry under capped exponential backoff — all in
+        virtual time, so the schedule is deterministic.  Both fault
+        types are finite by construction (outage windows end, failure
+        streaks break), so the loop terminates.  Returns the result
+        plus the fault-imposed delay before the successful attempt.
+        """
+        at = now
+        retries = 0
+        denied = False
+        while True:
+            try:
+                result = attempt(at)
+            except EnclosureUnavailableError as err:
+                denied = True
+                at = max(at, err.until)
+                continue
+            except SpinUpFailedError as err:
+                self.fault_spin_up_retries += 1
+                backoff = min(
+                    self.retry_backoff_cap,
+                    self.retry_backoff_base * (2.0**retries),
+                )
+                retries += 1
+                at = max(at, err.at) + backoff
+                continue
+            break
+        if denied:
+            self.fault_denied_ios += 1
+        delay = at - now
+        if delay > 0:
+            self.fault_delayed_ios += 1
+            self.fault_delay_seconds += delay
+            self.fault_max_queue_delay = max(self.fault_max_queue_delay, delay)
+        return result, delay
 
     def _emit_physical(
         self,
@@ -108,14 +280,20 @@ class StorageController:
         offset: int,
         io_type: IOType,
         sequential: bool,
-    ) -> IOResult:
+    ) -> float:
+        """Issue one physical I/O; returns the mean response time seen by
+        the application, including any fault-imposed retry delay."""
         enclosure_name, block = self.virtualization.resolve(item_id, offset)
         enclosure = self.virtualization.enclosure(enclosure_name)
-        result = enclosure.submit(
-            now, count=1, read=io_type.is_read, sequential=sequential
+        result, delay = self._with_fault_retry(
+            now,
+            lambda at: enclosure.submit(
+                at, count=1, read=io_type.is_read, sequential=sequential
+            ),
         )
-        self._emit_physical(now, enclosure_name, block, 1, io_type, item_id)
-        return result
+        issued = now + delay
+        self._emit_physical(issued, enclosure_name, block, 1, io_type, item_id)
+        return result.mean_response_time + delay
 
     def _bulk_transfer(
         self,
@@ -128,13 +306,18 @@ class StorageController:
     ) -> IOResult:
         seconds = size_bytes / bandwidth_bps
         count = max(1, size_bytes // BULK_IO_UNIT)
-        result = enclosure.occupy(
-            now, seconds, count=count, read=io_type.is_read
+        result, delay = self._with_fault_retry(
+            now,
+            lambda at: enclosure.occupy(
+                at, seconds, count=count, read=io_type.is_read
+            ),
         )
         base_block = 0
         if item_id is not None and self.virtualization.has_item(item_id):
             base_block = self.virtualization.extent_of(item_id).base_block
-        self._emit_physical(now, enclosure.name, base_block, count, io_type, item_id)
+        self._emit_physical(
+            now + delay, enclosure.name, base_block, count, io_type, item_id
+        )
         return result
 
     # ------------------------------------------------------------------
@@ -151,6 +334,7 @@ class StorageController:
         so their response is the cache latency (paper §II-E.2).
         """
         self.logical_io_count += 1
+        self.on_time(record.timestamp)
         item_id = record.item_id
         if not self.virtualization.has_item(item_id):
             raise MappingError(f"I/O to unplaced data item {item_id!r}")
@@ -165,14 +349,13 @@ class StorageController:
             if all(hits):
                 self.cache_hit_count += 1
                 return CACHE_HIT_LATENCY
-            result = self._physical_io(
+            return self._physical_io(
                 record.timestamp,
                 item_id,
                 record.offset,
                 IOType.READ,
                 record.sequential,
             )
-            return result.mean_response_time
 
         if self.cache.write_delay.is_selected(item_id):
             self.cache_hit_count += 1
@@ -184,14 +367,45 @@ class StorageController:
                 self.flush_write_delay(record.timestamp)
             return CACHE_HIT_LATENCY
 
-        result = self._physical_io(
+        if self._fault_clock is not None:
+            buffered = self._emergency_buffer_write(record)
+            if buffered is not None:
+                return buffered
+
+        return self._physical_io(
             record.timestamp,
             item_id,
             record.offset,
             IOType.WRITE,
             record.sequential,
         )
-        return result.mean_response_time
+
+    def _emergency_buffer_write(self, record: LogicalIORecord) -> float | None:
+        """Absorb a write whose home enclosure is out into the cache.
+
+        While an enclosure is inside an injected outage window, the
+        battery-backed write-delay partition doubles as an emergency
+        buffer: the write is acknowledged at cache latency and its dirty
+        pages drain once the outage ends.  Returns ``None`` when the
+        buffer cannot be used (battery gone, no outage, partition full)
+        and the write must take the physical path instead.
+        """
+        if self._battery_failed:
+            return None
+        enclosure = self.virtualization.enclosure_of(record.item_id)
+        if self._fault_clock.outage_at(enclosure.name, record.timestamp) is None:
+            return None
+        wd = self.cache.write_delay
+        pages = list(record.page_range(cache_mod.PAGE_BYTES))
+        if wd.dirty_pages + len(pages) > wd.capacity_pages:
+            return None
+        wd.select(record.item_id)
+        self._emergency_items.add(record.item_id)
+        for page in pages:
+            wd.absorb_write(record.item_id, page)
+        self.cache_hit_count += 1
+        self.emergency_buffered_ios += 1
+        return CACHE_HIT_LATENCY
 
     # ------------------------------------------------------------------
     # power-saving primitives (paper §V)
@@ -223,9 +437,20 @@ class StorageController:
         """Reconfigure the write-delay item set; flushes deselected items.
 
         Returns the time at which all deselection flushes complete.
+        With the cache battery failed nothing may be selected (there is
+        no safe place to delay writes), so the selection empties.
         """
+        self.on_time(now)
+        if self._battery_failed:
+            item_ids = set()
+        self._policy_selected = set(item_ids)
         completion = now
         for stale in self.cache.write_delay.selected_items() - item_ids:
+            if stale in self._emergency_items:
+                # Still buffering for an enclosure inside an outage
+                # window; _drain_emergency flushes it once the window
+                # ends.
+                continue
             plan = self.cache.write_delay.deselect(stale)
             completion = max(
                 completion, self._execute_flush(now, plan.dirty_bytes_by_item)
@@ -235,9 +460,34 @@ class StorageController:
         return completion
 
     def flush_write_delay(self, now: float) -> float:
-        """Bulk-write every dirty block to its enclosure (paper §V-B)."""
-        plan = self.cache.write_delay.flush_all()
-        return self._execute_flush(now, plan.dirty_bytes_by_item)
+        """Bulk-write every dirty block to its enclosure (paper §V-B).
+
+        Under fault injection, items whose home enclosure is inside an
+        outage window stay buffered (that is what the emergency buffer
+        is for) — unless the battery is gone, in which case nothing may
+        linger and the flush waits the outage out via the retry path.
+        """
+        wd = self.cache.write_delay
+        if self._fault_clock is None:
+            plan = wd.flush_all()
+            return self._execute_flush(now, plan.dirty_bytes_by_item)
+        completion = now
+        flushed_any = False
+        for item_id in list(wd.dirty_items()):
+            enclosure = self.virtualization.enclosure_of(item_id)
+            if (
+                not self._battery_failed
+                and self._fault_clock.outage_at(enclosure.name, now) is not None
+            ):
+                continue
+            plan = wd.flush_item(item_id)
+            completion = max(
+                completion, self._execute_flush(now, plan.dirty_bytes_by_item)
+            )
+            flushed_any = True
+        if flushed_any:
+            wd.flush_count += 1
+        return completion
 
     def flush_item(self, now: float, item_id: str) -> float:
         """Write one item's dirty pages out (it stays write-delayed).
@@ -286,6 +536,18 @@ class StorageController:
                 f"cannot migrate {item_id!r} to {target_enclosure!r}: "
                 "insufficient space"
             )
+        # Fault injection is consulted before anything is charged or
+        # remapped: an aborted move's partial copy is discarded, leaving
+        # placement maps, used-bytes and energy books exactly as they
+        # were (the MigrationEngine re-plans at the next checkpoint).
+        if self._fault_clock is not None:
+            if self._fault_clock.migration_abort(item_id, now):
+                self.migration_aborts += 1
+                raise MigrationAbortedError(item_id, now)
+            for name in (src_name, target_enclosure):
+                if self._fault_clock.outage_at(name, now) is not None:
+                    self.migration_aborts += 1
+                    raise MigrationAbortedError(item_id, now)
         # The copy runs in the background at the throttled average rate;
         # its actual platter time is size / bulk bandwidth.  Both
         # enclosures stay awake for the copy's duration and physical
@@ -336,8 +598,12 @@ class StorageController:
         src = self.virtualization.enclosure(source_enclosure)
         dst = self.virtualization.enclosure(target_enclosure)
         seconds = size_bytes / self.bulk_bandwidth_bps
-        read = src.occupy(now, seconds, count=1, read=True)
-        write = dst.occupy(now, seconds, count=1, read=False)
+        read, _ = self._with_fault_retry(
+            now, lambda at: src.occupy(at, seconds, count=1, read=True)
+        )
+        write, _ = self._with_fault_retry(
+            now, lambda at: dst.occupy(at, seconds, count=1, read=False)
+        )
         self._emit_physical(now, source_enclosure, 0, 1, IOType.READ, item_id)
         self._emit_physical(now, target_enclosure, 0, 1, IOType.WRITE, item_id)
         self.migrated_bytes += size_bytes
@@ -349,7 +615,22 @@ class StorageController:
     # ------------------------------------------------------------------
     def finish(self, now: float) -> float:
         """Flush outstanding dirty data and settle all enclosures."""
+        self.on_time(now)
         completion = self.flush_write_delay(now)
+        if self._fault_clock is not None:
+            # Dirty data deferred past the end of the run (an outage
+            # spanning the finish) must still land before the books
+            # close; the bulk-transfer retry waits the outage out.
+            wd = self.cache.write_delay
+            for item_id in list(wd.dirty_items()):
+                plan = wd.flush_item(item_id)
+                completion = max(
+                    completion,
+                    self._execute_flush(now, plan.dirty_bytes_by_item),
+                )
+                self.emergency_flushes += 1
+            self._emergency_items.clear()
+            self._note_at_risk(max(now, completion))
         for enclosure in self.virtualization.enclosures():
             enclosure.finish(max(now, completion))
         return completion

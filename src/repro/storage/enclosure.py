@@ -21,9 +21,19 @@ All times are virtual seconds; the object is deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.errors import PowerStateError, ValidationError
-from repro.storage.power import PowerModel, PowerState
+from repro.errors import (
+    AuditError,
+    EnclosureUnavailableError,
+    PowerStateError,
+    SpinUpFailedError,
+    ValidationError,
+)
+from repro.storage.power import PowerModel, PowerState, can_transition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.clock import FaultClock
 
 
 @dataclass(frozen=True)
@@ -127,6 +137,14 @@ class DiskEnclosure:
         #: runtime trigger logic (paper §V-D).
         self.spin_up_events: list[float] = []
 
+        #: Fault oracle (:mod:`repro.faults`); ``None`` outside fault runs.
+        self._fault_clock: FaultClock | None = None
+        #: Set while the in-progress spin-up is fated to fail.
+        self._spin_up_failing = False
+        #: Virtual times at which injected spin-up attempts failed —
+        #: consulted by the degraded-mode gate in the policies.
+        self.spin_up_failure_times: list[float] = []
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -191,8 +209,40 @@ class DiskEnclosure:
         self._power_off_enabled = False
 
     # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def set_fault_clock(self, clock: "FaultClock") -> None:
+        """Attach the simulation's fault oracle (:mod:`repro.faults`)."""
+        self._fault_clock = clock
+
+    def _check_outage(self, at: float) -> None:
+        """Refuse service while inside an injected outage window."""
+        if self._fault_clock is None:
+            return
+        outage = self._fault_clock.outage_at(self.name, at)
+        if outage is not None:
+            raise EnclosureUnavailableError(self.name, at, outage.end)
+
+    # ------------------------------------------------------------------
     # timeline
     # ------------------------------------------------------------------
+    def _transition(self, target: PowerState, at: float) -> None:
+        """Move to ``target``, auditing against the legal transition graph.
+
+        Every state change funnels through here so that fault injection
+        (which adds paths like a failed spin-up) can never push the
+        machine across an edge that :data:`~repro.storage.power.LEGAL_TRANSITIONS`
+        does not contain — that would be a simulator bug and raises
+        :class:`~repro.errors.AuditError` instead of silently clamping.
+        """
+        if not can_transition(self._state, target):
+            raise AuditError(
+                f"{self.name}: illegal power-state transition "
+                f"{self._state.value} -> {target.value} at t={at:.3f}s"
+            )
+        self._state = target
+        self._state_entered = at
+
     def _accrue(self, state: PowerState, duration: float) -> None:
         if duration < 0:
             raise PowerStateError(
@@ -217,8 +267,7 @@ class DiskEnclosure:
                 self._accrue(PowerState.ACTIVE, end - self._clock)
                 self._clock = end
                 if self._clock >= self._busy_until:
-                    self._state = PowerState.IDLE
-                    self._state_entered = self._clock
+                    self._transition(PowerState.IDLE, self._clock)
                     self._idle_since = self._clock
             elif self._state is PowerState.IDLE:
                 if self._power_off_enabled:
@@ -241,8 +290,7 @@ class DiskEnclosure:
                 self._accrue(PowerState.SPIN_DOWN, end - self._clock)
                 self._clock = end
                 if self._clock >= self._transition_end:
-                    self._state = PowerState.OFF
-                    self._state_entered = self._clock
+                    self._transition(PowerState.OFF, self._clock)
             elif self._state is PowerState.OFF:
                 self._accrue(PowerState.OFF, now - self._clock)
                 self._clock = now
@@ -251,15 +299,20 @@ class DiskEnclosure:
                 self._accrue(PowerState.SPIN_UP, end - self._clock)
                 self._clock = end
                 if self._clock >= self._transition_end:
-                    self._state = PowerState.IDLE
-                    self._state_entered = self._clock
-                    self._idle_since = self._clock
+                    if self._spin_up_failing:
+                        # Injected transient failure: the motor spins back
+                        # down having burned the attempt's time and energy.
+                        self._spin_up_failing = False
+                        self._transition(PowerState.OFF, self._clock)
+                        self.spin_up_failure_times.append(self._clock)
+                    else:
+                        self._transition(PowerState.IDLE, self._clock)
+                        self._idle_since = self._clock
             else:  # pragma: no cover - enum is closed
                 raise PowerStateError(f"unknown state {self._state}")
 
     def _begin_spin_down(self) -> None:
-        self._state = PowerState.SPIN_DOWN
-        self._state_entered = self._clock
+        self._transition(PowerState.SPIN_DOWN, self._clock)
         self._transition_end = self._clock + self.power_model.spin_down_seconds
         self.spin_down_count += 1
 
@@ -268,17 +321,35 @@ class DiskEnclosure:
 
         May advance :attr:`clock` past the caller's ``now`` — the extra
         time is the spin-up wait the arriving I/O must absorb.
+
+        Under fault injection a spin-up attempt may fail: the attempt's
+        full time and energy are charged, the machine returns to OFF, and
+        :class:`~repro.errors.SpinUpFailedError` is raised for the
+        controller's retry logic.  Failure streaks are finite by
+        construction, so retrying eventually succeeds.
         """
         if self._state is PowerState.SPIN_DOWN:
             # A request arrived mid-spin-down: the platters must stop
             # before they can spin up again.
             self.settle(self._transition_end)
         if self._state is PowerState.OFF:
-            self._state = PowerState.SPIN_UP
-            self._state_entered = self._clock
-            self._transition_end = self._clock + self.power_model.spin_up_seconds
+            verdict = None
+            if self._fault_clock is not None:
+                verdict = self._fault_clock.spin_up_attempt(
+                    self.name, self._clock
+                )
+            self._transition(PowerState.SPIN_UP, self._clock)
+            seconds = self.power_model.spin_up_seconds
+            if verdict is not None and verdict.seconds_multiplier > 1.0:
+                seconds *= verdict.seconds_multiplier
+            self._transition_end = self._clock + seconds
             self.spin_up_count += 1
             self.spin_up_events.append(self._clock)
+            if verdict is not None and verdict.fails:
+                self._spin_up_failing = True
+                failed_at = self._clock
+                self.settle(self._transition_end)
+                raise SpinUpFailedError(self.name, failed_at)
         if self._state is PowerState.SPIN_UP:
             self.settle(self._transition_end)
 
@@ -310,14 +381,20 @@ class DiskEnclosure:
         if count <= 0:
             raise ValidationError("count must be positive")
         self.settle(max(now, self._clock))
+        self._check_outage(max(now, self._clock))
         self._ensure_on()
         start = max(now, self._clock, self._busy_until)
+        # The queue (or spin-up wait) may have pushed the start into an
+        # outage window that opened after arrival — refuse before any
+        # service state is mutated; the controller retries past the window.
+        self._check_outage(start)
         self.settle(start)
         service = self.service_time(count, sequential)
         completion = start + service
+        if self._fault_clock is not None:
+            self._fault_clock.note_service(self.name, start)
         if self._state is not PowerState.ACTIVE:
-            self._state = PowerState.ACTIVE
-            self._state_entered = start
+            self._transition(PowerState.ACTIVE, start)
         self._busy_until = max(self._busy_until, completion)
         self.io_count += count
         if read:
@@ -386,13 +463,16 @@ class DiskEnclosure:
         if count <= 0:
             raise ValidationError("count must be positive")
         self.settle(max(now, self._clock))
+        self._check_outage(max(now, self._clock))
         self._ensure_on()
         start = max(now, self._clock, self._busy_until)
+        self._check_outage(start)
         self.settle(start)
         completion = start + seconds
+        if self._fault_clock is not None:
+            self._fault_clock.note_service(self.name, start)
         if self._state is not PowerState.ACTIVE:
-            self._state = PowerState.ACTIVE
-            self._state_entered = start
+            self._transition(PowerState.ACTIVE, start)
         self._busy_until = max(self._busy_until, completion)
         self.io_count += count
         if read:

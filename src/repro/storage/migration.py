@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, MigrationAbortedError
 from repro.storage.controller import StorageController
 
 
@@ -64,6 +64,11 @@ class MigrationReport:
     #: (the plan was computed against a snapshot; a concurrent policy or
     #: an earlier skipped move can invalidate it).
     moves_skipped: int = 0
+    #: Moves aborted mid-transfer by fault injection and rolled back.
+    #: The item stays on its source enclosure with all books (placement,
+    #: used-bytes, energy) untouched; the next management checkpoint
+    #: re-plans the move.
+    moves_aborted: int = 0
 
     @property
     def duration(self) -> float:
@@ -78,6 +83,7 @@ class MigrationEngine:
         self.controller = controller
         self.total_bytes_moved = 0
         self.total_moves = 0
+        self.total_aborts = 0
 
     def execute(self, now: float, plan: PlacementPlan) -> MigrationReport:
         """Run every move in plan order; returns an execution report.
@@ -90,6 +96,7 @@ class MigrationEngine:
         clock = now
         executed = 0
         skipped = 0
+        aborted = 0
         bytes_moved = 0
         for move in plan.ordered():
             virt = self.controller.virtualization
@@ -107,14 +114,23 @@ class MigrationEngine:
                 # item where it is rather than failing the whole run.
                 skipped += 1
                 continue
+            except MigrationAbortedError:
+                # Injected mid-transfer abort (repro.faults): the copy
+                # was rolled back before any book was mutated, so the
+                # placement stays consistent and the next checkpoint
+                # simply re-plans the move.
+                aborted += 1
+                continue
             executed += 1
             bytes_moved += size
         self.total_bytes_moved += bytes_moved
         self.total_moves += executed
+        self.total_aborts += aborted
         return MigrationReport(
             moves_executed=executed,
             bytes_moved=bytes_moved,
             started_at=now,
             completed_at=clock,
             moves_skipped=skipped,
+            moves_aborted=aborted,
         )

@@ -55,6 +55,10 @@ LEGAL_TRANSITIONS: frozenset[tuple[PowerState, PowerState]] = frozenset(
         (PowerState.OFF, PowerState.SPIN_UP),
         (PowerState.SPIN_UP, PowerState.IDLE),
         (PowerState.SPIN_UP, PowerState.ACTIVE),
+        # A spin-up attempt can *fail* under fault injection
+        # (repro.faults): the motor spins back down and the enclosure
+        # returns to OFF, having burned the attempt's time and energy.
+        (PowerState.SPIN_UP, PowerState.OFF),
     }
 )
 

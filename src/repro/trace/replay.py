@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 from repro.baselines.base import PowerPolicy
 from repro.errors import ReplayError
+from repro.faults.report import AvailabilityReport, availability_from_context
 from repro.monitoring.application import ResponseStats
 from repro.simulation import SimulationContext
 from repro.storage.meter import PowerReading
@@ -41,6 +42,10 @@ class ReplayResult:
     cache_hit_ratio: float
     spin_up_count: int
     spin_down_count: int
+    #: How injected faults affected service (all-zero without faults,
+    #: equal to the default so zero-fault results stay bit-identical
+    #: with pre-fault replays).
+    availability: AvailabilityReport = AvailabilityReport()
 
     @property
     def mean_response(self) -> float:
@@ -163,6 +168,7 @@ class TraceReplayer:
             self.auditor.check(final)
 
         power = context.meter.read(final, controller)
+        availability = availability_from_context(context, policy, final)
         return ReplayResult(
             policy_name=policy.name,
             duration_seconds=final,
@@ -175,6 +181,7 @@ class TraceReplayer:
             cache_hit_ratio=controller.cache_hit_ratio,
             spin_up_count=sum(e.spin_up_count for e in context.enclosures),
             spin_down_count=sum(e.spin_down_count for e in context.enclosures),
+            availability=availability,
         )
 
     def _run_checkpoints(self, until: float) -> None:
@@ -197,6 +204,10 @@ class TraceReplayer:
                 checkpoint
             ):
                 self.timeline.sample(checkpoint)
+            # Fault bookkeeping (battery failure, emergency drains) runs
+            # before the policy acts so both see the same state; a no-op
+            # without a fault clock.
+            self.context.controller.on_time(checkpoint)
             self.policy.on_checkpoint(checkpoint)
             if self.auditor is not None:
                 self.auditor.check(checkpoint)

@@ -1,0 +1,16 @@
+"""Fixture: naked exception handlers (R7)."""
+
+try:
+    PARSED = int("3")
+except Exception:
+    PARSED = 0
+
+try:
+    PARSED = int("4")
+except (TypeError, BaseException):
+    PARSED = 0
+
+try:
+    PARSED = int("5")
+except:
+    PARSED = 0

@@ -26,6 +26,7 @@ FIXTURE_RULES = [
     ("r4_power_state.py", "R4"),
     ("r5_public_api.py", "R5"),
     ("r6_mutable_default.py", "R6"),
+    ("r7_naked_except.py", "R7"),
 ]
 
 
@@ -47,8 +48,8 @@ def test_src_tree_lints_clean() -> None:
     assert report.files_checked > 50
 
 
-def test_registry_has_all_six_rules() -> None:
-    assert sorted(RULES) == ["R1", "R2", "R3", "R4", "R5", "R6"]
+def test_registry_has_all_rules() -> None:
+    assert sorted(RULES) == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
     for rule in RULES.values():
         assert rule.name and rule.summary
 
@@ -98,7 +99,7 @@ def test_json_report_round_trips() -> None:
     payload = json.loads(report.render_json())
     assert payload["files_checked"] == len(FIXTURE_RULES)
     seen = {v["rule_id"] for v in payload["violations"]}
-    assert seen == {"R1", "R2", "R3", "R4", "R5", "R6"}
+    assert seen == {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
     for violation in payload["violations"]:
         assert violation["line"] >= 1
         assert violation["message"]

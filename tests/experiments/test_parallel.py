@@ -16,6 +16,7 @@ from repro.baselines.nopower import NoPowerSavingPolicy
 from repro.config import DEFAULT_CONFIG
 from repro.errors import ExperimentError, ValidationError
 from repro.experiments import parallel
+from repro.faults import CacheBatteryFailure, FaultPlan
 from repro.experiments.parallel import (
     CellOutcome,
     ExperimentCell,
@@ -189,6 +190,29 @@ class TestCacheKey:
     def test_audit_flag_invalidates(self):
         cell = small_cell()
         assert cell.cache_key() != replace(cell, audit=True).cache_key()
+
+    def test_empty_fault_plan_shares_key_with_no_plan(self):
+        # An empty plan replays bit-identically to a fault-free run, so
+        # the two deliberately share one cache entry.
+        cell = small_cell()
+        assert replace(cell, faults=FaultPlan()).cache_key() == cell.cache_key()
+
+    def test_fault_plan_invalidates(self):
+        cell = small_cell()
+        faulted = replace(
+            cell, faults=FaultPlan(events=(CacheBatteryFailure(time=100.0),))
+        )
+        moved = replace(
+            cell, faults=FaultPlan(events=(CacheBatteryFailure(time=200.0),))
+        )
+        assert len(
+            {cell.cache_key(), faulted.cache_key(), moved.cache_key()}
+        ) == 3
+
+    def test_unfingerprintable_fault_plan_rejected(self):
+        cell = replace(small_cell(), faults={"events": ()})
+        with pytest.raises(ExperimentError, match="un-fingerprintable"):
+            cell.cache_key()
 
     def test_fingerprint_reflects_trace_content(self):
         spec = WorkloadSpec(name="tpcc", overrides=(("duration", 1300.0),))

@@ -1,0 +1,100 @@
+"""Degraded-mode power management: the ``apply_power_off`` gate.
+
+A drive that keeps failing to spin up should not keep being spun down:
+once an enclosure's recent spin-up failures reach
+``config.spin_up_failure_threshold`` inside
+``config.spin_up_failure_window``, every policy's power-off enablement
+is vetoed for ``config.power_off_cooldown`` seconds.  Without recorded
+failures the gate must be a transparent pass-through.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PowerPolicy
+from repro.config import DEFAULT_CONFIG
+from repro.simulation import build_context
+
+
+class GateOnly(PowerPolicy):
+    """Minimal concrete policy: only the degraded-mode gate matters."""
+
+    name = "gate-only"
+
+    def next_checkpoint(self) -> float | None:
+        return None
+
+    def on_checkpoint(self, now: float) -> None:  # pragma: no cover
+        pass
+
+
+def build():
+    context = build_context(DEFAULT_CONFIG, 2)
+    policy = GateOnly()
+    policy.bind(context)
+    return policy, context.enclosures[0], context.config
+
+
+class TestPassThrough:
+    def test_enable_without_failures(self) -> None:
+        policy, enc, _ = build()
+        assert policy.apply_power_off(enc, 0.0, True)
+        assert enc.power_off_enabled
+        assert policy.degraded_cooldowns == 0
+
+    def test_disable_always_wins(self) -> None:
+        policy, enc, _ = build()
+        policy.apply_power_off(enc, 0.0, True)
+        assert not policy.apply_power_off(enc, 10.0, False)
+        assert not enc.power_off_enabled
+        assert policy.degraded_cooldowns == 0
+
+
+class TestCooldown:
+    def test_threshold_failures_veto_enablement(self) -> None:
+        policy, enc, config = build()
+        assert config.spin_up_failure_threshold == 3
+        enc.spin_up_failure_times.extend([100.0, 200.0, 300.0])
+        assert not policy.apply_power_off(enc, 400.0, True)
+        assert not enc.power_off_enabled
+        assert policy.degraded_cooldowns == 1
+
+    def test_cooldown_holds_without_recounting(self) -> None:
+        policy, enc, config = build()
+        enc.spin_up_failure_times.extend([100.0, 200.0, 300.0])
+        policy.apply_power_off(enc, 400.0, True)
+        mid = 400.0 + config.power_off_cooldown / 2
+        assert not policy.apply_power_off(enc, mid, True)
+        # The veto came from the standing cool-down, not a fresh entry.
+        assert policy.degraded_cooldowns == 1
+
+    def test_requalifies_after_cooldown_and_quiet_window(self) -> None:
+        policy, enc, config = build()
+        enc.spin_up_failure_times.extend([100.0, 200.0, 300.0])
+        policy.apply_power_off(enc, 400.0, True)
+        later = (
+            400.0 + config.power_off_cooldown + config.spin_up_failure_window
+        )
+        assert policy.apply_power_off(enc, later, True)
+        assert enc.power_off_enabled
+        assert policy.degraded_cooldowns == 1
+
+    def test_stale_failures_do_not_trip(self) -> None:
+        policy, enc, config = build()
+        enc.spin_up_failure_times.extend([0.0, 10.0, 20.0])
+        now = config.spin_up_failure_window + 1000.0
+        assert policy.apply_power_off(enc, now, True)
+        assert policy.degraded_cooldowns == 0
+
+    def test_below_threshold_does_not_trip(self) -> None:
+        policy, enc, _ = build()
+        enc.spin_up_failure_times.extend([100.0, 200.0])
+        assert policy.apply_power_off(enc, 300.0, True)
+        assert policy.degraded_cooldowns == 0
+
+    def test_cooldowns_are_per_enclosure(self) -> None:
+        policy, enc, _ = build()
+        other = policy.context.enclosures[1]
+        enc.spin_up_failure_times.extend([100.0, 200.0, 300.0])
+        assert not policy.apply_power_off(enc, 400.0, True)
+        assert policy.apply_power_off(other, 400.0, True)
+        assert other.power_off_enabled

@@ -1,0 +1,44 @@
+"""Acceptance: an empty ``FaultPlan`` replays bit-identically to none.
+
+The zero-fault regression gate: ``build_context`` installs no fault
+clock for an empty plan, and every fault branch in the storage layer is
+gated on that clock, so with ``faults=None`` and ``faults=FaultPlan()``
+every existing experiment's result — availability report included —
+must compare equal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.experiments.runner import STANDARD_POLICIES, run_cell
+from repro.experiments.testbed import build_workload
+from repro.faults import EMPTY_PLAN, AvailabilityReport, FaultPlan
+from repro.simulation import build_context
+
+
+def test_empty_plan_installs_no_fault_clock() -> None:
+    assert build_context(DEFAULT_CONFIG, 2, faults=None).fault_clock is None
+    assert (
+        build_context(DEFAULT_CONFIG, 2, faults=EMPTY_PLAN).fault_clock
+        is None
+    )
+    assert (
+        build_context(DEFAULT_CONFIG, 2, faults=FaultPlan()).fault_clock
+        is None
+    )
+
+
+@pytest.mark.parametrize("policy_name", sorted(STANDARD_POLICIES))
+def test_empty_plan_matches_no_plan(policy_name: str) -> None:
+    base = run_cell(
+        build_workload("tpcc", full=False), STANDARD_POLICIES[policy_name]()
+    )
+    faulted = run_cell(
+        build_workload("tpcc", full=False),
+        STANDARD_POLICIES[policy_name](),
+        faults=FaultPlan(),
+    )
+    assert base == faulted
+    assert base.replay.availability == AvailabilityReport()

@@ -1,0 +1,154 @@
+"""Property: a fault-injected replay is a pure function of (plan, trace).
+
+Random fault plans crossed with random small traces must replay to
+bit-identical :class:`~repro.trace.replay.ReplayResult` objects — the
+:class:`~repro.faults.report.AvailabilityReport` included — when run
+twice on fresh testbeds.  Determinism is the whole point of the fault
+subsystem: any chaos failure must be reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.baselines.base import PowerPolicy
+from repro.config import DEFAULT_CONFIG
+from repro.faults import FaultModel, FaultPlan
+from repro.faults.plan import (
+    CacheBatteryFailure,
+    EnclosureOutage,
+    MigrationAbort,
+    SlowSpinUp,
+    SpinUpFailure,
+)
+from repro.simulation import build_context, default_volume
+from repro.trace.records import IOType, LogicalIORecord
+from repro.trace.replay import TraceReplayer
+
+ENCLOSURES = ("enc-00", "enc-01")
+ITEMS = ("item-0", "item-1")
+DURATION = 4000.0
+
+
+class AggressivePowerOff(PowerPolicy):
+    """Enables power-off everywhere each period — worst case for faults."""
+
+    name = "aggressive"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 100.0
+
+    def next_checkpoint(self) -> float | None:
+        return self._next
+
+    def on_checkpoint(self, now: float) -> None:
+        self._next = now + 100.0
+        for enclosure in self._require_context().enclosures:
+            self.apply_power_off(enclosure, now, True)
+
+
+@st.composite
+def fault_plans(draw) -> FaultPlan:
+    events = []
+    for index in range(draw(st.integers(min_value=0, max_value=4))):
+        kind = draw(
+            st.sampled_from(
+                ["spin-up", "outage", "battery", "slow-spin-up", "abort"]
+            )
+        )
+        enclosure = draw(st.sampled_from(ENCLOSURES))
+        at = draw(st.floats(min_value=0.0, max_value=DURATION * 0.8))
+        if kind == "spin-up":
+            events.append(
+                SpinUpFailure(
+                    enclosure=enclosure,
+                    after=at,
+                    failures=draw(st.integers(min_value=1, max_value=3)),
+                )
+            )
+        elif kind == "outage":
+            events.append(
+                EnclosureOutage(
+                    enclosure=enclosure,
+                    start=at,
+                    end=at
+                    + draw(st.floats(min_value=1.0, max_value=400.0)),
+                )
+            )
+        elif kind == "battery":
+            events.append(CacheBatteryFailure(time=at))
+        elif kind == "slow-spin-up":
+            events.append(
+                SlowSpinUp(
+                    enclosure=enclosure,
+                    start=at,
+                    end=at
+                    + draw(st.floats(min_value=1.0, max_value=400.0)),
+                    multiplier=draw(
+                        st.floats(min_value=1.0, max_value=4.0)
+                    ),
+                )
+            )
+        else:
+            events.append(
+                MigrationAbort(
+                    item_id=draw(st.sampled_from(ITEMS)), after=at
+                )
+            )
+    model = None
+    if draw(st.booleans()):
+        model = FaultModel(
+            seed=draw(st.integers(min_value=0, max_value=2**31)),
+            spin_up_failure_prob=draw(
+                st.floats(min_value=0.0, max_value=0.5)
+            ),
+            slow_spin_up_prob=draw(st.floats(min_value=0.0, max_value=0.5)),
+        )
+    return FaultPlan(events=tuple(events), model=model)
+
+
+@st.composite
+def traces(draw) -> list[LogicalIORecord]:
+    count = draw(st.integers(min_value=1, max_value=25))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=DURATION * 0.9),
+                min_size=count,
+                max_size=count,
+            )
+        )
+    )
+    return [
+        LogicalIORecord(
+            at,
+            draw(st.sampled_from(ITEMS)),
+            0,
+            8192,
+            IOType.READ if draw(st.booleans()) else IOType.WRITE,
+        )
+        for at in times
+    ]
+
+
+def replay(plan: FaultPlan, records: list[LogicalIORecord]):
+    context = build_context(DEFAULT_CONFIG, len(ENCLOSURES), faults=plan)
+    for index, item in enumerate(ITEMS):
+        volume = default_volume(ENCLOSURES[index])
+        context.virtualization.add_item(item, 64 * units.MB, volume)
+        context.app_monitor.register_item(item, volume)
+    return TraceReplayer(context, AggressivePowerOff()).run(
+        list(records), duration=DURATION
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan=fault_plans(), records=traces())
+def test_replay_is_bit_identical_across_runs(plan, records) -> None:
+    first = replay(plan, records)
+    second = replay(plan, records)
+    assert first == second
+    assert first.availability == second.availability

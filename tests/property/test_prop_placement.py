@@ -18,6 +18,7 @@ MAX_IOPS = 1.0
 def profile_sets(draw):
     count = draw(st.integers(min_value=0, max_value=14))
     profiles = {}
+    used = {name: 0 for name in ENCLOSURES}
     for index in range(count):
         pattern = draw(
             st.sampled_from(
@@ -27,6 +28,14 @@ def profile_sets(draw):
         iops = draw(st.floats(min_value=0.0, max_value=0.35))
         size = draw(st.integers(min_value=1, max_value=8)) * GB
         enclosure = draw(st.sampled_from(ENCLOSURES))
+        # Keep the initial placement physically realizable: the real
+        # BlockVirtualization refuses to place an item past an
+        # enclosure's capacity, and the planner only relocates items
+        # with P3 activity — an infeasible all-P0 start would (rightly)
+        # stay infeasible.  Spill to the emptiest enclosure instead.
+        if used[enclosure] + size > CAPACITY:
+            enclosure = min(ENCLOSURES, key=lambda name: (used[name], name))
+        used[enclosure] += size
         buckets = tuple([int(iops * BUCKET)] * 10)
         profiles[f"item-{index}"] = make_profile(
             f"item-{index}",
