@@ -1,11 +1,23 @@
 """Power-policy interface shared by the proposed method and baselines.
 
-A :class:`PowerPolicy` plugs into the trace replayer: it asks for control
-at *checkpoints* (the end of its monitoring periods) and may also react
-to individual I/Os (the proposed method's §V-D triggers; DDR's on-access
-block migration).  All four evaluated methods — the proposed energy-
-efficient storage management, PDC, DDR, and no-power-saving — implement
-this interface, so the experiment runner treats them uniformly.
+A :class:`PowerPolicy` plugs into the simulation kernel
+(:mod:`repro.engine`): it asks for control at *checkpoints* (the end of
+its monitoring periods) and may also react to individual I/Os (the
+proposed method's §V-D triggers; DDR's on-access block migration).  All
+four evaluated methods — the proposed energy-efficient storage
+management, PDC, DDR, and no-power-saving — implement this interface,
+so the experiment runner treats them uniformly.
+
+Checkpoint contract under the kernel: :meth:`PowerPolicy.next_checkpoint`
+is re-read at the only points its value may change — once at start
+(after :meth:`PowerPolicy.on_start`), after every
+:meth:`PowerPolicy.after_io`, and after every
+:meth:`PowerPolicy.on_checkpoint` — and mirrored as a single scheduled
+:class:`~repro.engine.events.PolicyCheckpointEvent`.  A policy must
+advance its checkpoint strictly past ``now`` inside ``on_checkpoint``
+(the kernel raises :class:`~repro.errors.ReplayError` otherwise) and
+should only ever schedule into the future; checkpoints in the past
+would rewind the kernel's monotonic clock.
 """
 
 from __future__ import annotations
@@ -92,11 +104,21 @@ class PowerPolicy(abc.ABC):
 
     @abc.abstractmethod
     def next_checkpoint(self) -> float | None:
-        """Next time the policy wants control, or None for never."""
+        """Next time the policy wants control, or None for never.
+
+        The kernel keeps one live checkpoint event mirroring this value;
+        returning a new time (or None) from here takes effect at the
+        next sync point (after ``after_io`` / ``on_checkpoint``).
+        """
 
     @abc.abstractmethod
     def on_checkpoint(self, now: float) -> None:
-        """End of a monitoring period: analyse, decide, reconfigure."""
+        """End of a monitoring period: analyse, decide, reconfigure.
+
+        Must leave :meth:`next_checkpoint` strictly greater than ``now``
+        (or None); the kernel enforces this to rule out checkpoint
+        storms that would stall virtual time.
+        """
 
     def after_io(self, record: LogicalIORecord, response_time: float) -> None:
         """Called after each application I/O has been served."""

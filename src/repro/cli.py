@@ -12,6 +12,7 @@ Subcommands::
     ecostor export-trace WORKLOAD PATH [--full]
     ecostor replay-trace PATH POLICY [--enclosures N] [--msr]
     ecostor intervals WORKLOAD POLICY [--full]
+    ecostor bench [--workload W] [--repeats N] [--out BENCH_engine.json]
     ecostor lint [PATHS ...] [--format text|json] [--select RULE ...]
     ecostor chaos [--workload W] [--seeds N ...] [--faults KIND ...]
                   [--policies P ...] [--full] [--jobs N] [--cache-dir DIR]
@@ -201,6 +202,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import main as bench_main
+
+    return bench_main(
+        workload_name=args.workload,
+        full=args.full,
+        repeats=args.repeats,
+        out=args.out,
+    )
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -450,6 +462,17 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--full", action="store_true")
     _add_engine_options(chaos)
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="replay-throughput benchmark (BENCH_engine.json)"
+    )
+    bench.add_argument("--workload", choices=WORKLOAD_NAMES, default="tpcc")
+    bench.add_argument("--full", action="store_true")
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--out", default=None, help="write the JSON document here"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     lint = sub.add_parser(
         "lint", help="run the domain linter (repro.devtools)"

@@ -75,6 +75,11 @@ class EcoStorConfig:
     #: Idle time after which a power-off-enabled enclosure spins down.
     #: The paper sets this equal to the break-even time.
     spin_down_timeout: float = 52.0
+    #: Fraction of the break-even time between §V-D pattern-change
+    #: trigger evaluations.  Trigger checks are cheap but run per I/O;
+    #: a few per break-even period is enough to catch a pattern shift
+    #: well before the energy balance of a wrong placement flips.
+    trigger_check_fraction: float = 0.25
     #: Maximum IOPS one disk enclosure can serve for random I/O.
     max_iops_random: float = 900.0
     #: Maximum IOPS one disk enclosure can serve for sequential I/O.
@@ -146,6 +151,11 @@ class EcoStorConfig:
             raise ConfigurationError("break_even_time must be positive")
         if self.spin_down_timeout < 0:
             raise ConfigurationError("spin_down_timeout must be non-negative")
+        if not 0 < self.trigger_check_fraction <= 1:
+            raise ConfigurationError(
+                "trigger_check_fraction must be in (0, 1], got "
+                f"{self.trigger_check_fraction}"
+            )
         if self.monitoring_alpha <= 1.0:
             raise ConfigurationError(
                 f"monitoring_alpha must be > 1, got {self.monitoring_alpha}"

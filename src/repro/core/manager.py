@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.base import PowerPolicy
+from repro.engine.clock import Throttle
 from repro.core.cache_policy import (
     select_preload_items,
     select_write_delay_items,
@@ -87,7 +88,7 @@ class EnergyEfficientPolicy(PowerPolicy):
         self._next_checkpoint: float | None = None
         self._split: HotColdSplit | None = None
         self._triggers: PatternChangeTriggers | None = None
-        self._next_trigger_check = 0.0
+        self._trigger_throttle: Throttle | None = None
         self._trigger_count = 0
         #: One snapshot per management run, in time order.
         self.snapshots: list[ManagementSnapshot] = []
@@ -100,9 +101,15 @@ class EnergyEfficientPolicy(PowerPolicy):
         context = self._require_context()
         self._period = context.config.initial_monitoring_period
         self._next_checkpoint = now + self._period
-        self._triggers = PatternChangeTriggers(context.config.break_even_time)
+        config = context.config
+        self._triggers = PatternChangeTriggers(config.break_even_time)
         self._triggers.reset(now)
-        self._next_trigger_check = now
+        # Trigger evaluation is cheap but runs per I/O; throttle it to a
+        # few checks per break-even period (§V-D).
+        self._trigger_throttle = Throttle(
+            config.break_even_time * config.trigger_check_fraction
+        )
+        self._trigger_throttle.reset(now)
         # Until the first analysis nothing is known: keep everything on.
         for enclosure in context.enclosures:
             enclosure.disable_power_off(now)
@@ -120,12 +127,11 @@ class EnergyEfficientPolicy(PowerPolicy):
         if not self.enable_triggers or self._split is None:
             return
         now = record.timestamp
-        if now < self._next_trigger_check:
+        throttle = self._trigger_throttle
+        if throttle is None or not throttle.ready(now):
             return
         context = self._require_context()
-        # Trigger evaluation is cheap but runs per I/O; throttle it to a
-        # few checks per break-even period.
-        self._next_trigger_check = now + context.config.break_even_time / 4.0
+        throttle.arm(now)
         assert self._triggers is not None
         result = self._triggers.check(
             now,
@@ -253,8 +259,12 @@ class EnergyEfficientPolicy(PowerPolicy):
             and previous_split.hot == split.hot
             and bytes_moved == 0
         )
-        if unchanged and self._next_checkpoint is not None:
-            self._next_trigger_check = self._next_checkpoint
+        if (
+            unchanged
+            and self._next_checkpoint is not None
+            and self._trigger_throttle is not None
+        ):
+            self._trigger_throttle.defer_until(self._next_checkpoint)
 
         self.snapshots.append(
             ManagementSnapshot(

@@ -3,10 +3,11 @@
 The energy numbers the experiments report are integrals accumulated over
 hundreds of thousands of events; a single accounting slip (a state
 interval charged twice, a capacity counter that drifts) corrupts them
-*silently*.  :class:`InvariantAuditor` is the opt-in defence: the trace
-replayer calls :meth:`InvariantAuditor.check` at every policy monitoring
-period and once at the end of the run, and the auditor re-derives the
-books from first principles:
+*silently*.  :class:`InvariantAuditor` is the opt-in defence: it hooks
+the :class:`~repro.engine.kernel.SimulationKernel` (via
+:meth:`InvariantAuditor.hook`) so :meth:`InvariantAuditor.check` runs
+after every policy checkpoint and once at the end of the run, and the
+auditor re-derives the books from first principles:
 
 * **Energy conservation** — each enclosure's per-state joules must equal
   ``watts(state) × time_in_state(state)``, per-state times must sum to
@@ -34,12 +35,16 @@ itself (see ``docs/devtools.md``).
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro.errors import AuditError
 from repro.simulation import SimulationContext
 from repro.storage.cache import PAGE_BYTES
 from repro.storage.power import PowerState
 from repro.units import format_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.kernel import SimulationKernel
 
 __all__ = ["InvariantAuditor"]
 
@@ -74,6 +79,16 @@ class InvariantAuditor:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def hook(self, kernel: "SimulationKernel") -> None:
+        """Attach this auditor to a simulation kernel.
+
+        The kernel calls :meth:`check` after every policy checkpoint
+        (once per monitoring period) and once at final settlement — the
+        same cadence the pre-kernel replayer hand-wired.
+        """
+        kernel.add_checkpoint_hook(self.check)
+        kernel.add_finish_hook(self.check)
+
     def check(self, now: float) -> None:
         """Audit every invariant at virtual time ``now``.
 

@@ -2,7 +2,7 @@
 
 Each rule inspects one module's :mod:`ast` tree and yields
 :class:`Violation` records.  Rules are registered in :data:`RULES` and
-addressed by a short id (``R1`` … ``R7``) or a descriptive name — both
+addressed by a short id (``R1`` … ``R8``) or a descriptive name — both
 work in ``--select`` and in suppression comments
 (``# lint: ignore[R2]`` / ``# lint: ignore[magic-number]``).
 
@@ -20,6 +20,8 @@ R4     power-state           transitions only via the enclosure API, and
 R5     public-api            public functions are annotated and documented
 R6     mutable-default       no mutable default argument values
 R7     naked-except          no bare ``except:`` / ``except Exception:``
+R8     ad-hoc-time           timeline sampling and fault bookkeeping only
+                             through the :mod:`repro.engine` kernel
 =====  ====================  ==============================================
 """
 
@@ -663,6 +665,73 @@ class NakedExceptRule(Rule):
                         "swallows audit and fault-injection failures; "
                         "catch the narrowest expected type",
                     )
+
+
+# ---------------------------------------------------------------------------
+# R8: ad-hoc virtual-time calls outside the simulation kernel
+# ---------------------------------------------------------------------------
+
+#: The module allowed to drive time-owned entry points: the kernel
+#: package itself (any file under it).
+_TIME_OWNER_PACKAGE = "repro/engine/"
+
+#: Modules owning a time-driven method and allowed to call it on
+#: themselves (the timeline's ``finish`` resamples; the controller runs
+#: its own bookkeeping on every submit).
+_TIME_OWNER_FILES = (
+    "repro/monitoring/timeline.py",
+    "repro/storage/controller.py",
+)
+
+#: Timeline methods that advance sampling state.  Only suspicious on a
+#: timeline-looking receiver — ``random.sample`` is a different thing.
+_TIMELINE_METHODS = frozenset({"sample", "sample_due"})
+
+
+@_register
+class AdHocTimeRule(Rule):
+    """R8: timeline sampling / fault bookkeeping bypassing the kernel."""
+
+    rule_id = "R8"
+    name = "ad-hoc-time"
+    summary = (
+        "PowerTimeline.sample/sample_due and StorageController.on_time "
+        "fire as repro.engine events; calling them directly reintroduces "
+        "ad-hoc time"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Flag time-owned method calls outside the kernel/owner modules."""
+        path = ctx.posix_path
+        if _TIME_OWNER_PACKAGE in path:
+            return
+        if any(path.endswith(p) for p in _TIME_OWNER_FILES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            method = node.func.attr
+            if method == "on_time":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "direct call to on_time() — fault bookkeeping fires as "
+                    "a kernel FaultBookkeepingEvent; schedule it via "
+                    "repro.engine instead",
+                )
+            elif (
+                method in _TIMELINE_METHODS
+                and "timeline" in _terminal_name(node.func.value).lower()
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"direct call to {method}() on a power timeline — "
+                    "samples fire as kernel TimelineSampleEvents; schedule "
+                    "them via repro.engine instead",
+                )
 
 
 def resolve_rules(selectors: Iterable[str] | None = None) -> list[Rule]:

@@ -1,0 +1,98 @@
+"""Virtual time primitives: the simulation clock and a check throttle.
+
+Everything in the simulator runs against *virtual* time — timestamps
+carried by trace records and events, never the wall clock — so replays
+are deterministic and virtual hours cost only CPU.  :class:`SimClock`
+is the single authority for "now" inside a
+:class:`~repro.engine.kernel.SimulationKernel`: it only moves forward,
+and a backwards move raises immediately instead of silently corrupting
+the energy books (the invariant the auditor re-checks after the fact).
+
+:class:`Throttle` packages the "earliest next allowed time" arithmetic
+that recurring cheap checks need (the §V-D pattern-change triggers
+evaluate per I/O but should only *act* a few times per break-even
+period).  Callers used to hand-roll this with ad-hoc ``_next_check``
+fields; routing it through one primitive keeps the comparison direction
+and rearm convention identical everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReplayError, ValidationError
+
+__all__ = ["SimClock", "Throttle"]
+
+
+class SimClock:
+    """Monotonic virtual clock owned by the simulation kernel."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValidationError(
+                f"clock cannot start before t=0, got {start!r}"
+            )
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, to: float) -> float:
+        """Move the clock forward to ``to`` and return it.
+
+        Raises :class:`~repro.errors.ReplayError` if ``to`` lies in the
+        past — virtual time never rewinds; an event or record arriving
+        out of order is a bug at the source, not something to clamp.
+        """
+        if to < self._now:
+            raise ReplayError(
+                f"virtual time moved backwards: {to} after {self._now}"
+            )
+        self._now = to
+        return to
+
+
+class Throttle:
+    """Virtual-time rate limiter for recurring cheap checks.
+
+    A throttled check runs its guard (:meth:`ready`) on every
+    opportunity but is expected to :meth:`arm` the throttle only when it
+    actually acts, so at most one action happens per ``interval_seconds``
+    of virtual time.  :meth:`defer_until` pushes the next opportunity to
+    an explicit time (e.g. "not before the next scheduled checkpoint"),
+    and :meth:`reset` re-opens the gate at ``now``.
+    """
+
+    __slots__ = ("interval_seconds", "_next_allowed")
+
+    def __init__(self, interval_seconds: float) -> None:
+        if interval_seconds <= 0.0:
+            raise ValidationError(
+                f"throttle interval must be positive, got {interval_seconds!r}"
+            )
+        self.interval_seconds = interval_seconds
+        self._next_allowed = 0.0
+
+    @property
+    def next_allowed(self) -> float:
+        """Earliest virtual time at which :meth:`ready` returns True."""
+        return self._next_allowed
+
+    def ready(self, now: float) -> bool:
+        """Whether an action is allowed at virtual time ``now``."""
+        return now >= self._next_allowed
+
+    def arm(self, now: float) -> None:
+        """Record an action at ``now``; the gate re-opens one interval later."""
+        self._next_allowed = now + self.interval_seconds
+
+    def defer_until(self, time: float) -> None:
+        """Hold the gate closed until an explicit virtual ``time``."""
+        self._next_allowed = time
+
+    def reset(self, now: float) -> None:
+        """Re-open the gate at ``now`` (used at window starts)."""
+        self._next_allowed = now

@@ -1,0 +1,168 @@
+"""Typed simulation events and their deterministic priority classes.
+
+Every "thing that happens at a virtual time" in the simulator is one of
+the event classes below.  When several events share a timestamp the
+kernel fires them in ascending *priority class* — the table is the
+single place the boundary convention lives:
+
+======================== ===== =====================================
+event                    class fires at equal timestamps…
+======================== ===== =====================================
+timeline sample          0     first: a sample at a boundary reads
+                               the books *before* any mutation there
+fault bookkeeping        1     before the checkpoint it is paired
+                               with (battery/outage accounting must
+                               precede the policy's decision)
+policy checkpoint        2     before any I/O at the same instant
+trace record             3     after checkpoints, before flushes
+flush deadline           4     last: deadlines settle what the
+                               instant's I/O left behind
+======================== ===== =====================================
+
+Ties *within* a class break by insertion order (FIFO), enforced by the
+queue's sequence number — so replays are deterministic regardless of
+heap internals.  Events are dumb carriers: :meth:`Event.fire` just
+routes back into the kernel, which owns all semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:
+    from repro.engine.kernel import SimulationKernel
+    from repro.trace.records import LogicalIORecord
+
+__all__ = [
+    "TIMELINE_SAMPLE",
+    "FAULT_BOOKKEEPING",
+    "POLICY_CHECKPOINT",
+    "TRACE_RECORD",
+    "FLUSH_DEADLINE",
+    "Event",
+    "TimelineSampleEvent",
+    "FaultBookkeepingEvent",
+    "PolicyCheckpointEvent",
+    "TraceRecordEvent",
+    "FlushDeadlineEvent",
+]
+
+#: Priority class: recurring power-timeline boundary samples.
+TIMELINE_SAMPLE = 0
+#: Priority class: fault-clock bookkeeping (battery drain, outage exit).
+FAULT_BOOKKEEPING = 1
+#: Priority class: policy monitoring-period checkpoints.
+POLICY_CHECKPOINT = 2
+#: Priority class: trace records (I/O arrivals).
+TRACE_RECORD = 3
+#: Priority class: write-delay flush deadlines.
+FLUSH_DEADLINE = 4
+
+
+class Event:
+    """One scheduled occurrence at a virtual time.
+
+    Subclasses set :attr:`priority` (one of the module's priority-class
+    constants) and implement :meth:`fire`.  The ``cancelled`` flag
+    supports lazy cancellation: the queue skips cancelled entries on pop
+    instead of rebuilding the heap.
+    """
+
+    __slots__ = ("time", "cancelled", "queued")
+
+    priority: ClassVar[int] = TRACE_RECORD
+
+    def __init__(self, time: float) -> None:
+        if time < 0.0:
+            raise ValidationError(
+                f"events cannot be scheduled before t=0, got {time!r}"
+            )
+        self.time = time
+        self.cancelled = False
+        self.queued = False
+
+    def fire(self, kernel: SimulationKernel) -> None:
+        """Dispatch this event against the kernel that popped it."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        flag = " cancelled" if self.cancelled else ""
+        return f"<{type(self).__name__} t={self.time}{flag}>"
+
+
+class TimelineSampleEvent(Event):
+    """Recurring power-timeline boundary sample; reschedules itself."""
+
+    __slots__ = ()
+
+    priority = TIMELINE_SAMPLE
+
+    def fire(self, kernel: SimulationKernel) -> None:
+        """Record the boundary point and schedule the next one."""
+        kernel.fire_timeline_sample(self.time)
+
+
+class FaultBookkeepingEvent(Event):
+    """Fault-clock bookkeeping paired with a policy checkpoint.
+
+    Runs :meth:`repro.storage.controller.StorageController.on_time` —
+    battery-death force-flush and outage accounting — strictly before
+    the checkpoint at the same instant, exactly as the pre-kernel
+    replayer ordered the two calls.
+    """
+
+    __slots__ = ()
+
+    priority = FAULT_BOOKKEEPING
+
+    def fire(self, kernel: SimulationKernel) -> None:
+        """Run controller fault bookkeeping at this instant."""
+        kernel.fire_fault_bookkeeping(self.time)
+
+
+class PolicyCheckpointEvent(Event):
+    """A policy monitoring-period checkpoint; reschedules via the policy."""
+
+    __slots__ = ()
+
+    priority = POLICY_CHECKPOINT
+
+    def fire(self, kernel: SimulationKernel) -> None:
+        """Run the policy checkpoint and sync the follow-up schedule."""
+        kernel.fire_policy_checkpoint(self.time)
+
+
+class TraceRecordEvent(Event):
+    """A single trace record served as an event (online operation).
+
+    Batch replay streams records through the kernel's merged pump
+    without heap traffic; this event type exists for online/incremental
+    feeds that :meth:`~repro.engine.kernel.SimulationKernel.post`
+    records as they arrive.
+    """
+
+    __slots__ = ("record",)
+
+    priority = TRACE_RECORD
+
+    def __init__(self, record: LogicalIORecord) -> None:
+        super().__init__(record.timestamp)
+        self.record = record
+
+    def fire(self, kernel: SimulationKernel) -> None:
+        """Serve the carried I/O record."""
+        kernel.serve_record(self.record)
+
+
+class FlushDeadlineEvent(Event):
+    """A write-delay flush deadline (§V-C) as an explicit event."""
+
+    __slots__ = ()
+
+    priority = FLUSH_DEADLINE
+
+    def fire(self, kernel: SimulationKernel) -> None:
+        """Flush delayed writes whose deadline has arrived."""
+        kernel.fire_flush_deadline(self.time)

@@ -1,0 +1,340 @@
+"""The discrete-event simulation kernel.
+
+:class:`SimulationKernel` is the one dispatch site through which virtual
+time passes.  Every time consumer that the pre-kernel ``TraceReplayer``
+hand-threaded — power-timeline boundary samples, fault-clock
+bookkeeping, policy monitoring-period checkpoints, trace records,
+write-delay flush deadlines — is an :class:`~repro.engine.events.Event`
+popped off one deterministic :class:`~repro.engine.queue.EventQueue`
+and fired in ``(time, priority class, insertion order)`` order.
+
+Two entry points:
+
+* :meth:`SimulationKernel.replay` — batch mode.  Trace records arrive
+  as a pre-sorted stream, so the pump *merges* the record iterator with
+  the event heap instead of pushing every record through it: the heap
+  only ever holds the handful of live recurring events, which keeps the
+  hot loop allocation-free and the throughput at parity with the old
+  hand-threaded loop.
+* :meth:`SimulationKernel.post` + :meth:`SimulationKernel.run_until` —
+  online mode.  Events (including
+  :class:`~repro.engine.events.TraceRecordEvent` I/O arrivals) are
+  scheduled as they become known and the clock is pumped forward
+  incrementally, the formulation the online/streaming roadmap items
+  need.
+
+Checkpoint scheduling is *synchronized polling*: policies still expose
+``next_checkpoint()`` (see :class:`repro.baselines.base.PowerPolicy`),
+and the kernel keeps exactly one live
+:class:`~repro.engine.events.PolicyCheckpointEvent` in the queue that
+mirrors it, re-synced at the only points the value can change — after
+each ``after_io`` and after each ``on_checkpoint``.  When a fault clock
+is installed, every checkpoint is paired with a
+:class:`~repro.engine.events.FaultBookkeepingEvent` at the same time
+(lower priority class ⇒ fires first), preserving the pre-kernel call
+order ``controller.on_time(t)`` then ``policy.on_checkpoint(t)``.
+
+The golden regression test (``tests/trace/test_replay_golden.py``)
+pins this kernel bit-identical to the pre-kernel replayer for every
+policy, with and without faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.engine.clock import SimClock
+from repro.engine.events import (
+    FLUSH_DEADLINE,
+    TRACE_RECORD,
+    Event,
+    FaultBookkeepingEvent,
+    PolicyCheckpointEvent,
+    TimelineSampleEvent,
+)
+from repro.engine.queue import EventQueue
+from repro.errors import ReplayError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.baselines.base import PowerPolicy
+    from repro.monitoring.timeline import PowerTimeline
+    from repro.simulation import SimulationContext
+    from repro.trace.records import LogicalIORecord
+
+__all__ = ["ReplayOutcome", "SimulationKernel"]
+
+#: Priority bound one past the last class; ``run_until`` uses it so a
+#: pump to time ``t`` includes every event class scheduled at ``t``.
+_PAST_LAST_CLASS = FLUSH_DEADLINE + 1
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """What :meth:`SimulationKernel.replay` measured about the window."""
+
+    #: Number of trace records served.
+    io_count: int
+    #: Declared (or inferred) end of the measurement window, seconds.
+    end: float
+    #: Final settlement time — ``end`` or later if the tail flush ran past it.
+    final: float
+
+
+class SimulationKernel:
+    """Deterministic event pump over one simulation context.
+
+    A kernel drives one measurement window and is single-use for
+    :meth:`replay` (exactly like the pre-kernel replayer, whose loop
+    state lived in locals).  The caller is expected to have bound
+    ``policy`` to ``context`` already; :class:`repro.trace.replay.TraceReplayer`
+    does so and remains the public batch entry point.
+    """
+
+    def __init__(
+        self,
+        context: SimulationContext,
+        policy: PowerPolicy,
+        timeline: PowerTimeline | None = None,
+    ) -> None:
+        self.context = context
+        self.policy = policy
+        self.timeline = timeline
+        self.clock = SimClock()
+        self.queue = EventQueue()
+        self._checkpoint_event: PolicyCheckpointEvent | None = None
+        self._bookkeeping_event: FaultBookkeepingEvent | None = None
+        self._scheduled_checkpoint: float | None = None
+        self._checkpoint_hooks: list[Callable[[float], None]] = []
+        self._finish_hooks: list[Callable[[float], None]] = []
+
+    # ------------------------------------------------------------------
+    # Hook + scheduling surface
+    # ------------------------------------------------------------------
+
+    def add_checkpoint_hook(self, hook: Callable[[float], None]) -> None:
+        """Call ``hook(time)`` after every policy checkpoint fires.
+
+        Hooks run after ``policy.on_checkpoint`` and before the
+        advancement guard — the slot the invariant auditor occupied in
+        the pre-kernel replayer.
+        """
+        self._checkpoint_hooks.append(hook)
+
+    def add_finish_hook(self, hook: Callable[[float], None]) -> None:
+        """Call ``hook(final)`` once after end-of-run settlement."""
+        self._finish_hooks.append(hook)
+
+    def post(self, event: Event) -> Event:
+        """Schedule ``event`` on the kernel's queue and return it.
+
+        The online entry point: arrivals, deadlines, or custom event
+        sources go in here and fire when :meth:`run_until` (or the
+        batch pump) reaches their time.
+        """
+        return self.queue.push(event)
+
+    # ------------------------------------------------------------------
+    # Batch replay
+    # ------------------------------------------------------------------
+
+    def replay(
+        self,
+        records: Iterable[LogicalIORecord],
+        duration: float | None = None,
+    ) -> ReplayOutcome:
+        """Pump a time-ordered record stream through the simulation.
+
+        Semantics (validation errors, boundary convention, end-of-run
+        settlement order) are exactly those documented on
+        :meth:`repro.trace.replay.TraceReplayer.run`; the golden test
+        holds this method bit-identical to the pre-kernel loop.
+        """
+        if duration is not None and duration <= 0.0:
+            raise ReplayError(
+                f"declared duration must be positive, got {duration}"
+            )
+        context = self.context
+        policy = self.policy
+        app = context.app_monitor
+        controller = context.controller
+        clock = self.clock
+
+        policy.on_start(0.0)
+        app.begin_window(0.0)
+        context.storage_monitor.begin_window(0.0)
+        if self.timeline is not None:
+            self.queue.push(
+                TimelineSampleEvent(self.timeline.next_sample_time)
+            )
+        self._sync_checkpoint()
+
+        last_ts = 0.0
+        count = 0
+        for record in records:
+            ts = record.timestamp
+            if ts < last_ts:
+                raise ReplayError(
+                    f"trace not time-ordered: {ts} after {last_ts}"
+                )
+            last_ts = ts
+            self._dispatch_until((ts, TRACE_RECORD))
+            clock.advance(ts)
+            response = controller.submit(record)
+            app.record(record, response)
+            policy.after_io(record, response)
+            count += 1
+            self._sync_checkpoint()
+
+        if count == 0 and duration is None:
+            raise ReplayError(
+                "cannot replay an empty trace without an explicit "
+                "duration: there is no measurement window"
+            )
+        end = duration if duration is not None else last_ts
+        if end < last_ts:
+            raise ReplayError(
+                f"declared duration {end} ends before last record at {last_ts}"
+            )
+        self._drain_tail(end)
+        policy.on_end(end)
+        completion = controller.finish(end)
+        final = max(end, completion)
+        clock.advance(final)
+        context.storage_monitor.finish(final)
+        for enclosure in context.enclosures:
+            enclosure.finish(final)
+        if self.timeline is not None:
+            # Boundaries past the last fired checkpoint are settled here,
+            # *after* the tail flush mutations — the pre-kernel ordering.
+            self.timeline.finish(final)
+        for hook in self._finish_hooks:
+            hook(final)
+        return ReplayOutcome(io_count=count, end=end, final=final)
+
+    # ------------------------------------------------------------------
+    # Online pump
+    # ------------------------------------------------------------------
+
+    def run_until(self, time: float) -> float:
+        """Fire every queued event scheduled at or before ``time``.
+
+        Advances the clock to ``time`` even if nothing fires, and
+        returns it.  This is the incremental pump for online operation;
+        it performs no end-of-run settlement.
+        """
+        self._dispatch_until((time, _PAST_LAST_CLASS))
+        if self.clock.now < time:
+            self.clock.advance(time)
+        return time
+
+    # ------------------------------------------------------------------
+    # Event dispatch (called by Event.fire)
+    # ------------------------------------------------------------------
+
+    def serve_record(self, record: LogicalIORecord) -> None:
+        """Serve one I/O record: submit, observe, let the policy react."""
+        response = self.context.controller.submit(record)
+        self.context.app_monitor.record(record, response)
+        self.policy.after_io(record, response)
+        self._sync_checkpoint()
+
+    def fire_timeline_sample(self, now: float) -> None:
+        """Record the due timeline boundary and schedule the next one."""
+        timeline = self.timeline
+        if timeline is None:
+            return
+        timeline.sample(now)
+        self.queue.push(TimelineSampleEvent(timeline.next_sample_time))
+
+    def fire_fault_bookkeeping(self, now: float) -> None:
+        """Run controller fault bookkeeping ahead of the checkpoint at ``now``."""
+        self._bookkeeping_event = None
+        self.context.controller.on_time(now)
+
+    def fire_policy_checkpoint(self, now: float) -> None:
+        """Run a policy checkpoint, its hooks, and re-sync the schedule."""
+        self._checkpoint_event = None
+        self._bookkeeping_event = None
+        self._scheduled_checkpoint = None
+        policy = self.policy
+        policy.on_checkpoint(now)
+        for hook in self._checkpoint_hooks:
+            hook(now)
+        follow_up = policy.next_checkpoint()
+        if follow_up is not None and follow_up <= now:
+            raise ReplayError(
+                f"policy {policy.name!r} did not advance its "
+                f"checkpoint past {now}"
+            )
+        self._sync_checkpoint()
+
+    def fire_flush_deadline(self, now: float) -> None:
+        """Flush delayed writes whose deadline arrived at ``now``."""
+        self.context.controller.flush_write_delay(now)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _dispatch_until(self, bound: tuple[float, int]) -> None:
+        """Fire queued events whose ``(time, priority)`` key is < ``bound``."""
+        queue = self.queue
+        clock = self.clock
+        while True:
+            key = queue.peek_key()
+            if key is None or key >= bound:
+                return
+            event = queue.pop()
+            if event is None:  # pragma: no cover - peek guarantees liveness
+                return
+            clock.advance(event.time)
+            event.fire(self)
+
+    def _drain_tail(self, end: float) -> None:
+        """Fire every remaining checkpoint scheduled at or before ``end``.
+
+        Timeline boundaries *beyond* the last fired checkpoint stay
+        queued on purpose: the pre-kernel engine recorded them inside
+        ``timeline.finish`` after the tail flush, and so does
+        :meth:`replay`.
+        """
+        while (
+            self._scheduled_checkpoint is not None
+            and self._scheduled_checkpoint <= end
+        ):
+            self._dispatch_until((self._scheduled_checkpoint, TRACE_RECORD))
+
+    def _sync_checkpoint(self) -> None:
+        """Mirror ``policy.next_checkpoint()`` as the one live checkpoint event.
+
+        Called at every point the policy may have moved its checkpoint.
+        Unchanged targets are a fast no-op; a moved target lazily
+        cancels the stale event pair and schedules a fresh one.
+        """
+        target = self.policy.next_checkpoint()
+        if target is not None and target is self._scheduled_checkpoint:
+            return
+        if target is None:
+            self._cancel_checkpoint()
+            return
+        if self._scheduled_checkpoint is not None:
+            if target == self._scheduled_checkpoint:
+                return
+            self._cancel_checkpoint()
+        if self.context.fault_clock is not None:
+            self._bookkeeping_event = FaultBookkeepingEvent(target)
+            self.queue.push(self._bookkeeping_event)
+        self._checkpoint_event = PolicyCheckpointEvent(target)
+        self.queue.push(self._checkpoint_event)
+        self._scheduled_checkpoint = target
+
+    def _cancel_checkpoint(self) -> None:
+        """Lazily cancel the scheduled checkpoint event pair, if any."""
+        if self._checkpoint_event is not None:
+            self.queue.cancel(self._checkpoint_event)
+            self._checkpoint_event = None
+        if self._bookkeeping_event is not None:
+            self.queue.cancel(self._bookkeeping_event)
+            self._bookkeeping_event = None
+        self._scheduled_checkpoint = None

@@ -1,0 +1,111 @@
+"""Replay-throughput benchmark: records/sec through the engine kernel.
+
+The :mod:`repro.engine` refactor carries a hard perf bar — replay
+throughput within 5 % of the pre-kernel hand-threaded loop — and the
+ROADMAP wants the perf trajectory to have actual data points.  This
+module measures end-to-end replay throughput (wall-clock seconds for a
+full :class:`~repro.trace.replay.TraceReplayer` run, best of N repeats
+to suppress scheduler noise) for the no-power-saving baseline and the
+proposed policy, and serializes the result as ``BENCH_engine.json``:
+
+* locally via ``ecostor bench --out BENCH_engine.json``;
+* in CI's smoke mode (see ``.github/workflows/ci.yml``), so every
+  change leaves a comparable throughput record next to its test run.
+
+Wall-clock timing lives here, *outside* the kernel: virtual time inside
+the simulation never touches ``perf_counter``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.config import DEFAULT_CONFIG
+from repro.experiments.runner import STANDARD_POLICIES
+from repro.experiments.testbed import build_workload
+from repro.simulation import build_context
+from repro.trace.replay import TraceReplayer
+
+__all__ = ["BENCH_FORMAT", "DEFAULT_BENCH_POLICIES", "run_bench", "main"]
+
+#: Schema version of the emitted JSON document.
+BENCH_FORMAT = 1
+
+#: Policies benchmarked by default: the do-nothing floor and the paper's
+#: method (the heaviest per-I/O and per-checkpoint work).
+DEFAULT_BENCH_POLICIES = ("no-power-saving", "proposed")
+
+
+def _time_one_replay(workload_name: str, full: bool, policy_name: str) -> float:
+    workload = build_workload(workload_name, full)
+    context = build_context(DEFAULT_CONFIG, workload.enclosure_count)
+    workload.install(context)
+    policy = STANDARD_POLICIES[policy_name]()
+    replayer = TraceReplayer(context, policy)
+    started = time.perf_counter()
+    replayer.run(workload.records, duration=workload.duration)
+    return time.perf_counter() - started
+
+
+def run_bench(
+    workload_name: str = "tpcc",
+    full: bool = False,
+    policies: tuple[str, ...] = DEFAULT_BENCH_POLICIES,
+    repeats: int = 3,
+) -> dict:
+    """Measure replay throughput; returns the ``BENCH_engine`` document.
+
+    Each policy replays the whole workload ``repeats`` times against a
+    fresh context and the *best* wall-clock time wins — benchmarking
+    convention for a deterministic workload, where every slowdown is
+    external noise.
+    """
+    workload = build_workload(workload_name, full)
+    record_count = len(workload.records)
+    results: dict[str, dict[str, float | int]] = {}
+    for policy_name in policies:
+        best = min(
+            _time_one_replay(workload_name, full, policy_name)
+            for _ in range(max(repeats, 1))
+        )
+        results[policy_name] = {
+            "best_seconds": best,
+            "records_per_second": record_count / best,
+            "repeats": max(repeats, 1),
+        }
+    return {
+        "format": BENCH_FORMAT,
+        "benchmark": "replay-throughput",
+        "workload": workload.name,
+        "full": full,
+        "records": record_count,
+        "duration_seconds": workload.duration,
+        "python": platform.python_version(),
+        "policies": results,
+    }
+
+
+def main(
+    workload_name: str = "tpcc",
+    full: bool = False,
+    repeats: int = 3,
+    out: str | None = None,
+) -> int:
+    """Run the benchmark, print a summary, optionally write the JSON."""
+    document = run_bench(workload_name, full=full, repeats=repeats)
+    for policy_name, row in document["policies"].items():
+        print(
+            f"{policy_name:>16}: {row['best_seconds']:.4f} s best of "
+            f"{row['repeats']} ({row['records_per_second']:,.0f} records/s)"
+        )
+    if out is not None:
+        path = Path(out)
+        path.write_text(
+            json.dumps(document, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path}")
+    return 0

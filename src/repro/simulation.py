@@ -6,6 +6,11 @@ migration engine — and :func:`build_context` assembles it the way the
 paper's testbed is assembled (Fig 5 / Fig 7): one controller over N
 enclosures, the storage monitor tapping physical I/O, the application
 monitor fed by the replayer.
+
+The context holds no notion of time itself: virtual time lives in the
+:mod:`repro.engine` kernel, which drives every component here through
+events (records, checkpoints, timeline samples, fault bookkeeping) and
+settles them at end of run.  One context backs one measurement window.
 """
 
 from __future__ import annotations

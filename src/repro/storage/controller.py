@@ -139,9 +139,12 @@ class StorageController:
     def on_time(self, now: float) -> None:
         """Advance fault bookkeeping to ``now`` (no-op without faults).
 
-        Called on every application I/O and at every replay checkpoint,
-        so battery failures are noticed and emergency buffers drained at
-        deterministic points of virtual time.
+        Driven from exactly two places: internally on every application
+        I/O, and by the simulation kernel's
+        :class:`~repro.engine.events.FaultBookkeepingEvent` fired just
+        before each policy checkpoint — so battery failures are noticed
+        and emergency buffers drained at deterministic points of virtual
+        time.  Calling it ad hoc elsewhere is flagged by lint rule R8.
         """
         if self._fault_clock is None:
             return

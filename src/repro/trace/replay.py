@@ -7,6 +7,14 @@ checkpoints.  "Our trace replay tool issues I/O for moving data items,
 preload data items, and flushing delayed write I/Os" — those side-effect
 I/Os happen inside the policy callbacks via the controller, so their
 energy and latency costs land in the same accounting as application I/O.
+
+Since the :mod:`repro.engine` refactor the replayer is a thin façade:
+each :meth:`TraceReplayer.run` builds a single-use
+:class:`~repro.engine.kernel.SimulationKernel`, hooks the auditor onto
+it, pumps the records through, and assembles the
+:class:`ReplayResult` from the context's monitors.  All event ordering
+lives in the kernel (and is pinned bit-identical by the golden test in
+``tests/trace/test_replay_golden.py``).
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.monitoring.timeline import PowerTimeline
 
 from repro.baselines.base import PowerPolicy
-from repro.errors import ReplayError
+from repro.engine.kernel import SimulationKernel
 from repro.faults.report import AvailabilityReport, availability_from_context
 from repro.monitoring.application import ResponseStats
 from repro.simulation import SimulationContext
@@ -113,67 +121,22 @@ class TraceReplayer:
         :class:`~repro.errors.ReplayError` — as does a non-positive
         declared ``duration``.
         """
-        if duration is not None and duration <= 0.0:
-            raise ReplayError(
-                f"declared duration must be positive, got {duration}"
-            )
         context = self.context
         policy = self.policy
-        app = context.app_monitor
-        storage = context.storage_monitor
-        controller = context.controller
-
-        policy.on_start(0.0)
-        app.begin_window(0.0)
-        storage.begin_window(0.0)
-
-        last_ts = 0.0
-        count = 0
-        for record in records:
-            if record.timestamp < last_ts:
-                raise ReplayError(
-                    f"trace not time-ordered: {record.timestamp} after {last_ts}"
-                )
-            last_ts = record.timestamp
-            self._run_checkpoints(until=record.timestamp)
-            if self.timeline is not None and self.timeline.sample_due(
-                record.timestamp
-            ):
-                self.timeline.sample(record.timestamp)
-            response = controller.submit(record)
-            app.record(record, response)
-            policy.after_io(record, response)
-            count += 1
-
-        if count == 0 and duration is None:
-            raise ReplayError(
-                "cannot replay an empty trace without an explicit "
-                "duration: there is no measurement window"
-            )
-        end = duration if duration is not None else last_ts
-        if end < last_ts:
-            raise ReplayError(
-                f"declared duration {end} ends before last record at {last_ts}"
-            )
-        self._run_checkpoints(until=end)
-        policy.on_end(end)
-        completion = controller.finish(end)
-        final = max(end, completion)
-        storage.finish(final)
-        for enclosure in context.enclosures:
-            enclosure.finish(final)
-        if self.timeline is not None:
-            self.timeline.finish(final)
+        kernel = SimulationKernel(context, policy, timeline=self.timeline)
         if self.auditor is not None:
-            self.auditor.check(final)
+            self.auditor.hook(kernel)
+        outcome = kernel.replay(records, duration=duration)
+        final = outcome.final
 
+        controller = context.controller
         power = context.meter.read(final, controller)
         availability = availability_from_context(context, policy, final)
         return ReplayResult(
             policy_name=policy.name,
             duration_seconds=final,
-            io_count=count,
-            response=app.response_stats(),
+            io_count=outcome.io_count,
+            response=context.app_monitor.response_stats(),
             power=power,
             migrated_bytes=controller.migrated_bytes,
             migration_count=controller.migration_count,
@@ -183,37 +146,3 @@ class TraceReplayer:
             spin_down_count=sum(e.spin_down_count for e in context.enclosures),
             availability=availability,
         )
-
-    def _run_checkpoints(self, until: float) -> None:
-        """Run every policy checkpoint scheduled at or before ``until``.
-
-        Power-timeline samples that fall due at or before a checkpoint
-        are taken *before* the policy acts: a checkpoint may settle (or
-        re-state) the enclosures at its own time, and sampling a
-        boundary only afterwards would lump the whole span's energy
-        into the first boundary and report zero for the rest.  This
-        also yields intermediate samples inside idle gaps longer than
-        the sampling interval — previously nothing was sampled until
-        the next record arrived (or ``timeline.finish``).
-        """
-        while True:
-            checkpoint = self.policy.next_checkpoint()
-            if checkpoint is None or checkpoint > until:
-                return
-            if self.timeline is not None and self.timeline.sample_due(
-                checkpoint
-            ):
-                self.timeline.sample(checkpoint)
-            # Fault bookkeeping (battery failure, emergency drains) runs
-            # before the policy acts so both see the same state; a no-op
-            # without a fault clock.
-            self.context.controller.on_time(checkpoint)
-            self.policy.on_checkpoint(checkpoint)
-            if self.auditor is not None:
-                self.auditor.check(checkpoint)
-            follow_up = self.policy.next_checkpoint()
-            if follow_up is not None and follow_up <= checkpoint:
-                raise ReplayError(
-                    f"policy {self.policy.name!r} did not advance its "
-                    f"checkpoint past {checkpoint}"
-                )

@@ -1,0 +1,8 @@
+"""Fixture: trips only R8 (ad-hoc virtual-time calls)."""
+
+power_timeline = object()
+storage_controller = object()
+
+power_timeline.sample(1.0)
+power_timeline.sample_due(1.0)
+storage_controller.on_time(1.0)

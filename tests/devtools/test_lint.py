@@ -27,6 +27,7 @@ FIXTURE_RULES = [
     ("r5_public_api.py", "R5"),
     ("r6_mutable_default.py", "R6"),
     ("r7_naked_except.py", "R7"),
+    ("r8_ad_hoc_time.py", "R8"),
 ]
 
 
@@ -49,7 +50,16 @@ def test_src_tree_lints_clean() -> None:
 
 
 def test_registry_has_all_rules() -> None:
-    assert sorted(RULES) == ["R1", "R2", "R3", "R4", "R5", "R6", "R7"]
+    assert sorted(RULES) == [
+        "R1",
+        "R2",
+        "R3",
+        "R4",
+        "R5",
+        "R6",
+        "R7",
+        "R8",
+    ]
     for rule in RULES.values():
         assert rule.name and rule.summary
 
@@ -99,7 +109,7 @@ def test_json_report_round_trips() -> None:
     payload = json.loads(report.render_json())
     assert payload["files_checked"] == len(FIXTURE_RULES)
     seen = {v["rule_id"] for v in payload["violations"]}
-    assert seen == {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
+    assert seen == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
     for violation in payload["violations"]:
         assert violation["line"] >= 1
         assert violation["message"]

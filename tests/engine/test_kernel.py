@@ -1,0 +1,164 @@
+"""Tests for repro.engine.kernel — hooks, pairing, online operation."""
+
+import pytest
+
+from repro import units
+from repro.baselines.base import PowerPolicy
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.config import DEFAULT_CONFIG
+from repro.engine.events import TraceRecordEvent
+from repro.engine.kernel import SimulationKernel
+from repro.errors import ReplayError
+from repro.faults.plan import CacheBatteryFailure, FaultPlan
+from repro.simulation import build_context, default_volume
+from repro.trace.records import IOType, LogicalIORecord
+
+
+class PeriodicPolicy(PowerPolicy):
+    """Minimal checkpointing policy: fixed period, records every call."""
+
+    name = "periodic-spy"
+
+    def __init__(self, period=60.0):
+        super().__init__()
+        self.period = period
+        self.checkpoints = []
+        self.io_seen = []
+
+    def on_start(self, now):
+        self._next = now + self.period
+
+    def next_checkpoint(self):
+        return self._next
+
+    def on_checkpoint(self, now):
+        self.checkpoints.append(now)
+        self._next = now + self.period
+
+    def after_io(self, record, response_time):
+        self.io_seen.append(record.timestamp)
+
+
+def make_context(faults=None):
+    context = build_context(DEFAULT_CONFIG, 2, faults=faults)
+    context.virtualization.add_item("a", units.MB, default_volume("enc-00"))
+    context.app_monitor.register_item("a", default_volume("enc-00"))
+    return context
+
+
+def record(ts: float) -> LogicalIORecord:
+    return LogicalIORecord(ts, "a", 0, 4096, IOType.READ)
+
+
+class TestHooks:
+    def test_checkpoint_and_finish_hooks_fire_in_order(self):
+        context = make_context()
+        policy = PeriodicPolicy(period=60.0)
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        seen = []
+        kernel.add_checkpoint_hook(lambda t: seen.append(("checkpoint", t)))
+        kernel.add_finish_hook(lambda t: seen.append(("finish", t)))
+        outcome = kernel.replay([record(5.0), record(100.0)], duration=150.0)
+        assert seen == [
+            ("checkpoint", 60.0),
+            ("checkpoint", 120.0),
+            ("finish", outcome.final),
+        ]
+        assert policy.checkpoints == [60.0, 120.0]
+
+    def test_outcome_reports_io_count_and_window(self):
+        context = make_context()
+        policy = NoPowerSavingPolicy()
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        outcome = kernel.replay([record(5.0), record(10.0)], duration=50.0)
+        assert outcome.io_count == 2
+        assert outcome.end == 50.0
+        assert outcome.final >= outcome.end
+
+
+class TestFaultPairing:
+    def test_bookkeeping_events_drive_battery_failure(self):
+        # No records at all: the only on_time() calls come from the
+        # kernel's FaultBookkeepingEvents paired with each checkpoint,
+        # so the battery failure can only be noticed if they fire.
+        faults = FaultPlan(events=(CacheBatteryFailure(time=100.0),))
+        context = make_context(faults=faults)
+        policy = PeriodicPolicy(period=60.0)
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        kernel.replay([], duration=300.0)
+        assert context.controller.battery_failed
+
+    def test_without_fault_clock_no_bookkeeping_is_scheduled(self):
+        context = make_context()
+        policy = PeriodicPolicy(period=60.0)
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        kernel.replay([], duration=300.0)
+        assert context.fault_clock is None
+        assert not context.controller.battery_failed
+
+
+class TestOnlineMode:
+    def test_posted_records_are_served_by_run_until(self):
+        context = make_context()
+        policy = PeriodicPolicy(period=60.0)
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        policy.on_start(0.0)
+        context.app_monitor.begin_window(0.0)
+        context.storage_monitor.begin_window(0.0)
+        kernel.post(TraceRecordEvent(record(5.0)))
+        kernel.post(TraceRecordEvent(record(70.0)))
+        kernel.run_until(50.0)
+        assert policy.io_seen == [5.0]
+        kernel.run_until(200.0)
+        assert policy.io_seen == [5.0, 70.0]
+        # Serving the first record synced the checkpoint schedule, so
+        # checkpoints interleave with posted records in time order.
+        assert policy.checkpoints == [60.0, 120.0, 180.0]
+        assert kernel.clock.now == 200.0
+
+    def test_checkpoints_fire_between_posted_records(self):
+        context = make_context()
+        policy = PeriodicPolicy(period=60.0)
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        policy.on_start(0.0)
+        context.app_monitor.begin_window(0.0)
+        context.storage_monitor.begin_window(0.0)
+        kernel._sync_checkpoint()
+        kernel.post(TraceRecordEvent(record(5.0)))
+        kernel.post(TraceRecordEvent(record(130.0)))
+        kernel.run_until(200.0)
+        assert policy.checkpoints == [60.0, 120.0, 180.0]
+        assert policy.io_seen == [5.0, 130.0]
+
+    def test_posting_into_the_past_raises_on_pump(self):
+        context = make_context()
+        policy = NoPowerSavingPolicy()
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        kernel.run_until(100.0)
+        kernel.post(TraceRecordEvent(record(50.0)))
+        with pytest.raises(ReplayError):
+            kernel.run_until(200.0)
+
+
+class TestReplayValidation:
+    def test_unordered_records_raise(self):
+        context = make_context()
+        policy = NoPowerSavingPolicy()
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        with pytest.raises(ReplayError):
+            kernel.replay([record(10.0), record(5.0)])
+
+    def test_non_positive_duration_raises(self):
+        context = make_context()
+        policy = NoPowerSavingPolicy()
+        policy.bind(context)
+        with pytest.raises(ReplayError):
+            SimulationKernel(context, policy).replay([], duration=0.0)

@@ -1,0 +1,122 @@
+"""Property tests: event-queue determinism under the repro.engine kernel.
+
+The queue's contract is a *total, explicit* order — ascending time,
+then ascending priority class (timeline-sample < fault-bookkeeping <
+policy-checkpoint < trace-record < flush-deadline), then insertion
+order — independent of the order events were pushed.  These properties
+drive shuffled insertions (hypothesis picks times from a small grid so
+equal-timestamp collisions are common) and assert pops always come out
+in the documented order, with and without lazy cancellations.
+
+Replay determinism rides on top of this: the serial == parallel ==
+cached bit-identity suite (``tests/experiments``) and the pre-kernel
+golden test (``tests/trace/test_replay_golden.py``) both run every
+replay through the kernel, so those suites double as end-to-end
+determinism proofs; here we add the direct property that two replays
+of the same trace in one process are equal object-for-object.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.baselines.nopower import NoPowerSavingPolicy
+from repro.config import DEFAULT_CONFIG
+from repro.engine.events import (
+    Event,
+    FaultBookkeepingEvent,
+    FlushDeadlineEvent,
+    PolicyCheckpointEvent,
+    TimelineSampleEvent,
+)
+from repro.engine.queue import EventQueue
+from repro.simulation import build_context, default_volume
+from repro.trace.records import IOType, LogicalIORecord
+from repro.trace.replay import TraceReplayer
+
+#: Constructor per priority class; the base Event carries TRACE_RECORD.
+EVENT_KINDS = (
+    TimelineSampleEvent,
+    FaultBookkeepingEvent,
+    PolicyCheckpointEvent,
+    Event,
+    FlushDeadlineEvent,
+)
+
+#: A coarse time grid, so same-timestamp collisions are the common case.
+event_specs = st.lists(
+    st.tuples(
+        st.sampled_from([0.0, 10.0, 20.0, 30.0]),
+        st.integers(min_value=0, max_value=len(EVENT_KINDS) - 1),
+    ),
+    max_size=40,
+)
+
+
+@given(specs=event_specs)
+def test_pops_follow_time_class_insertion_order(specs):
+    queue = EventQueue()
+    pushed = []
+    for order, (time, kind) in enumerate(specs):
+        event = EVENT_KINDS[kind](time)
+        queue.push(event)
+        pushed.append((time, event.priority, order, event))
+    expected = [entry[3] for entry in sorted(pushed, key=lambda e: e[:3])]
+    drained = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        drained.append(event)
+    assert drained == expected
+
+
+@given(specs=event_specs, data=st.data())
+def test_cancellation_preserves_order_of_survivors(specs, data):
+    queue = EventQueue()
+    pushed = []
+    for order, (time, kind) in enumerate(specs):
+        event = EVENT_KINDS[kind](time)
+        queue.push(event)
+        pushed.append((time, event.priority, order, event))
+    doomed = data.draw(
+        st.sets(st.integers(min_value=0, max_value=max(len(pushed) - 1, 0)))
+        if pushed
+        else st.just(set())
+    )
+    for index in doomed:
+        queue.cancel(pushed[index][3])
+    expected = [
+        entry[3]
+        for entry in sorted(pushed, key=lambda e: e[:3])
+        if not entry[3].cancelled
+    ]
+    assert len(queue) == len(expected)
+    drained = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        drained.append(event)
+    assert drained == expected
+
+
+def _replay_once():
+    context = build_context(DEFAULT_CONFIG, 2)
+    context.virtualization.add_item("a", units.MB, default_volume("enc-00"))
+    context.app_monitor.register_item("a", default_volume("enc-00"))
+    records = [
+        LogicalIORecord(float(t), "a", 0, 4096, IOType.READ)
+        for t in range(0, 600, 35)
+    ]
+    return TraceReplayer(context, NoPowerSavingPolicy()).run(
+        records, duration=600.0
+    )
+
+
+@settings(deadline=None, max_examples=3)
+@given(st.integers(min_value=0, max_value=2))
+def test_replay_is_deterministic_run_to_run(_seed):
+    assert _replay_once() == _replay_once()

@@ -1,0 +1,137 @@
+"""Golden bit-identity regression for the replay engine.
+
+The :mod:`repro.engine` kernel replaced the hand-threaded time loop of
+the original ``TraceReplayer``.  The hard bar for that refactor — and
+for any future change to event dispatch order — is that every policy's
+replay stays **bit-identical**: same :class:`~repro.trace.replay.ReplayResult`
+(including the :class:`~repro.faults.report.AvailabilityReport`), same
+:class:`~repro.core.manager.ManagementSnapshot` sequence, same
+:class:`~repro.monitoring.timeline.PowerTimeline` points, float for
+float.
+
+``tests/trace/golden/replay_fileserver_smoke.json`` was captured from
+the pre-kernel engine (commit ``3b358ca``) and must never be
+regenerated to paper over a mismatch: a diff here means the engine's
+decision sequence changed.  Legitimate regeneration (a deliberate,
+reviewed semantic change) is::
+
+    PYTHONPATH=src python tests/trace/test_replay_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.manager import EnergyEfficientPolicy
+from repro.experiments.runner import STANDARD_POLICIES
+from repro.experiments.testbed import build_workload
+from repro.faults.plan import (
+    CacheBatteryFailure,
+    EnclosureOutage,
+    FaultPlan,
+    MigrationAbort,
+    SlowSpinUp,
+    SpinUpFailure,
+)
+from repro.monitoring.timeline import PowerTimeline
+from repro.simulation import build_context
+from repro.trace.replay import TraceReplayer
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / (
+    "replay_fileserver_smoke.json"
+)
+
+#: Power-timeline cadence used by the golden capture (seconds).
+TIMELINE_INTERVAL = 300.0
+
+
+def _fault_plan(first_item: str) -> FaultPlan:
+    """Deterministic fault plan exercising every injection point."""
+    return FaultPlan(
+        events=(
+            SpinUpFailure(enclosure="enc-03", after=300.0, failures=2),
+            SlowSpinUp(
+                enclosure="enc-05", start=0.0, end=3600.0, multiplier=2.0
+            ),
+            EnclosureOutage(enclosure="enc-01", start=900.0, end=1200.0),
+            CacheBatteryFailure(time=2400.0),
+            MigrationAbort(item_id=first_item, after=600.0),
+        )
+    )
+
+
+def _capture_cell(policy_name: str, with_faults: bool) -> dict:
+    """Replay one (policy, fault?) cell and flatten every measurement."""
+    workload = build_workload("fileserver", full=False)
+    faults = (
+        _fault_plan(workload.items[0].item_id) if with_faults else None
+    )
+    context = build_context(
+        DEFAULT_CONFIG, workload.enclosure_count, faults=faults
+    )
+    workload.install(context)
+    timeline = PowerTimeline(
+        context.enclosures, interval_seconds=TIMELINE_INTERVAL
+    )
+    policy = STANDARD_POLICIES[policy_name]()
+    result = TraceReplayer(context, policy, timeline=timeline).run(
+        workload.records, duration=workload.duration
+    )
+    cell = {"replay": asdict(result)}
+    cell["timeline"] = [
+        {
+            "timestamp": point.timestamp,
+            "total_watts": point.total_watts,
+            "per_enclosure": point.per_enclosure,
+        }
+        for point in timeline.points
+    ]
+    if isinstance(policy, EnergyEfficientPolicy):
+        cell["snapshots"] = [
+            {
+                **asdict(snapshot),
+                "pattern_counts": {
+                    pattern.value: count
+                    for pattern, count in snapshot.pattern_counts.items()
+                },
+            }
+            for snapshot in policy.snapshots
+        ]
+    return cell
+
+
+def capture_all() -> dict:
+    """Capture every golden cell: four policies, with and without faults."""
+    cells = {}
+    for with_faults in (False, True):
+        for policy_name in STANDARD_POLICIES:
+            label = f"{policy_name}{'+faults' if with_faults else ''}"
+            cells[label] = _capture_cell(policy_name, with_faults)
+    return cells
+
+
+def test_replay_bit_identical_to_golden():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    captured = json.loads(json.dumps(capture_all()))
+    assert captured.keys() == golden.keys()
+    for label in golden:
+        assert captured[label] == golden[label], (
+            f"replay of cell {label!r} diverged from the pre-kernel golden "
+            "result — the engine's decision sequence changed"
+        )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("refusing to run without --regen (see module docstring)")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(capture_all(), indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {GOLDEN_PATH}")
