@@ -1,0 +1,45 @@
+"""Action-layer overhead gate: recording ActionRecords must be ~free.
+
+Not a paper figure: the :mod:`repro.actions` refactor routed every
+storage mutation through the recording
+:class:`~repro.actions.executor.ActionExecutor`, and this benchmark
+holds the cost of that bookkeeping to ≤ 2 % of replay wall-clock (plus
+an absolute floor below timer/scheduler noise, so a sub-millisecond
+difference on a fast machine can never fail the gate).  The underlying
+measurement is the same interleaved logged-vs-unlogged comparison
+``ecostor bench`` ships in ``BENCH_engine.json``'s ``action_layer``
+section.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import run_bench
+
+#: Relative bar from the issue: logging may cost at most 2 % of replay.
+MAX_OVERHEAD_FRACTION = 0.02
+#: Absolute noise floor: differences under 50 ms are scheduler jitter,
+#: not logging cost, regardless of what fraction they work out to.
+NOISE_FLOOR_SECONDS = 0.05
+
+
+def test_action_record_logging_overhead_within_bar(report):
+    document = run_bench("tpcc", full=False, repeats=5)
+    overhead = document["action_layer"]
+    logged = overhead["logged_seconds"]
+    unlogged = overhead["unlogged_seconds"]
+    excess = logged - unlogged
+    report(
+        "Action-layer logging overhead (tpcc smoke, proposed policy)\n"
+        f"  logged   : {logged:.4f} s\n"
+        f"  unlogged : {unlogged:.4f} s\n"
+        f"  overhead : {overhead['overhead_fraction']:+.2%} "
+        f"(bar {MAX_OVERHEAD_FRACTION:.0%}, "
+        f"floor {NOISE_FLOOR_SECONDS * 1000:.0f} ms)"
+    )
+    assert excess <= max(
+        MAX_OVERHEAD_FRACTION * unlogged, NOISE_FLOOR_SECONDS
+    ), (
+        f"action-record logging slowed replay by {excess:.4f} s "
+        f"({overhead['overhead_fraction']:+.2%}); the action layer must "
+        f"stay within {MAX_OVERHEAD_FRACTION:.0%} of the unlogged replay"
+    )

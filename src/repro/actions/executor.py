@@ -1,0 +1,615 @@
+"""The action executor: the single mutation path into the storage layer.
+
+Policies plan; the :class:`ActionExecutor` applies.  Every
+:class:`~repro.actions.plan.ActionPlan` goes through :meth:`ActionExecutor.apply`,
+which routes each action to the one
+:class:`~repro.storage.controller.StorageController` / enclosure call
+that realizes it, consults the fault machinery exactly where the
+pre-action code paths did (``MigrationAbortedError`` from the
+controller; the degraded-mode cool-down gate for power-off enablement),
+and emits one :class:`~repro.actions.records.ActionRecord` per action.
+
+Timing model (matches the serialized pre-action call sequences
+bit-for-bit):
+
+* consecutive :class:`~repro.actions.records.MigrateItem` actions chain —
+  each starts at the previous migration's completion, the §V-A
+  one-at-a-time throttled migration;
+* every other action starts at the plan's submission time ``now``.
+
+``dry_run=True`` costs a plan without mutating anything: no controller
+call, no log append, no counter change, no cool-down bookkeeping — the
+books are bit-identical before and after.  Dry-run records carry
+analytic cost estimates (transfer seconds at bulk/migration bandwidth,
+incremental active-over-idle joules) and predicted outcomes from pure
+reads only: capacity and placement checks, the degraded-mode gate
+evaluated without arming it, and scheduled outage windows via
+:meth:`repro.faults.clock.FaultClock.outage_at`.  One-shot
+``MigrationAbort`` injections are *not* predicted — consulting them
+consumes them, which a dry run must never do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.actions.plan import ActionPlan
+from repro.actions.records import (
+    Action,
+    ActionOutcome,
+    ActionRecord,
+    ChargeBlockMigration,
+    EnableWriteDelay,
+    FlushItem,
+    FlushWriteDelay,
+    MigrateItem,
+    PreloadItem,
+    SetPowerOffEnabled,
+    UnpinItem,
+)
+from repro.errors import CapacityError, MigrationAbortedError, UsageError
+from repro.storage.cache import PAGE_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import EcoStorConfig
+    from repro.faults.clock import FaultClock
+    from repro.storage.controller import StorageController
+    from repro.storage.enclosure import DiskEnclosure
+
+__all__ = ["ActionExecutor", "ApplyReport"]
+
+
+@dataclass(frozen=True)
+class ApplyReport:
+    """Outcome of applying one plan: the records plus timing aggregates."""
+
+    records: tuple[ActionRecord, ...]
+    started_at: float
+    #: Max completion over all records (``started_at`` for empty plans).
+    completed_at: float
+    #: End of the serialized migration chain: the last applied
+    #: migration's completion, or ``started_at`` if none applied.
+    migration_clock: float
+    #: Whether this report came from a dry run (nothing was mutated).
+    dry_run: bool = False
+
+    def outcome_count(self, outcome: ActionOutcome) -> int:
+        """Number of records with the given outcome."""
+        return sum(1 for r in self.records if r.outcome is outcome)
+
+    @property
+    def moves_executed(self) -> int:
+        """Applied :class:`MigrateItem` actions in this plan."""
+        return sum(
+            1
+            for r in self.records
+            if isinstance(r.action, MigrateItem)
+            and r.outcome is ActionOutcome.APPLIED
+        )
+
+    @property
+    def moves_aborted(self) -> int:
+        """Fault-aborted :class:`MigrateItem` actions in this plan."""
+        return sum(
+            1
+            for r in self.records
+            if isinstance(r.action, MigrateItem)
+            and r.outcome is ActionOutcome.ABORTED_BY_FAULT
+        )
+
+    @property
+    def bytes_moved(self) -> int:
+        """Payload bytes of applied :class:`MigrateItem` actions."""
+        return sum(
+            r.cost_bytes
+            for r in self.records
+            if isinstance(r.action, MigrateItem)
+            and r.outcome is ActionOutcome.APPLIED
+        )
+
+
+class ActionExecutor:
+    """Applies action plans to the storage layer; owns the action log.
+
+    The executor is the *only* component that may call the controller's
+    mutators or an enclosure's power-off enablement (lint rule R9
+    enforces this across ``src/``).  It also owns the degraded-mode
+    power-off gate that used to live on the policy base class: the
+    per-enclosure cool-down state must sit beside the component that
+    applies power decisions, not on each planner.
+    """
+
+    def __init__(
+        self,
+        controller: StorageController,
+        config: EcoStorConfig | None = None,
+        fault_clock: FaultClock | None = None,
+    ) -> None:
+        self.controller = controller
+        self.config = config
+        self.fault_clock = fault_clock
+        #: Every record of every live (non-dry) apply, in order.
+        self.log: list[ActionRecord] = []
+        #: Benchmarks may disable log retention to measure its overhead;
+        #: counters keep updating either way.
+        self.record_log = True
+
+        # Outcome counters (live applies only).
+        self.actions_applied = 0
+        self.actions_aborted = 0
+        self.actions_vetoed = 0
+        self.actions_rejected = 0
+        # Migration-flavoured aggregates, for the invariant auditor's
+        # one-directional consistency check against controller books.
+        self.migrations_applied = 0
+        self.migrations_aborted = 0
+        self.migrated_bytes_applied = 0
+
+        # Degraded-mode gate state (was PowerPolicy._cooldown_until).
+        self._cooldown_until: dict[str, float] = {}
+        #: Times the gate vetoed a power-off enablement.
+        self.degraded_cooldowns = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def apply(
+        self, now: float, plan: ActionPlan, dry_run: bool = False
+    ) -> ApplyReport:
+        """Apply ``plan`` starting at virtual time ``now``.
+
+        Returns one :class:`ApplyReport` carrying a record per action in
+        plan order.  With ``dry_run=True`` nothing is mutated and
+        nothing is logged; outcomes and costs are predictions (see the
+        module docstring for what dry runs can and cannot foresee).
+        """
+        records: list[ActionRecord] = []
+        migration_clock = now
+        completed = now
+        for action in plan:
+            record, migration_clock = self._apply_one(
+                now, action, migration_clock, dry_run
+            )
+            records.append(record)
+            completed = max(completed, record.completion)
+        if not dry_run:
+            self._count(records)
+            if self.record_log:
+                self.log.extend(records)
+        return ApplyReport(
+            records=tuple(records),
+            started_at=now,
+            completed_at=completed,
+            migration_clock=migration_clock,
+            dry_run=dry_run,
+        )
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _count(self, records: list[ActionRecord]) -> None:
+        for record in records:
+            outcome = record.outcome
+            if outcome is ActionOutcome.APPLIED:
+                self.actions_applied += 1
+            elif outcome is ActionOutcome.ABORTED_BY_FAULT:
+                self.actions_aborted += 1
+            elif outcome is ActionOutcome.VETOED_BY_DEGRADED_MODE:
+                self.actions_vetoed += 1
+            else:
+                self.actions_rejected += 1
+            if isinstance(record.action, (MigrateItem, ChargeBlockMigration)):
+                if outcome is ActionOutcome.APPLIED:
+                    self.migrations_applied += 1
+                    self.migrated_bytes_applied += record.cost_bytes
+                elif outcome is ActionOutcome.ABORTED_BY_FAULT:
+                    self.migrations_aborted += 1
+
+    def _delta_watts(self, enclosure: DiskEnclosure) -> float:
+        model = enclosure.power_model
+        return model.active_watts - model.idle_watts
+
+    def _mean_delta_watts(self) -> float:
+        enclosures = self.controller.virtualization.enclosures()
+        if not enclosures:
+            return 0.0
+        return sum(self._delta_watts(e) for e in enclosures) / len(enclosures)
+
+    def _bulk_seconds(self, size_bytes: int) -> float:
+        return size_bytes / self.controller.bulk_bandwidth_bps
+
+    # ------------------------------------------------------------------
+    # per-action application
+    # ------------------------------------------------------------------
+    def _apply_one(
+        self, now: float, action: Action, migration_clock: float, dry_run: bool
+    ) -> tuple[ActionRecord, float]:
+        if isinstance(action, MigrateItem):
+            return self._apply_migrate(action, migration_clock, dry_run)
+        if isinstance(action, PreloadItem):
+            return self._apply_preload(now, action, dry_run), migration_clock
+        if isinstance(action, UnpinItem):
+            return self._apply_unpin(now, action, dry_run), migration_clock
+        if isinstance(action, EnableWriteDelay):
+            return (
+                self._apply_write_delay(now, action, dry_run),
+                migration_clock,
+            )
+        if isinstance(action, FlushItem):
+            return self._apply_flush_item(now, action, dry_run), migration_clock
+        if isinstance(action, FlushWriteDelay):
+            return self._apply_flush_all(now, action, dry_run), migration_clock
+        if isinstance(action, SetPowerOffEnabled):
+            return self._apply_power_off(now, action, dry_run), migration_clock
+        if isinstance(action, ChargeBlockMigration):
+            return (
+                self._apply_block_charge(now, action, dry_run),
+                migration_clock,
+            )
+        raise UsageError(f"executor cannot apply action {action!r}")
+
+    def _apply_migrate(
+        self, action: MigrateItem, start: float, dry_run: bool
+    ) -> tuple[ActionRecord, float]:
+        controller = self.controller
+        virt = controller.virtualization
+        item_id = action.item_id
+        target = action.target_enclosure
+
+        def rejected(reason: str) -> tuple[ActionRecord, float]:
+            return (
+                ActionRecord(
+                    action, ActionOutcome.REJECTED, start, start, reason=reason
+                ),
+                start,
+            )
+
+        if not virt.has_item(item_id):
+            return rejected("unknown-item")
+        src = virt.enclosure_of(item_id)
+        if src.name == target:
+            return rejected("already-placed")
+        size = virt.item_size(item_id)
+        dst = virt.enclosure(target)
+        busy = self._bulk_seconds(size)
+        joules = (self._delta_watts(src) + self._delta_watts(dst)) * busy
+
+        if dry_run:
+            if dst.capacity_bytes and (
+                virt.used_bytes(target) + size > dst.capacity_bytes
+            ):
+                return rejected("capacity")
+            clock = self.fault_clock
+            if clock is not None and any(
+                clock.outage_at(name, start) is not None
+                for name in (src.name, target)
+            ):
+                return (
+                    ActionRecord(
+                        action,
+                        ActionOutcome.ABORTED_BY_FAULT,
+                        start,
+                        start,
+                        reason="outage",
+                    ),
+                    start,
+                )
+            completion = start + size / controller.migration_throughput_bps
+            return (
+                ActionRecord(
+                    action,
+                    ActionOutcome.APPLIED,
+                    start,
+                    completion,
+                    cost_seconds=completion - start,
+                    cost_joules=joules,
+                    cost_bytes=size,
+                ),
+                completion,
+            )
+
+        try:
+            completion = controller.migrate_item(start, item_id, target)
+        except CapacityError:
+            return rejected("capacity")
+        except MigrationAbortedError:
+            return (
+                ActionRecord(
+                    action,
+                    ActionOutcome.ABORTED_BY_FAULT,
+                    start,
+                    start,
+                    reason="migration-abort",
+                ),
+                start,
+            )
+        return (
+            ActionRecord(
+                action,
+                ActionOutcome.APPLIED,
+                start,
+                completion,
+                cost_seconds=completion - start,
+                cost_joules=joules,
+                cost_bytes=size,
+            ),
+            completion,
+        )
+
+    def _apply_preload(
+        self, now: float, action: PreloadItem, dry_run: bool
+    ) -> ActionRecord:
+        controller = self.controller
+        virt = controller.virtualization
+        item_id = action.item_id
+        if not virt.has_item(item_id):
+            return ActionRecord(
+                action,
+                ActionOutcome.REJECTED,
+                now,
+                now,
+                reason="unknown-item",
+            )
+        if controller.cache.preload.is_pinned(item_id):
+            return ActionRecord(
+                action,
+                ActionOutcome.APPLIED,
+                now,
+                now,
+                reason="already-pinned",
+            )
+        size = virt.item_size(item_id)
+        joules = self._delta_watts(virt.enclosure_of(item_id)) * (
+            self._bulk_seconds(size)
+        )
+        if dry_run:
+            if not controller.cache.preload.fits(size):
+                return ActionRecord(
+                    action,
+                    ActionOutcome.REJECTED,
+                    now,
+                    now,
+                    reason="capacity",
+                )
+            completion = now + self._bulk_seconds(size)
+            return ActionRecord(
+                action,
+                ActionOutcome.APPLIED,
+                now,
+                completion,
+                cost_seconds=completion - now,
+                cost_joules=joules,
+                cost_bytes=size,
+            )
+        try:
+            completion = controller.preload_item(now, item_id)
+        except CapacityError:
+            return ActionRecord(
+                action, ActionOutcome.REJECTED, now, now, reason="capacity"
+            )
+        return ActionRecord(
+            action,
+            ActionOutcome.APPLIED,
+            now,
+            completion,
+            cost_seconds=completion - now,
+            cost_joules=joules,
+            cost_bytes=size,
+        )
+
+    def _apply_unpin(
+        self, now: float, action: UnpinItem, dry_run: bool
+    ) -> ActionRecord:
+        pinned = self.controller.cache.preload.is_pinned(action.item_id)
+        if not dry_run:
+            self.controller.unpin_item(action.item_id)
+        return ActionRecord(
+            action,
+            ActionOutcome.APPLIED,
+            now,
+            now,
+            reason="" if pinned else "not-pinned",
+        )
+
+    def _apply_write_delay(
+        self, now: float, action: EnableWriteDelay, dry_run: bool
+    ) -> ActionRecord:
+        controller = self.controller
+        wd = controller.cache.write_delay
+        if dry_run:
+            # Estimate: deselected items flush their dirty pages.  The
+            # live path skips items still emergency-buffered for an
+            # outage; the estimate does not model that refinement.
+            stale = sorted(wd.selected_items() - set(action.item_ids))
+            flush_bytes = sum(wd.dirty_bytes_of(item) for item in stale)
+            seconds = self._bulk_seconds(flush_bytes)
+            return ActionRecord(
+                action,
+                ActionOutcome.APPLIED,
+                now,
+                now + seconds,
+                cost_seconds=seconds,
+                cost_joules=self._mean_delta_watts() * seconds,
+                cost_bytes=flush_bytes,
+                reason="battery-failed" if controller.battery_failed else "",
+            )
+        flushed_before = wd.flushed_pages
+        completion = controller.select_write_delay(now, set(action.item_ids))
+        flush_bytes = (wd.flushed_pages - flushed_before) * PAGE_BYTES
+        return ActionRecord(
+            action,
+            ActionOutcome.APPLIED,
+            now,
+            completion,
+            cost_seconds=completion - now,
+            cost_joules=self._mean_delta_watts()
+            * self._bulk_seconds(flush_bytes),
+            cost_bytes=flush_bytes,
+            reason="battery-failed" if controller.battery_failed else "",
+        )
+
+    def _apply_flush_item(
+        self, now: float, action: FlushItem, dry_run: bool
+    ) -> ActionRecord:
+        controller = self.controller
+        wd = controller.cache.write_delay
+        dirty = wd.dirty_bytes_of(action.item_id)
+        if dry_run:
+            seconds = self._bulk_seconds(dirty)
+            return ActionRecord(
+                action,
+                ActionOutcome.APPLIED,
+                now,
+                now + seconds,
+                cost_seconds=seconds,
+                cost_joules=self._mean_delta_watts() * seconds,
+                cost_bytes=dirty,
+                reason="" if dirty else "no-dirty-data",
+            )
+        completion = controller.flush_item(now, action.item_id)
+        return ActionRecord(
+            action,
+            ActionOutcome.APPLIED,
+            now,
+            completion,
+            cost_seconds=completion - now,
+            cost_joules=self._mean_delta_watts() * self._bulk_seconds(dirty),
+            cost_bytes=dirty,
+            reason="" if dirty else "no-dirty-data",
+        )
+
+    def _apply_flush_all(
+        self, now: float, action: FlushWriteDelay, dry_run: bool
+    ) -> ActionRecord:
+        controller = self.controller
+        wd = controller.cache.write_delay
+        if dry_run:
+            dirty = wd.dirty_pages * PAGE_BYTES
+            seconds = self._bulk_seconds(dirty)
+            return ActionRecord(
+                action,
+                ActionOutcome.APPLIED,
+                now,
+                now + seconds,
+                cost_seconds=seconds,
+                cost_joules=self._mean_delta_watts() * seconds,
+                cost_bytes=dirty,
+            )
+        flushed_before = wd.flushed_pages
+        completion = controller.flush_write_delay(now)
+        flush_bytes = (wd.flushed_pages - flushed_before) * PAGE_BYTES
+        return ActionRecord(
+            action,
+            ActionOutcome.APPLIED,
+            now,
+            completion,
+            cost_seconds=completion - now,
+            cost_joules=self._mean_delta_watts()
+            * self._bulk_seconds(flush_bytes),
+            cost_bytes=flush_bytes,
+        )
+
+    def _apply_power_off(
+        self, now: float, action: SetPowerOffEnabled, dry_run: bool
+    ) -> ActionRecord:
+        enclosure = self.controller.virtualization.enclosure(action.enclosure)
+        if not action.enabled:
+            if not dry_run:
+                enclosure.disable_power_off(now)
+            return ActionRecord(action, ActionOutcome.APPLIED, now, now)
+        veto_reason = self._gate_veto(enclosure, now, dry_run)
+        if veto_reason is not None:
+            if not dry_run:
+                enclosure.disable_power_off(now)
+            return ActionRecord(
+                action,
+                ActionOutcome.VETOED_BY_DEGRADED_MODE,
+                now,
+                now,
+                reason=veto_reason,
+            )
+        if not dry_run:
+            enclosure.enable_power_off(now)
+        return ActionRecord(action, ActionOutcome.APPLIED, now, now)
+
+    def _gate_veto(
+        self, enclosure: DiskEnclosure, now: float, dry_run: bool
+    ) -> str | None:
+        """Degraded-mode gate: veto reason for enabling power-off, or None.
+
+        When an enclosure's recent spin-up failures (within
+        ``config.spin_up_failure_window``) reach
+        ``config.spin_up_failure_threshold``, the enclosure enters a
+        cool-down of ``config.power_off_cooldown`` seconds during which
+        enablement is vetoed — a drive that keeps failing to spin up
+        should not keep being spun down.  Without fault injection there
+        are no recorded failures and the gate is a transparent
+        pass-through.  Dry runs evaluate the decision without arming a
+        new cool-down.
+        """
+        until = self._cooldown_until.get(enclosure.name, 0.0)
+        if now < until:
+            return "cooldown"
+        failures = enclosure.spin_up_failure_times
+        if failures:
+            if self.config is None:
+                raise UsageError(
+                    "degraded-mode gate needs an executor config to judge "
+                    f"spin-up failures on {enclosure.name!r}"
+                )
+            window_start = now - self.config.spin_up_failure_window
+            recent = sum(1 for t in failures if t >= window_start)
+            if recent >= self.config.spin_up_failure_threshold:
+                if not dry_run:
+                    self._cooldown_until[enclosure.name] = (
+                        now + self.config.power_off_cooldown
+                    )
+                    self.degraded_cooldowns += 1
+                return "degraded-mode"
+        return None
+
+    def _apply_block_charge(
+        self, now: float, action: ChargeBlockMigration, dry_run: bool
+    ) -> ActionRecord:
+        controller = self.controller
+        if action.size_bytes <= 0:
+            return ActionRecord(
+                action,
+                ActionOutcome.REJECTED,
+                now,
+                now,
+                reason="non-positive-size",
+            )
+        virt = controller.virtualization
+        seconds = self._bulk_seconds(action.size_bytes)
+        joules = (
+            self._delta_watts(virt.enclosure(action.source_enclosure))
+            + self._delta_watts(virt.enclosure(action.target_enclosure))
+        ) * seconds
+        if dry_run:
+            return ActionRecord(
+                action,
+                ActionOutcome.APPLIED,
+                now,
+                now + seconds,
+                cost_seconds=seconds,
+                cost_joules=joules,
+                cost_bytes=action.size_bytes,
+            )
+        completion = controller.charge_block_migration(
+            now,
+            action.item_id,
+            action.size_bytes,
+            action.source_enclosure,
+            action.target_enclosure,
+        )
+        return ActionRecord(
+            action,
+            ActionOutcome.APPLIED,
+            now,
+            completion,
+            cost_seconds=completion - now,
+            cost_joules=joules,
+            cost_bytes=action.size_bytes,
+        )

@@ -1,0 +1,42 @@
+"""Ordered plans of storage-management actions.
+
+An :class:`ActionPlan` is what a policy's planning pass produces: the
+ordered list of :class:`~repro.actions.records.Action` values one
+management decision wants applied.  Order is execution order — the
+:class:`~repro.actions.executor.ActionExecutor` applies the plan front
+to back, chaining consecutive migrations in time exactly like the
+serialized one-at-a-time migration the paper describes (§V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.actions.records import Action
+
+__all__ = ["ActionPlan"]
+
+
+@dataclass
+class ActionPlan:
+    """An ordered sequence of actions produced by one planning pass."""
+
+    actions: list[Action] = field(default_factory=list)
+
+    def add(self, action: Action) -> None:
+        """Append one action to the plan."""
+        self.actions.append(action)
+
+    def extend(self, actions: Iterable[Action]) -> None:
+        """Append several actions, preserving their order."""
+        self.actions.extend(actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __bool__(self) -> bool:
+        return bool(self.actions)

@@ -1,0 +1,270 @@
+"""Typed storage-management actions and their execution records.
+
+Every mutation a power policy may request of the storage layer —
+migrate, preload, unpin, write-delay (re)selection, flush, power-off
+enablement, DDR's block-copy charge — is one frozen :class:`Action`
+dataclass here.  Policies *plan* (build :class:`~repro.actions.plan.ActionPlan`
+values out of these); only the
+:class:`~repro.actions.executor.ActionExecutor` applies them, and each
+application yields one :class:`ActionRecord`: the action, its
+:class:`ActionOutcome`, when it started and completed, and its cost in
+seconds, joules, and bytes.
+
+Records are JSON-round-trippable (:meth:`ActionRecord.to_dict` /
+:meth:`ActionRecord.from_dict`): the action log travels on
+:class:`~repro.trace.replay.ReplayResult` through
+:mod:`repro.experiments.serialize` and the parallel result cache, so
+every field is plain ints/floats/strings/tuples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Action",
+    "ActionOutcome",
+    "ActionRecord",
+    "ChargeBlockMigration",
+    "EnableWriteDelay",
+    "FlushItem",
+    "FlushWriteDelay",
+    "MigrateItem",
+    "PreloadItem",
+    "SetPowerOffEnabled",
+    "UnpinItem",
+    "action_from_dict",
+]
+
+
+class ActionOutcome(enum.Enum):
+    """What happened when the executor applied an action.
+
+    ``APPLIED``
+        The mutation happened (possibly as a documented no-op, e.g.
+        preloading an already-pinned item; the record's ``reason`` says
+        so).
+    ``ABORTED_BY_FAULT``
+        Fault injection cancelled the action mid-application
+        (:class:`~repro.errors.MigrationAbortedError`); all books were
+        rolled back untouched.
+    ``VETOED_BY_DEGRADED_MODE``
+        The degraded-mode gate refused a power-off enablement because
+        the enclosure's recent spin-up failures put it in a cool-down
+        window (the enclosure stays powered instead).
+    ``REJECTED``
+        The action could not be applied at all (unknown item, item
+        already at its target, insufficient capacity); nothing was
+        mutated.
+    """
+
+    APPLIED = "applied"
+    ABORTED_BY_FAULT = "aborted-by-fault"
+    VETOED_BY_DEGRADED_MODE = "vetoed-by-degraded-mode"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class for all storage-management actions.
+
+    Subclasses set :attr:`kind` (the stable serialization tag) and add
+    their payload fields.  Actions are immutable value objects; they
+    carry *what* should happen, never *when* — time is supplied by the
+    executor at application.
+    """
+
+    #: Stable serialization tag; one per concrete subclass.
+    kind = "abstract"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten this action to plain JSON types, tagged with ``kind``."""
+        data: dict[str, Any] = {"kind": self.kind}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = list(value) if isinstance(value, tuple) else value
+        return data
+
+
+@dataclass(frozen=True)
+class MigrateItem(Action):
+    """Move one data item to another enclosure (paper §V-A)."""
+
+    item_id: str
+    target_enclosure: str
+    #: Evacuation moves (Algorithm 3) execute before consolidation moves.
+    evacuation: bool = False
+
+    kind = "migrate-item"
+
+
+@dataclass(frozen=True)
+class PreloadItem(Action):
+    """Pin one whole data item into the preload partition (§V-C)."""
+
+    item_id: str
+
+    kind = "preload-item"
+
+
+@dataclass(frozen=True)
+class UnpinItem(Action):
+    """Evict one data item from the preload partition (§V-C)."""
+
+    item_id: str
+
+    kind = "unpin-item"
+
+
+@dataclass(frozen=True)
+class EnableWriteDelay(Action):
+    """Reconfigure the write-delay selection to exactly these items (§V-B).
+
+    Items are stored sorted so plans built from set iteration serialize
+    identically in every process (controller semantics are set-based,
+    so the order never affects the simulation itself).
+    """
+
+    item_ids: tuple[str, ...]
+
+    kind = "enable-write-delay"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "item_ids", tuple(sorted(self.item_ids)))
+
+
+@dataclass(frozen=True)
+class FlushItem(Action):
+    """Write one item's dirty pages out; it stays write-delay selected."""
+
+    item_id: str
+
+    kind = "flush-item"
+
+
+@dataclass(frozen=True)
+class FlushWriteDelay(Action):
+    """Bulk-flush every dirty page in the write-delay partition (§V-B)."""
+
+    kind = "flush-write-delay"
+
+
+@dataclass(frozen=True)
+class SetPowerOffEnabled(Action):
+    """Enable or disable the power-off function of one enclosure (§IV-G).
+
+    Enablement passes through the executor's degraded-mode gate; an
+    enclosure whose spin-ups keep failing gets
+    :attr:`ActionOutcome.VETOED_BY_DEGRADED_MODE` and stays powered.
+    """
+
+    enclosure: str
+    enabled: bool
+
+    kind = "set-power-off-enabled"
+
+
+@dataclass(frozen=True)
+class ChargeBlockMigration(Action):
+    """Charge a block-grained copy between enclosures (DDR's move).
+
+    No remapping happens — the caller's block-level placement sits below
+    the item-grained virtualization — but I/O, energy, and migrated-byte
+    accounting are identical to a real move.
+    """
+
+    item_id: str
+    size_bytes: int
+    source_enclosure: str
+    target_enclosure: str
+
+    kind = "charge-block-migration"
+
+
+#: Registry of concrete action classes by serialization tag.
+_ACTION_KINDS: dict[str, type[Action]] = {
+    cls.kind: cls
+    for cls in (
+        MigrateItem,
+        PreloadItem,
+        UnpinItem,
+        EnableWriteDelay,
+        FlushItem,
+        FlushWriteDelay,
+        SetPowerOffEnabled,
+        ChargeBlockMigration,
+    )
+}
+
+
+def action_from_dict(data: Mapping[str, Any]) -> Action:
+    """Rebuild an action from :meth:`Action.to_dict` output."""
+    kind = data.get("kind")
+    cls = _ACTION_KINDS.get(str(kind))
+    if cls is None:
+        raise ValidationError(f"unknown action kind {kind!r}")
+    kwargs: dict[str, Any] = {}
+    for spec in fields(cls):
+        if spec.name not in data:
+            raise ValidationError(
+                f"action {kind!r} payload is missing field {spec.name!r}"
+            )
+        value = data[spec.name]
+        kwargs[spec.name] = tuple(value) if isinstance(value, list) else value
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """One action's application, as logged by the executor.
+
+    ``time`` is when the action started (for chained migrations this is
+    the previous migration's completion, not the plan's submission
+    time); ``completion`` is when its I/O finished.  ``cost_seconds`` is
+    ``completion - time``; ``cost_joules`` is the analytic transfer
+    energy estimate (incremental active-over-idle power × platter time
+    on every enclosure touched) — an *estimate*, because the true
+    marginal energy depends on what else overlaps the transfer;
+    ``cost_bytes`` counts payload bytes actually moved/flushed/pinned.
+    """
+
+    action: Action
+    outcome: ActionOutcome
+    time: float
+    completion: float
+    cost_seconds: float = 0.0
+    cost_joules: float = 0.0
+    cost_bytes: int = 0
+    #: Short machine-readable qualifier ("capacity", "cooldown", ...).
+    reason: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten this record to plain JSON types."""
+        return {
+            "action": self.action.to_dict(),
+            "outcome": self.outcome.value,
+            "time": self.time,
+            "completion": self.completion,
+            "cost_seconds": self.cost_seconds,
+            "cost_joules": self.cost_joules,
+            "cost_bytes": self.cost_bytes,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ActionRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            action=action_from_dict(data["action"]),
+            outcome=ActionOutcome(data["outcome"]),
+            time=data["time"],
+            completion=data["completion"],
+            cost_seconds=data["cost_seconds"],
+            cost_joules=data["cost_joules"],
+            cost_bytes=data["cost_bytes"],
+            reason=data["reason"],
+        )

@@ -24,6 +24,9 @@ from __future__ import annotations
 
 import abc
 
+from repro.actions.executor import ActionExecutor
+from repro.actions.plan import ActionPlan
+from repro.actions.records import ActionOutcome, SetPowerOffEnabled
 from repro.errors import UsageError
 from repro.simulation import SimulationContext
 from repro.storage.enclosure import DiskEnclosure
@@ -31,7 +34,14 @@ from repro.trace.records import LogicalIORecord
 
 
 class PowerPolicy(abc.ABC):
-    """Base class for storage power-saving policies."""
+    """Base class for storage power-saving policies.
+
+    Policies are *planners*: they decide, build
+    :class:`~repro.actions.plan.ActionPlan` values, and apply them
+    through the context's
+    :class:`~repro.actions.executor.ActionExecutor` — never by calling
+    controller mutators directly (lint rule R9).
+    """
 
     #: Human-readable policy name used in reports.
     name: str = "abstract"
@@ -41,10 +51,6 @@ class PowerPolicy(abc.ABC):
         #: Number of data-placement determinations performed — the paper
         #: reports this count for every method (§VII-D).
         self.determinations = 0
-        #: Per-enclosure end times of degraded-mode cool-down windows.
-        self._cooldown_until: dict[str, float] = {}
-        #: Times degraded mode vetoed a power-off enablement.
-        self.degraded_cooldowns = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -62,45 +68,42 @@ class PowerPolicy(abc.ABC):
         """Called once at replay start (time ``now``, usually 0)."""
 
     # ------------------------------------------------------------------
-    # degraded-mode power-off gate (repro.faults)
+    # executor access (repro.actions)
     # ------------------------------------------------------------------
+    def executor(self) -> ActionExecutor:
+        """The bound context's action executor — the only mutation path."""
+        return self._require_context().require_executor()
+
+    @property
+    def degraded_cooldowns(self) -> int:
+        """Times the degraded-mode gate vetoed a power-off enablement.
+
+        The gate (and its count) lives on the executor since the
+        :mod:`repro.actions` refactor; unbound policies report zero.
+        """
+        if self.context is None or self.context.executor is None:
+            return 0
+        return self.context.executor.degraded_cooldowns
+
     def apply_power_off(
         self, enclosure: DiskEnclosure, now: float, enable: bool
     ) -> bool:
         """Enable/disable power-off on one enclosure through the
-        degraded-mode gate; returns whether power-off ended up enabled.
+        executor's degraded-mode gate; returns whether power-off ended
+        up enabled.
 
-        Every policy routes its power-off decisions through here.  When
-        an enclosure's recent spin-up failures (within
-        ``config.spin_up_failure_window``) reach
-        ``config.spin_up_failure_threshold``, the enclosure enters a
-        cool-down of ``config.power_off_cooldown`` seconds during which
-        enablement is vetoed — a drive that keeps failing to spin up
-        should not keep being spun down.  Without fault injection there
-        are no recorded failures and the gate is a transparent
-        pass-through, so zero-fault behaviour is unchanged.
+        Every policy routes its power-off decisions through here (or
+        puts the equivalent :class:`SetPowerOffEnabled` action in a
+        larger plan).  When an enclosure's recent spin-up failures reach
+        the configured threshold the gate vetoes enablement for a
+        cool-down window; without fault injection the gate is a
+        transparent pass-through, so zero-fault behaviour is unchanged.
         """
-        if not enable:
-            enclosure.disable_power_off(now)
-            return False
-        until = self._cooldown_until.get(enclosure.name, 0.0)
-        if now < until:
-            enclosure.disable_power_off(now)
-            return False
-        failures = enclosure.spin_up_failure_times
-        if failures:
-            config = self._require_context().config
-            window_start = now - config.spin_up_failure_window
-            recent = sum(1 for t in failures if t >= window_start)
-            if recent >= config.spin_up_failure_threshold:
-                self._cooldown_until[enclosure.name] = (
-                    now + config.power_off_cooldown
-                )
-                self.degraded_cooldowns += 1
-                enclosure.disable_power_off(now)
-                return False
-        enclosure.enable_power_off(now)
-        return True
+        report = self.executor().apply(
+            now, ActionPlan([SetPowerOffEnabled(enclosure.name, enable)])
+        )
+        record = report.records[0]
+        return enable and record.outcome is ActionOutcome.APPLIED
 
     @abc.abstractmethod
     def next_checkpoint(self) -> float | None:
@@ -112,12 +115,14 @@ class PowerPolicy(abc.ABC):
         """
 
     @abc.abstractmethod
-    def on_checkpoint(self, now: float) -> None:
-        """End of a monitoring period: analyse, decide, reconfigure.
+    def on_checkpoint(self, now: float) -> ActionPlan | None:
+        """End of a monitoring period: analyse, plan, apply.
 
         Must leave :meth:`next_checkpoint` strictly greater than ``now``
         (or None); the kernel enforces this to rule out checkpoint
-        storms that would stall virtual time.
+        storms that would stall virtual time.  May return the
+        :class:`~repro.actions.plan.ActionPlan` the run applied (for
+        observability); the kernel ignores the value.
         """
 
     def after_io(self, record: LogicalIORecord, response_time: float) -> None:

@@ -25,6 +25,8 @@ It exists to reproduce the paper's argument quantitatively: see
 
 from __future__ import annotations
 
+from repro.actions.plan import ActionPlan
+from repro.actions.records import EnableWriteDelay, SetPowerOffEnabled
 from repro.errors import ValidationError
 from repro.baselines.base import PowerPolicy
 
@@ -42,27 +44,35 @@ class CacheOnlyPolicy(PowerPolicy):
         self._next_checkpoint: float | None = None
 
     def on_start(self, now: float) -> None:
-        """Enable power-off everywhere and pin the whole item set."""
+        """Enable power-off everywhere and write-delay the whole item set."""
         context = self._require_context()
-        for enclosure in context.enclosures:
-            enclosure.enable_power_off(now)
-        self._select_everything(now)
+        plan = ActionPlan(
+            [
+                SetPowerOffEnabled(enclosure.name, True)
+                for enclosure in context.enclosures
+            ]
+        )
+        plan.add(self._select_everything())
+        self.executor().apply(now, plan)
         self._next_checkpoint = now + self.refresh_period
 
-    def _select_everything(self, now: float) -> None:
+    def _select_everything(self) -> EnableWriteDelay:
         """Write-delay every placed item — the storage cannot tell a
         busy master table from a dormant archive."""
         context = self._require_context()
-        items = set(context.virtualization.item_ids())
-        context.controller.select_write_delay(now, items)
+        return EnableWriteDelay(
+            tuple(context.virtualization.item_ids())
+        )
 
     def next_checkpoint(self) -> float | None:
         """Time of the next periodic cache refresh."""
         return self._next_checkpoint
 
-    def on_checkpoint(self, now: float) -> None:
+    def on_checkpoint(self, now: float) -> ActionPlan | None:
         # Re-sweep the item set (new items may have appeared); this is
         # cache housekeeping, not a placement determination.
-        """Refresh the pinned item selection for the next period."""
-        self._select_everything(now)
+        """Refresh the write-delay selection for the next period."""
+        plan = ActionPlan([self._select_everything()])
+        self.executor().apply(now, plan)
         self._next_checkpoint = now + self.refresh_period
+        return plan

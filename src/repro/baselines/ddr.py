@@ -23,6 +23,8 @@ gigabytes (see EXPERIMENTS.md, "Substitutions").
 
 from __future__ import annotations
 
+from repro.actions.plan import ActionPlan
+from repro.actions.records import ChargeBlockMigration, SetPowerOffEnabled
 from repro.errors import ValidationError
 from repro.baselines.base import PowerPolicy
 from repro.trace.records import LogicalIORecord
@@ -71,21 +73,28 @@ class DDRPolicy(PowerPolicy):
             name: 0.0 for name in context.virtualization.enclosure_names
         }
         # Nothing is cold until measured.
-        for enclosure in context.enclosures:
-            enclosure.disable_power_off(now)
+        self.executor().apply(
+            now,
+            ActionPlan(
+                [
+                    SetPowerOffEnabled(enclosure.name, False)
+                    for enclosure in context.enclosures
+                ]
+            ),
+        )
 
     def next_checkpoint(self) -> float | None:
         """Time of the next DDR monitoring checkpoint."""
         return self._next_checkpoint
 
-    def on_checkpoint(self, now: float) -> None:
+    def on_checkpoint(self, now: float) -> ActionPlan | None:
         """Rebalance data across gears from the window's IOPS profile."""
         context = self._require_context()
         window = now - self._window_start
         assert self.monitoring_period is not None
         if window <= 0:
             self._next_checkpoint = now + self.monitoring_period
-            return
+            return None
         stats = context.storage_monitor.window_stats(now)
         # Exponentially smoothed IOPS with ~iops_smoothing_seconds
         # time constant: DDR's placement decisions are sub-second but
@@ -101,20 +110,24 @@ class DDRPolicy(PowerPolicy):
                 cold.add(name)
         self.determinations += 1
 
-        # Power-off decisions go through the degraded-mode gate: a cold
-        # enclosure whose spin-ups keep failing is vetoed for a
-        # cool-down window (repro.faults); without faults the gate is a
-        # pass-through.
+        # Power-off decisions go through the executor's degraded-mode
+        # gate: a cold enclosure whose spin-ups keep failing is vetoed
+        # for a cool-down window (repro.faults); without faults the gate
+        # is a pass-through.  Enclosures neither newly cold nor leaving
+        # the cold set are left untouched, exactly as before.
+        plan = ActionPlan()
         for enclosure in context.enclosures:
             if enclosure.name in cold:
-                self.apply_power_off(enclosure, now, True)
+                plan.add(SetPowerOffEnabled(enclosure.name, True))
             elif enclosure.name in self._cold:
-                self.apply_power_off(enclosure, now, False)
+                plan.add(SetPowerOffEnabled(enclosure.name, False))
+        self.executor().apply(now, plan)
         self._cold = cold
 
         context.storage_monitor.begin_window(now)
         self._window_start = now
         self._next_checkpoint = now + self.monitoring_period
+        return plan or None
 
     def after_io(self, record: LogicalIORecord, response_time: float) -> None:
         """On access to data on a cold enclosure, migrate those blocks.
@@ -137,11 +150,17 @@ class DDRPolicy(PowerPolicy):
         if not hot:
             return
         target_name = min(hot, key=lambda n: self._smoothed_iops.get(n, 0.0))
-        context.controller.charge_block_migration(
+        self.executor().apply(
             record.timestamp,
-            record.item_id,
-            record.size,
-            source.name,
-            target_name,
+            ActionPlan(
+                [
+                    ChargeBlockMigration(
+                        record.item_id,
+                        record.size,
+                        source.name,
+                        target_name,
+                    )
+                ]
+            ),
         )
         self.blocks_migrated += 1

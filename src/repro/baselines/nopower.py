@@ -8,6 +8,8 @@ conversions (§VII-A.5).
 
 from __future__ import annotations
 
+from repro.actions.plan import ActionPlan
+from repro.actions.records import SetPowerOffEnabled
 from repro.baselines.base import PowerPolicy
 
 
@@ -20,13 +22,20 @@ class NoPowerSavingPolicy(PowerPolicy):
     def on_start(self, now: float) -> None:
         """Disable power-off on every enclosure (always-on baseline)."""
         context = self._require_context()
-        for enclosure in context.enclosures:
-            enclosure.disable_power_off(now)
+        self.executor().apply(
+            now,
+            ActionPlan(
+                [
+                    SetPowerOffEnabled(enclosure.name, False)
+                    for enclosure in context.enclosures
+                ]
+            ),
+        )
 
     def next_checkpoint(self) -> float | None:
         """Always ``None``: this baseline has no checkpoints."""
         return None
 
-    def on_checkpoint(self, now: float) -> None:  # pragma: no cover
+    def on_checkpoint(self, now: float) -> ActionPlan | None:  # pragma: no cover
         """Never called; the policy schedules no checkpoints."""
         raise AssertionError("no-power-saving policy has no checkpoints")

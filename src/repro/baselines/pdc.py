@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.actions.plan import ActionPlan
+from repro.actions.records import SetPowerOffEnabled
 from repro.errors import ValidationError
 from repro.baselines.base import PowerPolicy
+from repro.simulation import SimulationContext
 from repro.storage.migration import PlacementPlan
 from repro.trace.records import LogicalIORecord
 
@@ -59,9 +62,17 @@ class PDCPolicy(PowerPolicy):
         self._next_checkpoint = now + self.monitoring_period
         self._window_start = now
         # PDC lets any disk spin down once its load drops (subject to
-        # the degraded-mode gate under fault injection).
-        for enclosure in context.enclosures:
-            self.apply_power_off(enclosure, now, True)
+        # the executor's degraded-mode gate under fault injection).
+        self.executor().apply(now, self._gate_plan(context))
+
+    def _gate_plan(self, context: SimulationContext) -> ActionPlan:
+        """Power-off enablement for every enclosure, as a plan."""
+        return ActionPlan(
+            [
+                SetPowerOffEnabled(enclosure.name, True)
+                for enclosure in context.enclosures
+            ]
+        )
 
     def next_checkpoint(self) -> float | None:
         """Time of the next PDC migration checkpoint."""
@@ -71,7 +82,7 @@ class PDCPolicy(PowerPolicy):
         """Count item popularity for the current window."""
         self._popularity[record.item_id] += 1
 
-    def on_checkpoint(self, now: float) -> None:
+    def on_checkpoint(self, now: float) -> ActionPlan | None:
         """Re-rank items by popularity and migrate across the array."""
         context = self._require_context()
         virt = context.virtualization
@@ -79,7 +90,7 @@ class PDCPolicy(PowerPolicy):
         window = now - self._window_start
         if window <= 0:
             self._schedule_next(now)
-            return
+            return None
 
         # Rank every placed item by popularity (this window's accesses).
         # Popularity is quantized into tiers, with ties broken by the
@@ -171,12 +182,15 @@ class PDCPolicy(PowerPolicy):
         # Re-evaluate the degraded-mode gate every period: an enclosure
         # whose spin-ups keep failing must stop spinning down for its
         # cool-down window, and re-qualifies automatically afterwards.
-        for enclosure in context.enclosures:
-            self.apply_power_off(enclosure, now, True)
+        gate_plan = self._gate_plan(context)
+        self.executor().apply(now, gate_plan)
 
         self._popularity.clear()
         self._window_start = now
         self._schedule_next(now)
+        applied = plan.as_actions()
+        applied.extend(gate_plan)
+        return applied
 
     def _schedule_next(self, now: float) -> None:
         assert self.monitoring_period is not None

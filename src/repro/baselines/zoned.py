@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.actions.plan import ActionPlan
 from repro.baselines.base import PowerPolicy
 from repro.errors import ConfigurationError
 from repro.monitoring.application import ApplicationMonitor
@@ -153,6 +154,11 @@ class ZonedPolicy(PowerPolicy):
             storage_monitor=StorageMonitor(enclosures),
             migration_engine=MigrationEngine(context.controller),
             meter=PowerMeter(enclosures, context.config.controller_power),
+            fault_clock=context.fault_clock,
+            # All zones share the parent executor: one action log, one
+            # degraded-mode gate, one mutation path (zone enclosure sets
+            # are disjoint, so gate state never aliases across zones).
+            executor=context.executor,
         )
         return zone_context
 
@@ -200,15 +206,19 @@ class ZonedPolicy(PowerPolicy):
         ]
         return min(times) if times else None
 
-    def on_checkpoint(self, now: float) -> None:
+    def on_checkpoint(self, now: float) -> ActionPlan | None:
         """Run checkpoints for each zone whose deadline has passed."""
+        applied = ActionPlan()
         for zone in self.zones:
             checkpoint = zone.policy.next_checkpoint()
             if checkpoint is not None and checkpoint <= now:
-                zone.policy.on_checkpoint(now)
+                zone_plan = zone.policy.on_checkpoint(now)
+                if zone_plan:
+                    applied.extend(zone_plan)
         self.determinations = sum(
             zone.policy.determinations for zone in self.zones
         )
+        return applied or None
 
     def after_io(self, record: LogicalIORecord, response_time: float) -> None:
         """Route the I/O record to the owning zone's policy."""

@@ -27,6 +27,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.actions.plan import ActionPlan
+from repro.actions.records import (
+    EnableWriteDelay,
+    FlushItem,
+    PreloadItem,
+    SetPowerOffEnabled,
+    UnpinItem,
+)
 from repro.baselines.base import PowerPolicy
 from repro.engine.clock import Throttle
 from repro.core.cache_policy import (
@@ -48,7 +56,17 @@ from repro.trace.records import LogicalIORecord
 
 @dataclass(frozen=True)
 class ManagementSnapshot:
-    """What one management run decided (kept for analysis/reports)."""
+    """What one management run decided (kept for analysis/reports).
+
+    ``moves_planned`` counts the placement plan; under fault injection
+    :class:`~repro.errors.MigrationAbortedError` can cancel some of
+    those moves, so the snapshot also carries what the action log says
+    actually happened: :attr:`moves_executed` and :attr:`moves_aborted`.
+    They are deliberately *not* dataclass fields — the golden replay
+    test compares ``asdict(snapshot)`` bit-for-bit across the
+    :mod:`repro.actions` refactor, and extra observability must not
+    change the serialized shape.
+    """
 
     time: float
     pattern_counts: dict[IOPattern, int]
@@ -60,6 +78,12 @@ class ManagementSnapshot:
     preload_items: int
     next_period: float
     triggered: bool
+
+    # Non-field attributes (class-level defaults, set per-instance via
+    # object.__setattr__): executed/aborted move counts from the action
+    # log, fixing the over-reporting of moves_planned under faults.
+    moves_executed = 0
+    moves_aborted = 0
 
 
 class EnergyEfficientPolicy(PowerPolicy):
@@ -111,16 +135,23 @@ class EnergyEfficientPolicy(PowerPolicy):
         )
         self._trigger_throttle.reset(now)
         # Until the first analysis nothing is known: keep everything on.
-        for enclosure in context.enclosures:
-            enclosure.disable_power_off(now)
+        self.executor().apply(
+            now,
+            ActionPlan(
+                [
+                    SetPowerOffEnabled(enclosure.name, False)
+                    for enclosure in context.enclosures
+                ]
+            ),
+        )
 
     def next_checkpoint(self) -> float | None:
         """Time of the next periodic management checkpoint."""
         return self._next_checkpoint
 
-    def on_checkpoint(self, now: float) -> None:
+    def on_checkpoint(self, now: float) -> ActionPlan | None:
         """Run one management cycle (analysis plus determination)."""
-        self._run_management(now, triggered=False)
+        return self._run_management(now, triggered=False)
 
     def after_io(self, record: LogicalIORecord, response_time: float) -> None:
         """Check pattern-change triggers against the finished I/O."""
@@ -146,13 +177,13 @@ class EnergyEfficientPolicy(PowerPolicy):
     # ------------------------------------------------------------------
     # the power-management function (Algorithm 1)
     # ------------------------------------------------------------------
-    def _run_management(self, now: float, triggered: bool) -> None:
+    def _run_management(self, now: float, triggered: bool) -> ActionPlan | None:
         context = self._require_context()
         config = context.config
         app = context.app_monitor
         window_start = app.window_start
         if now <= window_start:
-            return
+            return None
 
         virt = context.virtualization
         item_sizes = {item: virt.item_size(item) for item in virt.item_ids()}
@@ -185,16 +216,25 @@ class EnergyEfficientPolicy(PowerPolicy):
         self.determinations += 1
         self._split = split
 
-        # Step 4: execute migrations (each moved item's dirty data is
-        # flushed first, so its delayed writes land on its old home
-        # before the mapping changes; unaffected items keep buffering —
-        # a full flush here would wake every cold enclosure each window).
+        # Step 4: plan and apply migrations (each moved item's dirty
+        # data is flushed first, so its delayed writes land on its old
+        # home before the mapping changes; unaffected items keep
+        # buffering — a full flush here would wake every cold enclosure
+        # each window).
+        executor = self.executor()
+        migration_plan = ActionPlan()
         bytes_moved = 0
+        moves_executed = 0
+        moves_aborted = 0
         if self.enable_migration and plan:
-            for move in plan.moves:
-                context.controller.flush_item(now, move.item_id)
-            report = context.migration_engine.execute(now, plan)
+            migration_plan.extend(
+                FlushItem(move.item_id) for move in plan.moves
+            )
+            migration_plan.extend(plan.as_actions())
+            report = executor.apply(now, migration_plan)
             bytes_moved = report.bytes_moved
+            moves_executed = report.moves_executed
+            moves_aborted = report.moves_aborted
 
         locations = {
             item: virt.enclosure_of(item).name for item in virt.item_ids()
@@ -209,7 +249,6 @@ class EnergyEfficientPolicy(PowerPolicy):
                 locations,
                 config.write_delay_cache_bytes,
             )
-        context.controller.select_write_delay(now, write_delay_items)
 
         # Step 6: preload for applicable data items.
         preload_items: list[str] = []
@@ -221,16 +260,25 @@ class EnergyEfficientPolicy(PowerPolicy):
                 config.preload_cache_bytes,
                 already_pinned=context.cache.preload.item_ids(),
             )
-        for stale in context.cache.preload.item_ids() - set(preload_items):
-            context.controller.unpin_item(stale)
-        for item_id in preload_items:
-            context.controller.preload_item(now, item_id)
+        stale_items = sorted(
+            context.cache.preload.item_ids() - set(preload_items)
+        )
 
-        # Step 7: power-off only for the cold enclosures, routed through
-        # the degraded-mode gate (repro.faults): a cold enclosure whose
-        # spin-ups keep failing is kept powered for a cool-down window.
-        for enclosure in context.enclosures:
-            self.apply_power_off(enclosure, now, split.is_cold(enclosure.name))
+        # Steps 5-7 as one cache/power plan: reselect write delay, evict
+        # stale preloads, pin the new set, then enable power-off only
+        # for the cold enclosures — the executor's degraded-mode gate
+        # keeps a cold enclosure powered while its spin-ups keep failing.
+        cache_power_plan = ActionPlan()
+        cache_power_plan.add(EnableWriteDelay(tuple(write_delay_items)))
+        cache_power_plan.extend(UnpinItem(stale) for stale in stale_items)
+        cache_power_plan.extend(PreloadItem(item) for item in preload_items)
+        cache_power_plan.extend(
+            SetPowerOffEnabled(
+                enclosure.name, split.is_cold(enclosure.name)
+            )
+            for enclosure in context.enclosures
+        )
+        executor.apply(now, cache_power_plan)
 
         # Step 8: next monitoring period.
         if self.adaptive_period:
@@ -266,20 +314,25 @@ class EnergyEfficientPolicy(PowerPolicy):
         ):
             self._trigger_throttle.defer_until(self._next_checkpoint)
 
-        self.snapshots.append(
-            ManagementSnapshot(
-                time=now,
-                pattern_counts=pattern_counts(profiles),
-                hot=split.hot,
-                cold=split.cold,
-                moves_planned=len(plan),
-                bytes_moved=bytes_moved,
-                write_delay_items=len(write_delay_items),
-                preload_items=len(preload_items),
-                next_period=self._period,
-                triggered=triggered,
-            )
+        snapshot = ManagementSnapshot(
+            time=now,
+            pattern_counts=pattern_counts(profiles),
+            hot=split.hot,
+            cold=split.cold,
+            moves_planned=len(plan),
+            bytes_moved=bytes_moved,
+            write_delay_items=len(write_delay_items),
+            preload_items=len(preload_items),
+            next_period=self._period,
+            triggered=triggered,
         )
+        object.__setattr__(snapshot, "moves_executed", moves_executed)
+        object.__setattr__(snapshot, "moves_aborted", moves_aborted)
+        self.snapshots.append(snapshot)
+
+        applied = ActionPlan(list(migration_plan.actions))
+        applied.extend(cache_power_plan)
+        return applied
 
     # ------------------------------------------------------------------
     # analysis helpers

@@ -25,6 +25,10 @@ auditor re-derives the books from first principles:
   physical I/O started service inside an injected outage window, and
   after a cache-battery failure no acknowledged dirty data lingers in
   the write-delay partition.
+* **Action-log consistency** (:mod:`repro.actions`) — what the
+  executor's log claims was applied never exceeds what the controller's
+  own books measured (migration counts and bytes), and the log length
+  matches the executor's outcome counters.
 
 Any violation raises :class:`~repro.errors.AuditError` whose message
 embeds a dump of the violating state.  Overhead is one settle + O(items)
@@ -101,6 +105,7 @@ class InvariantAuditor:
         self._check_energy_conservation(now, problems)
         self._check_capacity(problems)
         self._check_faults(now, problems)
+        self._check_actions(problems)
         self.checks_run += 1
         self._last_now = max(self._last_now, now)
         for enclosure in self.context.enclosures:
@@ -275,4 +280,38 @@ class InvariantAuditor:
                 f"{delay.dirty_pages} dirty page(s) still sit in the "
                 "write-delay partition at "
                 f"t={now:.3f}s (acknowledged writes at risk)"
+            )
+
+    def _check_actions(self, problems: list[str]) -> None:
+        ctx = self.context
+        executor = ctx.executor
+        if executor is None:
+            return
+        controller = ctx.controller
+        # One-directional bounds: the controller also serves paths the
+        # executor does not originate (DDR block charges predating the
+        # context executor, tail flushes), so "<=" is the invariant —
+        # the log may under-claim, never over-claim.
+        if executor.migrations_applied > controller.migration_count:
+            problems.append(
+                "action log claims more migrations than the controller "
+                f"performed: {executor.migrations_applied} applied vs "
+                f"{controller.migration_count} counted"
+            )
+        if executor.migrated_bytes_applied > controller.migrated_bytes:
+            problems.append(
+                "action log claims more migrated bytes than the "
+                f"controller moved: {executor.migrated_bytes_applied} vs "
+                f"{controller.migrated_bytes}"
+            )
+        outcome_total = (
+            executor.actions_applied
+            + executor.actions_aborted
+            + executor.actions_vetoed
+            + executor.actions_rejected
+        )
+        if executor.record_log and len(executor.log) != outcome_total:
+            problems.append(
+                f"action log length {len(executor.log)} disagrees with "
+                f"outcome counters summing to {outcome_total}"
             )

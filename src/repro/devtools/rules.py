@@ -2,7 +2,7 @@
 
 Each rule inspects one module's :mod:`ast` tree and yields
 :class:`Violation` records.  Rules are registered in :data:`RULES` and
-addressed by a short id (``R1`` … ``R8``) or a descriptive name — both
+addressed by a short id (``R1`` … ``R9``) or a descriptive name — both
 work in ``--select`` and in suppression comments
 (``# lint: ignore[R2]`` / ``# lint: ignore[magic-number]``).
 
@@ -22,6 +22,8 @@ R6     mutable-default       no mutable default argument values
 R7     naked-except          no bare ``except:`` / ``except Exception:``
 R8     ad-hoc-time           timeline sampling and fault bookkeeping only
                              through the :mod:`repro.engine` kernel
+R9     direct-mutation       storage mutators and power-off enablement
+                             only through the :mod:`repro.actions` layer
 =====  ====================  ==============================================
 """
 
@@ -732,6 +734,78 @@ class AdHocTimeRule(Rule):
                     "samples fire as kernel TimelineSampleEvents; schedule "
                     "them via repro.engine instead",
                 )
+
+
+# ---------------------------------------------------------------------------
+# R9: storage mutation outside the action layer
+# ---------------------------------------------------------------------------
+
+#: The package holding the only legal mutation path: every file under
+#: :mod:`repro.actions` (the executor is the one component allowed to
+#: call controller mutators and enclosure power-off enablement).
+_MUTATION_OWNER_PACKAGE = "repro/actions/"
+
+#: Modules that *define* the mutators: self-calls and internal
+#: bookkeeping there are implementation, not bypass (the controller's
+#: submit path flushes its own write-delay partition; the enclosure
+#: flips its own enablement when the state machine demands it).
+_MUTATION_OWNER_FILES = (
+    "repro/storage/controller.py",
+    "repro/storage/enclosure.py",
+)
+
+#: Mutating entry points of the storage layer: placement, cache
+#: selection, delayed-write flushing, migration charging, and power-off
+#: enablement.  Everything else on the controller is a read.
+_MUTATOR_METHODS = frozenset(
+    {
+        "migrate_item",
+        "preload_item",
+        "unpin_item",
+        "select_write_delay",
+        "flush_write_delay",
+        "flush_item",
+        "charge_block_migration",
+        "enable_power_off",
+        "disable_power_off",
+    }
+)
+
+
+@_register
+class DirectMutationRule(Rule):
+    """R9: controller/enclosure mutators called outside ``repro.actions``."""
+
+    rule_id = "R9"
+    name = "direct-mutation"
+    summary = (
+        "StorageController mutators and enclosure power-off enablement "
+        "are applied only by the repro.actions executor; direct calls "
+        "bypass the action log, fault gating, and dry-run accounting"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Flag storage-mutator calls outside the action layer."""
+        path = ctx.posix_path
+        if _MUTATION_OWNER_PACKAGE in path:
+            return
+        if any(path.endswith(p) for p in _MUTATION_OWNER_FILES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            method = node.func.attr
+            if method not in _MUTATOR_METHODS:
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"direct call to {method}() — storage mutations go "
+                "through an ActionPlan applied by the repro.actions "
+                "executor, which records, gates, and costs them",
+            )
 
 
 def resolve_rules(selectors: Iterable[str] | None = None) -> list[Rule]:

@@ -15,8 +15,10 @@ fault bookkeeping        1     before the checkpoint it is paired
                                precede the policy's decision)
 policy checkpoint        2     before any I/O at the same instant
 trace record             3     after checkpoints, before flushes
-flush deadline           4     last: deadlines settle what the
+flush deadline           4     deadlines settle what the
                                instant's I/O left behind
+action apply             5     last: deferred action plans run after
+                               every observation at the instant
 ======================== ===== =====================================
 
 Ties *within* a class break by insertion order (FIFO), enforced by the
@@ -32,6 +34,7 @@ from typing import TYPE_CHECKING, ClassVar
 from repro.errors import ValidationError
 
 if TYPE_CHECKING:
+    from repro.actions.plan import ActionPlan
     from repro.engine.kernel import SimulationKernel
     from repro.trace.records import LogicalIORecord
 
@@ -41,12 +44,14 @@ __all__ = [
     "POLICY_CHECKPOINT",
     "TRACE_RECORD",
     "FLUSH_DEADLINE",
+    "ACTION_APPLY",
     "Event",
     "TimelineSampleEvent",
     "FaultBookkeepingEvent",
     "PolicyCheckpointEvent",
     "TraceRecordEvent",
     "FlushDeadlineEvent",
+    "ActionApplyEvent",
 ]
 
 #: Priority class: recurring power-timeline boundary samples.
@@ -59,6 +64,8 @@ POLICY_CHECKPOINT = 2
 TRACE_RECORD = 3
 #: Priority class: write-delay flush deadlines.
 FLUSH_DEADLINE = 4
+#: Priority class: deferred :mod:`repro.actions` plan applications.
+ACTION_APPLY = 5
 
 
 class Event:
@@ -166,3 +173,26 @@ class FlushDeadlineEvent(Event):
     def fire(self, kernel: SimulationKernel) -> None:
         """Flush delayed writes whose deadline has arrived."""
         kernel.fire_flush_deadline(self.time)
+
+
+class ActionApplyEvent(Event):
+    """A deferred :class:`~repro.actions.plan.ActionPlan` application.
+
+    Lets online callers schedule a plan for a future instant; it is
+    applied through the context's
+    :class:`~repro.actions.executor.ActionExecutor` (the sole mutation
+    path) after every other event class at the same timestamp, so the
+    instant's observations see pre-mutation books.
+    """
+
+    __slots__ = ("plan",)
+
+    priority = ACTION_APPLY
+
+    def __init__(self, time: float, plan: ActionPlan) -> None:
+        super().__init__(time)
+        self.plan = plan
+
+    def fire(self, kernel: SimulationKernel) -> None:
+        """Apply the carried plan through the context executor."""
+        kernel.fire_action_apply(self.time, self.plan)

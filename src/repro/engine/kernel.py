@@ -44,9 +44,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from repro.actions.plan import ActionPlan
+from repro.actions.records import FlushWriteDelay
 from repro.engine.clock import SimClock
 from repro.engine.events import (
-    FLUSH_DEADLINE,
+    ACTION_APPLY,
     TRACE_RECORD,
     Event,
     FaultBookkeepingEvent,
@@ -66,7 +68,7 @@ __all__ = ["ReplayOutcome", "SimulationKernel"]
 
 #: Priority bound one past the last class; ``run_until`` uses it so a
 #: pump to time ``t`` includes every event class scheduled at ``t``.
-_PAST_LAST_CLASS = FLUSH_DEADLINE + 1
+_PAST_LAST_CLASS = ACTION_APPLY + 1
 
 
 @dataclass(frozen=True)
@@ -270,8 +272,18 @@ class SimulationKernel:
         self._sync_checkpoint()
 
     def fire_flush_deadline(self, now: float) -> None:
-        """Flush delayed writes whose deadline arrived at ``now``."""
-        self.context.controller.flush_write_delay(now)
+        """Flush delayed writes whose deadline arrived at ``now``.
+
+        Routed through the action executor so deadline flushes appear in
+        the action log like every other mutation.
+        """
+        self.context.require_executor().apply(
+            now, ActionPlan([FlushWriteDelay()])
+        )
+
+    def fire_action_apply(self, now: float, plan: ActionPlan) -> None:
+        """Apply a deferred action plan through the context executor."""
+        self.context.require_executor().apply(now, plan)
 
     # ------------------------------------------------------------------
     # Internals

@@ -12,6 +12,15 @@ proposed policy, and serializes the result as ``BENCH_engine.json``:
 * in CI's smoke mode (see ``.github/workflows/ci.yml``), so every
   change leaves a comparable throughput record next to its test run.
 
+Since the :mod:`repro.actions` layer routed every storage mutation
+through the recording :class:`~repro.actions.executor.ActionExecutor`,
+the document also carries an ``action_layer`` section: the proposed
+policy timed with action-record logging on (the default) versus off
+(``executor.record_log = False``), and the resulting
+``overhead_fraction`` — the action log's logging cost relative to the
+same replay without it.  ``benchmarks/test_action_overhead.py`` holds
+that fraction to ≤ 2 %.
+
 Wall-clock timing lives here, *outside* the kernel: virtual time inside
 the simulation never touches ``perf_counter``.
 """
@@ -31,18 +40,25 @@ from repro.trace.replay import TraceReplayer
 
 __all__ = ["BENCH_FORMAT", "DEFAULT_BENCH_POLICIES", "run_bench", "main"]
 
-#: Schema version of the emitted JSON document.
-BENCH_FORMAT = 1
+#: Schema version of the emitted JSON document.  Format 2 added the
+#: ``action_layer`` overhead section.
+BENCH_FORMAT = 2
 
 #: Policies benchmarked by default: the do-nothing floor and the paper's
 #: method (the heaviest per-I/O and per-checkpoint work).
 DEFAULT_BENCH_POLICIES = ("no-power-saving", "proposed")
 
 
-def _time_one_replay(workload_name: str, full: bool, policy_name: str) -> float:
+def _time_one_replay(
+    workload_name: str,
+    full: bool,
+    policy_name: str,
+    record_actions: bool = True,
+) -> float:
     workload = build_workload(workload_name, full)
     context = build_context(DEFAULT_CONFIG, workload.enclosure_count)
     workload.install(context)
+    context.require_executor().record_log = record_actions
     policy = STANDARD_POLICIES[policy_name]()
     replayer = TraceReplayer(context, policy)
     started = time.perf_counter()
@@ -76,6 +92,33 @@ def run_bench(
             "records_per_second": record_count / best,
             "repeats": max(repeats, 1),
         }
+    # Action-layer overhead: the proposed policy (the heaviest planner,
+    # so the densest action log) with record logging on vs off.  Both
+    # sides use the best-of-N convention above; the fraction is what
+    # appending ActionRecords costs relative to the same replay
+    # without the log.
+    # The two sides are interleaved (alternating order each round) so
+    # machine-speed drift between batches hits both equally instead of
+    # masquerading as logging cost.
+    overhead_policy = "proposed" if "proposed" in policies else policies[0]
+    logged_times: list[float] = []
+    unlogged_times: list[float] = []
+    for round_index in range(max(repeats, 1)):
+        order = (True, False) if round_index % 2 == 0 else (False, True)
+        for record_actions in order:
+            seconds = _time_one_replay(
+                workload_name, full, overhead_policy, record_actions
+            )
+            (logged_times if record_actions else unlogged_times).append(seconds)
+    logged = min(logged_times)
+    unlogged = min(unlogged_times)
+    action_layer = {
+        "policy": overhead_policy,
+        "logged_seconds": logged,
+        "unlogged_seconds": unlogged,
+        "overhead_fraction": (logged - unlogged) / unlogged,
+        "repeats": max(repeats, 1),
+    }
     return {
         "format": BENCH_FORMAT,
         "benchmark": "replay-throughput",
@@ -85,6 +128,7 @@ def run_bench(
         "duration_seconds": workload.duration,
         "python": platform.python_version(),
         "policies": results,
+        "action_layer": action_layer,
     }
 
 
@@ -101,6 +145,13 @@ def main(
             f"{policy_name:>16}: {row['best_seconds']:.4f} s best of "
             f"{row['repeats']} ({row['records_per_second']:,.0f} records/s)"
         )
+    overhead = document["action_layer"]
+    print(
+        f"    action layer: {overhead['overhead_fraction']:+.2%} logging "
+        f"overhead on {overhead['policy']} "
+        f"({overhead['logged_seconds']:.4f} s logged, "
+        f"{overhead['unlogged_seconds']:.4f} s unlogged)"
+    )
     if out is not None:
         path = Path(out)
         path.write_text(

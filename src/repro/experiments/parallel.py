@@ -51,8 +51,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.workloads.items import Workload
 
 #: Bump to invalidate every existing cache entry (key-scheme changes).
-#: Format 2 added the fault-plan fingerprint to the key.
-CACHE_FORMAT = 2
+#: Format 2 added the fault-plan fingerprint to the key.  Format 3
+#: tracks serializer format 3 (the :mod:`repro.actions` log rides in
+#: every cached result).
+CACHE_FORMAT = 3
 
 #: Option value types allowed in specs: JSON-representable scalars.
 SpecValue = bool | int | float | str

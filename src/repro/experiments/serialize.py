@@ -15,6 +15,7 @@ import json
 from dataclasses import asdict
 from typing import Any, Mapping
 
+from repro.actions.records import ActionRecord
 from repro.analysis.intervals import IntervalCurve
 from repro.analysis.metrics import WindowResponse
 from repro.errors import ExperimentError
@@ -26,13 +27,21 @@ from repro.trace.replay import ReplayResult
 
 #: Bump when the serialized layout changes; stale cache entries with a
 #: different format are treated as misses, never mis-parsed.
-#: Format 2 added the per-run :class:`AvailabilityReport`.
-RESULT_FORMAT = 2
+#: Format 2 added the per-run :class:`AvailabilityReport`; format 3 the
+#: :mod:`repro.actions` log.
+RESULT_FORMAT = 3
 
 
 def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
-    """Flatten a result (and every nested dataclass) to plain JSON types."""
+    """Flatten a result (and every nested dataclass) to plain JSON types.
+
+    The replay's action log rides along explicitly: it is a non-field
+    attribute on :class:`~repro.trace.replay.ReplayResult` (invisible to
+    ``asdict`` by design), yet must survive the parallel engine's
+    process boundary and cache losslessly.
+    """
     data = asdict(result)
+    data["actions"] = [record.to_dict() for record in result.replay.actions]
     data["format"] = RESULT_FORMAT
     return data
 
@@ -51,30 +60,39 @@ def result_from_dict(data: Mapping[str, Any]) -> ExperimentResult:
     replay = data["replay"]
     curve = data["interval_curve"]
     availability = replay["availability"]
+    replay_result = ReplayResult(
+        policy_name=replay["policy_name"],
+        duration_seconds=replay["duration_seconds"],
+        io_count=replay["io_count"],
+        response=ResponseStats(**replay["response"]),
+        power=PowerReading(**replay["power"]),
+        migrated_bytes=replay["migrated_bytes"],
+        migration_count=replay["migration_count"],
+        determinations=replay["determinations"],
+        cache_hit_ratio=replay["cache_hit_ratio"],
+        spin_up_count=replay["spin_up_count"],
+        spin_down_count=replay["spin_down_count"],
+        availability=AvailabilityReport(
+            **{
+                **availability,
+                "at_risk_series": tuple(
+                    tuple(point) for point in availability["at_risk_series"]
+                ),
+            }
+        ),
+    )
+    object.__setattr__(
+        replay_result,
+        "actions",
+        tuple(
+            ActionRecord.from_dict(record)
+            for record in data.get("actions", [])
+        ),
+    )
     return ExperimentResult(
         workload_name=data["workload_name"],
         policy_name=data["policy_name"],
-        replay=ReplayResult(
-            policy_name=replay["policy_name"],
-            duration_seconds=replay["duration_seconds"],
-            io_count=replay["io_count"],
-            response=ResponseStats(**replay["response"]),
-            power=PowerReading(**replay["power"]),
-            migrated_bytes=replay["migrated_bytes"],
-            migration_count=replay["migration_count"],
-            determinations=replay["determinations"],
-            cache_hit_ratio=replay["cache_hit_ratio"],
-            spin_up_count=replay["spin_up_count"],
-            spin_down_count=replay["spin_down_count"],
-            availability=AvailabilityReport(
-                **{
-                    **availability,
-                    "at_risk_series": tuple(
-                        tuple(point) for point in availability["at_risk_series"]
-                    ),
-                }
-            ),
-        ),
+        replay=replay_result,
         interval_curve=IntervalCurve(
             lengths=tuple(curve["lengths"]),
             cumulative=tuple(curve["cumulative"]),

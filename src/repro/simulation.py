@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.actions.executor import ActionExecutor
 from repro.errors import ValidationError
 from repro.config import EcoStorConfig
 from repro.faults.clock import FaultClock
@@ -46,6 +47,24 @@ class SimulationContext:
     #: Fault oracle (:mod:`repro.faults`); ``None`` for zero-fault runs,
     #: in which case the storage layer takes its pre-fault code paths.
     fault_clock: FaultClock | None = None
+    #: The single mutation path into the storage layer
+    #: (:mod:`repro.actions`); built in ``__post_init__`` when not given.
+    executor: ActionExecutor | None = None
+
+    def __post_init__(self) -> None:
+        if self.executor is None:
+            self.executor = ActionExecutor(
+                self.controller, self.config, self.fault_clock
+            )
+        # The migration engine must apply plans through the context
+        # executor so its migrations land in the shared action log.
+        self.migration_engine.executor = self.executor
+
+    def require_executor(self) -> ActionExecutor:
+        """The context's action executor (always set after init)."""
+        if self.executor is None:  # pragma: no cover - post_init guarantees
+            raise ValidationError("simulation context has no action executor")
+        return self.executor
 
     @property
     def enclosures(self) -> list[DiskEnclosure]:

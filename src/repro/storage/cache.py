@@ -241,6 +241,14 @@ class WriteDelayPartition:
         """Whether the given page of the item is dirty."""
         return page in self._dirty.get(item_id, ())
 
+    def dirty_bytes_of(self, item_id: str) -> int:
+        """Bytes of dirty data buffered for one item (read-only peek).
+
+        Lets the action executor cost a flush without touching the
+        partition — a dry run must leave the books bit-identical.
+        """
+        return len(self._dirty.get(item_id, ())) * PAGE_BYTES
+
     def flush_item(self, item_id: str) -> FlushPlan:
         """Return one item's dirty pages and clear them (stay selected)."""
         pages = self._dirty.pop(item_id, set())

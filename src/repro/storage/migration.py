@@ -3,17 +3,24 @@
 Paper §V-A: after the power-management function decides placement, the
 runtime method migrates data items between enclosures, P0/P1/P2 items
 first (to free space for P3), one by one and throttled.  This module
-turns a :class:`PlacementPlan` (list of moves) into serialized
-:meth:`~repro.storage.controller.StorageController.migrate_item` calls
-and aggregates statistics.
+turns a :class:`PlacementPlan` (list of moves) into
+:class:`~repro.actions.records.MigrateItem` actions applied through the
+:class:`~repro.actions.executor.ActionExecutor` — the sole mutation
+path into the controller — and aggregates statistics into a
+:class:`MigrationReport` for its callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.errors import CapacityError, MigrationAbortedError
+from repro.actions.plan import ActionPlan
+from repro.actions.records import ActionOutcome, MigrateItem
 from repro.storage.controller import StorageController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.actions.executor import ActionExecutor
 
 
 @dataclass(frozen=True)
@@ -44,6 +51,15 @@ class PlacementPlan:
         return [m for m in self.moves if m.evacuation] + [
             m for m in self.moves if not m.evacuation
         ]
+
+    def as_actions(self) -> ActionPlan:
+        """This plan as an executor-ready sequence of migrate actions."""
+        return ActionPlan(
+            [
+                MigrateItem(m.item_id, m.target_enclosure, m.evacuation)
+                for m in self.ordered()
+            ]
+        )
 
     def __len__(self) -> int:
         return len(self.moves)
@@ -77,10 +93,25 @@ class MigrationReport:
 
 
 class MigrationEngine:
-    """Executes placement plans serially through the controller."""
+    """Executes placement plans through the action executor."""
 
-    def __init__(self, controller: StorageController) -> None:
+    def __init__(
+        self,
+        controller: StorageController,
+        executor: ActionExecutor | None = None,
+    ) -> None:
         self.controller = controller
+        if executor is None:
+            # Imported here, not at module top: the executor costs plans
+            # via the cache module, whose package imports this module.
+            from repro.actions.executor import ActionExecutor
+
+            executor = ActionExecutor(controller)
+        #: The executor plans are applied through; a standalone engine
+        #: gets a private one, :class:`~repro.simulation.SimulationContext`
+        #: re-points this to the shared context executor so migrations
+        #: land in the same action log as everything else.
+        self.executor = executor
         self.total_bytes_moved = 0
         self.total_moves = 0
         self.total_aborts = 0
@@ -89,40 +120,22 @@ class MigrationEngine:
         """Run every move in plan order; returns an execution report.
 
         Moves are serialized: each starts when the previous completes,
-        which is what a throttled one-at-a-time migration does.  Moves
-        whose item already sits on the target are skipped silently (the
-        plan may have been computed before an earlier move landed).
+        which is what a throttled one-at-a-time migration does (the
+        executor's migration-chaining rule).  Moves whose item is gone
+        or already sits on the target are rejected by the executor and
+        skipped silently here (the plan may have been computed before an
+        earlier move landed); capacity rejections count as skips.
         """
-        clock = now
-        executed = 0
-        skipped = 0
-        aborted = 0
-        bytes_moved = 0
-        for move in plan.ordered():
-            virt = self.controller.virtualization
-            if not virt.has_item(move.item_id):
-                continue
-            if virt.enclosure_of(move.item_id).name == move.target_enclosure:
-                continue
-            size = virt.item_size(move.item_id)
-            try:
-                clock = self.controller.migrate_item(
-                    clock, move.item_id, move.target_enclosure
-                )
-            except CapacityError:
-                # The plan was computed against a snapshot; leave the
-                # item where it is rather than failing the whole run.
-                skipped += 1
-                continue
-            except MigrationAbortedError:
-                # Injected mid-transfer abort (repro.faults): the copy
-                # was rolled back before any book was mutated, so the
-                # placement stays consistent and the next checkpoint
-                # simply re-plans the move.
-                aborted += 1
-                continue
-            executed += 1
-            bytes_moved += size
+        report = self.executor.apply(now, plan.as_actions())
+        skipped = sum(
+            1
+            for record in report.records
+            if record.outcome is ActionOutcome.REJECTED
+            and record.reason == "capacity"
+        )
+        executed = report.moves_executed
+        bytes_moved = report.bytes_moved
+        aborted = report.moves_aborted
         self.total_bytes_moved += bytes_moved
         self.total_moves += executed
         self.total_aborts += aborted
@@ -130,7 +143,7 @@ class MigrationEngine:
             moves_executed=executed,
             bytes_moved=bytes_moved,
             started_at=now,
-            completed_at=clock,
+            completed_at=report.migration_clock,
             moves_skipped=skipped,
             moves_aborted=aborted,
         )

@@ -55,6 +55,15 @@ class ReplayResult:
     #: with pre-fault replays).
     availability: AvailabilityReport = AvailabilityReport()
 
+    # Non-field attribute (class-level default, no annotation on
+    # purpose — an annotation would make it a dataclass field; set
+    # per-instance via object.__setattr__ in TraceReplayer.run): the
+    # run's full action log, a tuple of
+    # :class:`~repro.actions.records.ActionRecord`.  Kept out of
+    # ``asdict``/``==`` — and with them the golden bit-identity test —
+    # by design; the experiment serializer carries it explicitly.
+    actions = ()
+
     @property
     def mean_response(self) -> float:
         """Mean response time across all I/Os, in seconds."""
@@ -132,7 +141,7 @@ class TraceReplayer:
         controller = context.controller
         power = context.meter.read(final, controller)
         availability = availability_from_context(context, policy, final)
-        return ReplayResult(
+        result = ReplayResult(
             policy_name=policy.name,
             duration_seconds=final,
             io_count=outcome.io_count,
@@ -146,3 +155,8 @@ class TraceReplayer:
             spin_down_count=sum(e.spin_down_count for e in context.enclosures),
             availability=availability,
         )
+        if context.executor is not None:
+            object.__setattr__(
+                result, "actions", tuple(context.executor.log)
+            )
+        return result

@@ -1,0 +1,400 @@
+"""Tests for :class:`repro.actions.executor.ActionExecutor`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.actions.executor import ActionExecutor
+from repro.actions.plan import ActionPlan
+from repro.actions.records import (
+    ActionOutcome,
+    ChargeBlockMigration,
+    EnableWriteDelay,
+    FlushItem,
+    FlushWriteDelay,
+    MigrateItem,
+    PreloadItem,
+    SetPowerOffEnabled,
+    UnpinItem,
+)
+from repro.config import EcoStorConfig
+from repro.simulation import SimulationContext, build_context, default_volume
+from repro.trace.records import IOType, LogicalIORecord
+
+
+def executor_of(context: SimulationContext) -> ActionExecutor:
+    return context.require_executor()
+
+
+def books_snapshot(context: SimulationContext) -> dict:
+    """Everything a dry run must leave bit-identical."""
+    virt = context.virtualization
+    wd = context.cache.write_delay
+    executor = context.require_executor()
+    return {
+        "used": {n: virt.used_bytes(n) for n in virt.enclosure_names},
+        "pinned": sorted(context.cache.preload.item_ids()),
+        "selected": sorted(wd.selected_items()),
+        "dirty_pages": wd.dirty_pages,
+        "absorbed_pages": wd.absorbed_pages,
+        "flushed_pages": wd.flushed_pages,
+        "migrated_bytes": context.controller.migrated_bytes,
+        "migration_count": context.controller.migration_count,
+        "enclosure_energy": [
+            (e.name, e.state, e.clock, e.energy_joules())
+            for e in context.enclosures
+        ],
+        "log_len": len(executor.log),
+        "counters": (
+            executor.actions_applied,
+            executor.actions_aborted,
+            executor.actions_vetoed,
+            executor.actions_rejected,
+        ),
+        "cooldowns": dict(executor._cooldown_until),
+    }
+
+
+class TestContextWiring:
+    def test_context_builds_shared_executor(self, small_context):
+        executor = small_context.require_executor()
+        assert executor is small_context.executor
+        assert small_context.migration_engine.executor is executor
+        assert executor.controller is small_context.controller
+
+
+class TestMigrate:
+    def test_applied_migration_moves_item_and_logs(self, small_context):
+        executor = executor_of(small_context)
+        report = executor.apply(
+            0.0, ActionPlan([MigrateItem("item-0", "enc-01")])
+        )
+        record = report.records[0]
+        assert record.outcome is ActionOutcome.APPLIED
+        assert record.cost_bytes == 64 * units.MB
+        assert record.completion > record.time
+        virt = small_context.virtualization
+        assert virt.enclosure_of("item-0").name == "enc-01"
+        assert executor.log == [record]
+        assert report.moves_executed == 1
+        assert report.bytes_moved == 64 * units.MB
+
+    def test_consecutive_migrations_chain_in_time(self, small_context):
+        executor = executor_of(small_context)
+        report = executor.apply(
+            0.0,
+            ActionPlan(
+                [
+                    MigrateItem("item-0", "enc-01"),
+                    MigrateItem("item-2", "enc-01"),
+                ]
+            ),
+        )
+        first, second = report.records
+        assert second.time == first.completion
+        assert report.migration_clock == second.completion
+
+    def test_unknown_item_and_already_placed_rejected(self, small_context):
+        executor = executor_of(small_context)
+        report = executor.apply(
+            5.0,
+            ActionPlan(
+                [
+                    MigrateItem("no-such-item", "enc-01"),
+                    MigrateItem("item-0", "enc-00"),
+                ]
+            ),
+        )
+        assert [r.outcome for r in report.records] == [
+            ActionOutcome.REJECTED,
+            ActionOutcome.REJECTED,
+        ]
+        assert [r.reason for r in report.records] == [
+            "unknown-item",
+            "already-placed",
+        ]
+        assert executor.actions_rejected == 2
+        assert small_context.controller.migrated_bytes == 0
+
+    def test_capacity_rejection(self, config):
+        context = build_context(config, 2)
+        virt = context.virtualization
+        names = virt.enclosure_names
+        cap = config.enclosure_size_bytes
+        virt.add_item("big-0", cap - units.MB, default_volume(names[0]))
+        virt.add_item("big-1", cap - units.MB, default_volume(names[1]))
+        report = context.require_executor().apply(
+            0.0, ActionPlan([MigrateItem("big-0", names[1])])
+        )
+        assert report.records[0].outcome is ActionOutcome.REJECTED
+        assert report.records[0].reason == "capacity"
+
+
+class TestPreloadUnpin:
+    def test_preload_then_stale_unpin(self, small_context):
+        executor = executor_of(small_context)
+        report = executor.apply(
+            0.0,
+            ActionPlan([PreloadItem("item-0"), UnpinItem("item-0")]),
+        )
+        pin, unpin = report.records
+        assert pin.outcome is ActionOutcome.APPLIED
+        assert pin.cost_bytes == 64 * units.MB
+        assert unpin.outcome is ActionOutcome.APPLIED
+        assert unpin.reason == ""
+        assert not small_context.cache.preload.is_pinned("item-0")
+
+    def test_preload_already_pinned_is_noop(self, small_context):
+        executor = executor_of(small_context)
+        executor.apply(0.0, ActionPlan([PreloadItem("item-0")]))
+        report = executor.apply(1.0, ActionPlan([PreloadItem("item-0")]))
+        record = report.records[0]
+        assert record.outcome is ActionOutcome.APPLIED
+        assert record.reason == "already-pinned"
+        assert record.cost_bytes == 0
+
+    def test_unpin_never_pinned_item_is_recorded_noop(self, small_context):
+        """Edge case: unpinning an item that was never preloaded."""
+        executor = executor_of(small_context)
+        before = books_snapshot(small_context)
+        report = executor.apply(0.0, ActionPlan([UnpinItem("item-1")]))
+        record = report.records[0]
+        assert record.outcome is ActionOutcome.APPLIED
+        assert record.reason == "not-pinned"
+        after = books_snapshot(small_context)
+        before["log_len"], after["log_len"] = 0, 0
+        before["counters"], after["counters"] = (), ()
+        assert before == after
+
+    def test_preload_unknown_item_rejected(self, small_context):
+        report = executor_of(small_context).apply(
+            0.0, ActionPlan([PreloadItem("ghost")])
+        )
+        assert report.records[0].outcome is ActionOutcome.REJECTED
+        assert report.records[0].reason == "unknown-item"
+
+
+class TestWriteDelayFlush:
+    def _dirty_item(self, context: SimulationContext, item: str) -> None:
+        context.require_executor().apply(
+            0.0, ActionPlan([EnableWriteDelay((item,))])
+        )
+        context.controller.submit(
+            LogicalIORecord(1.0, item, 0, 8192, IOType.WRITE)
+        )
+
+    def test_flush_item_with_dirty_data(self, small_context):
+        self._dirty_item(small_context, "item-0")
+        wd = small_context.cache.write_delay
+        dirty = wd.dirty_bytes_of("item-0")
+        assert dirty > 0
+        report = executor_of(small_context).apply(
+            2.0, ActionPlan([FlushItem("item-0")])
+        )
+        record = report.records[0]
+        assert record.outcome is ActionOutcome.APPLIED
+        assert record.reason == ""
+        assert record.cost_bytes == dirty
+        assert wd.dirty_bytes_of("item-0") == 0
+        assert wd.is_selected("item-0")  # flush-item keeps the selection
+
+    def test_flush_item_with_zero_dirty_bytes(self, small_context):
+        """Edge case: flushing an item with nothing buffered."""
+        report = executor_of(small_context).apply(
+            0.0, ActionPlan([FlushItem("item-0")])
+        )
+        record = report.records[0]
+        assert record.outcome is ActionOutcome.APPLIED
+        assert record.reason == "no-dirty-data"
+        assert record.cost_bytes == 0
+        assert record.cost_seconds == 0.0
+        assert record.completion == record.time
+
+    def test_enable_write_delay_flushes_deselected(self, small_context):
+        self._dirty_item(small_context, "item-0")
+        dirty = small_context.cache.write_delay.dirty_bytes_of("item-0")
+        report = executor_of(small_context).apply(
+            2.0, ActionPlan([EnableWriteDelay(("item-1",))])
+        )
+        record = report.records[0]
+        assert record.outcome is ActionOutcome.APPLIED
+        assert record.cost_bytes == dirty
+        assert small_context.cache.write_delay.selected_items() == {"item-1"}
+
+    def test_flush_write_delay_drains_everything(self, small_context):
+        self._dirty_item(small_context, "item-0")
+        report = executor_of(small_context).apply(
+            3.0, ActionPlan([FlushWriteDelay()])
+        )
+        record = report.records[0]
+        assert record.outcome is ActionOutcome.APPLIED
+        assert record.cost_bytes > 0
+        assert small_context.cache.write_delay.dirty_pages == 0
+
+
+class TestPowerOffGate:
+    def test_disable_always_applies(self, small_context):
+        enclosure = small_context.enclosures[0]
+        report = executor_of(small_context).apply(
+            0.0, ActionPlan([SetPowerOffEnabled(enclosure.name, False)])
+        )
+        assert report.records[0].outcome is ActionOutcome.APPLIED
+        assert not enclosure.power_off_enabled
+
+    def test_enable_passes_without_failures(self, small_context):
+        enclosure = small_context.enclosures[0]
+        report = executor_of(small_context).apply(
+            0.0, ActionPlan([SetPowerOffEnabled(enclosure.name, True)])
+        )
+        assert report.records[0].outcome is ActionOutcome.APPLIED
+        assert enclosure.power_off_enabled
+
+    def test_degraded_mode_vetoes_and_arms_cooldown(
+        self, small_context, config: EcoStorConfig
+    ):
+        executor = executor_of(small_context)
+        enclosure = small_context.enclosures[0]
+        now = 100.0
+        for _ in range(config.spin_up_failure_threshold):
+            enclosure.spin_up_failure_times.append(now - 1.0)
+        report = executor.apply(
+            now, ActionPlan([SetPowerOffEnabled(enclosure.name, True)])
+        )
+        record = report.records[0]
+        assert record.outcome is ActionOutcome.VETOED_BY_DEGRADED_MODE
+        assert record.reason == "degraded-mode"
+        assert not enclosure.power_off_enabled
+        assert executor.degraded_cooldowns == 1
+        # Inside the cool-down the veto repeats without re-arming.
+        again = executor.apply(
+            now + 1.0, ActionPlan([SetPowerOffEnabled(enclosure.name, True)])
+        )
+        assert again.records[0].reason == "cooldown"
+        assert executor.degraded_cooldowns == 1
+        # After the cool-down (failures aged out) enablement passes.
+        late = now + config.power_off_cooldown + config.spin_up_failure_window
+        final = executor.apply(
+            late, ActionPlan([SetPowerOffEnabled(enclosure.name, True)])
+        )
+        assert final.records[0].outcome is ActionOutcome.APPLIED
+
+
+class TestChargeBlockMigration:
+    def test_charge_counts_as_migration(self, small_context):
+        executor = executor_of(small_context)
+        report = executor.apply(
+            0.0,
+            ActionPlan(
+                [ChargeBlockMigration("item-0", 8192, "enc-00", "enc-01")]
+            ),
+        )
+        record = report.records[0]
+        assert record.outcome is ActionOutcome.APPLIED
+        assert record.cost_bytes == 8192
+        assert small_context.controller.migrated_bytes == 8192
+        assert executor.migrations_applied == 1
+        assert executor.migrated_bytes_applied == 8192
+
+    def test_non_positive_size_rejected(self, small_context):
+        report = executor_of(small_context).apply(
+            0.0,
+            ActionPlan([ChargeBlockMigration("item-0", 0, "enc-00", "enc-01")]),
+        )
+        assert report.records[0].outcome is ActionOutcome.REJECTED
+        assert report.records[0].reason == "non-positive-size"
+
+
+class TestDryRun:
+    def _full_plan(self) -> ActionPlan:
+        return ActionPlan(
+            [
+                FlushItem("item-0"),
+                MigrateItem("item-0", "enc-01"),
+                PreloadItem("item-1"),
+                UnpinItem("item-2"),
+                EnableWriteDelay(("item-0", "item-1")),
+                FlushWriteDelay(),
+                SetPowerOffEnabled("enc-02", True),
+                ChargeBlockMigration("item-0", 8192, "enc-00", "enc-01"),
+            ]
+        )
+
+    def test_dry_run_mutates_nothing(self, small_context):
+        executor = executor_of(small_context)
+        before = books_snapshot(small_context)
+        report = executor.apply(0.0, self._full_plan(), dry_run=True)
+        assert report.dry_run
+        assert books_snapshot(small_context) == before
+
+    def test_dry_run_predicts_live_outcomes(self, small_context):
+        """Without faults, predicted outcomes match a real apply."""
+        executor = executor_of(small_context)
+        plan = self._full_plan()
+        dry = executor.apply(0.0, plan, dry_run=True)
+        live = executor.apply(0.0, plan)
+        assert [r.outcome for r in dry.records] == [
+            r.outcome for r in live.records
+        ]
+        assert [r.cost_bytes for r in dry.records] == [
+            r.cost_bytes for r in live.records
+        ]
+        assert dry.migration_clock == live.migration_clock
+
+    def test_dry_run_capacity_prediction(self, config):
+        context = build_context(config, 2)
+        virt = context.virtualization
+        names = virt.enclosure_names
+        cap = config.enclosure_size_bytes
+        virt.add_item("big-0", cap - units.MB, default_volume(names[0]))
+        virt.add_item("big-1", cap - units.MB, default_volume(names[1]))
+        report = context.require_executor().apply(
+            0.0, ActionPlan([MigrateItem("big-0", names[1])]), dry_run=True
+        )
+        assert report.records[0].outcome is ActionOutcome.REJECTED
+        assert report.records[0].reason == "capacity"
+        assert virt.enclosure_of("big-0").name == names[0]
+
+
+class TestLogAndReport:
+    def test_record_log_toggle_keeps_counters(self, small_context):
+        executor = executor_of(small_context)
+        executor.record_log = False
+        executor.apply(0.0, ActionPlan([UnpinItem("item-0")]))
+        assert executor.log == []
+        assert executor.actions_applied == 1
+
+    def test_empty_plan_report(self, small_context):
+        report = executor_of(small_context).apply(7.0, ActionPlan())
+        assert report.records == ()
+        assert report.started_at == 7.0
+        assert report.completed_at == 7.0
+        assert report.migration_clock == 7.0
+
+    def test_outcome_count(self, small_context):
+        executor = executor_of(small_context)
+        report = executor.apply(
+            0.0,
+            ActionPlan(
+                [UnpinItem("item-0"), MigrateItem("ghost", "enc-01")]
+            ),
+        )
+        assert report.outcome_count(ActionOutcome.APPLIED) == 1
+        assert report.outcome_count(ActionOutcome.REJECTED) == 1
+
+
+class TestMigrationEngineDelegation:
+    def test_engine_reports_through_executor(self, small_context):
+        from repro.storage.migration import PlacementPlan
+
+        engine = small_context.migration_engine
+        plan = PlacementPlan()
+        plan.add("item-0", "enc-01")
+        plan.add("ghost", "enc-02")
+        report = engine.execute(0.0, plan)
+        assert report.moves_executed == 1
+        assert report.bytes_moved == 64 * units.MB
+        assert report.moves_skipped == 0  # "unknown-item" is not a capacity skip
+        executor = small_context.require_executor()
+        assert len(executor.log) == 2
+        assert engine.total_moves == 1

@@ -1,0 +1,34 @@
+"""Tests for :class:`repro.actions.plan.ActionPlan`."""
+
+from __future__ import annotations
+
+from repro.actions.plan import ActionPlan
+from repro.actions.records import FlushWriteDelay, PreloadItem, UnpinItem
+
+
+class TestActionPlan:
+    def test_empty_plan_is_falsy(self):
+        plan = ActionPlan()
+        assert not plan
+        assert len(plan) == 0
+        assert list(plan) == []
+
+    def test_add_and_extend_preserve_order(self):
+        plan = ActionPlan([PreloadItem("a")])
+        plan.add(UnpinItem("b"))
+        plan.extend([FlushWriteDelay(), PreloadItem("c")])
+        kinds = [action.kind for action in plan]
+        assert kinds == [
+            "preload-item",
+            "unpin-item",
+            "flush-write-delay",
+            "preload-item",
+        ]
+        assert len(plan) == 4
+        assert plan
+
+    def test_extend_accepts_another_plan(self):
+        first = ActionPlan([PreloadItem("a")])
+        second = ActionPlan([UnpinItem("b")])
+        first.extend(second)
+        assert len(first) == 2

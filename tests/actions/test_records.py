@@ -1,0 +1,112 @@
+"""Tests for the typed action records and their JSON round-trip."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.actions.records import (
+    ActionOutcome,
+    ActionRecord,
+    ChargeBlockMigration,
+    EnableWriteDelay,
+    FlushItem,
+    FlushWriteDelay,
+    MigrateItem,
+    PreloadItem,
+    SetPowerOffEnabled,
+    UnpinItem,
+    action_from_dict,
+)
+from repro.errors import ValidationError
+
+ALL_ACTIONS = [
+    MigrateItem("item-0", "enc-01"),
+    MigrateItem("item-1", "enc-02", evacuation=True),
+    PreloadItem("item-0"),
+    UnpinItem("item-0"),
+    EnableWriteDelay(("b", "a", "c")),
+    FlushItem("item-2"),
+    FlushWriteDelay(),
+    SetPowerOffEnabled("enc-00", True),
+    SetPowerOffEnabled("enc-01", False),
+    ChargeBlockMigration("item-0", 8192, "enc-00", "enc-01"),
+]
+
+
+class TestActions:
+    @pytest.mark.parametrize("action", ALL_ACTIONS, ids=lambda a: a.kind)
+    def test_round_trip_exact(self, action):
+        data = action.to_dict()
+        assert data["kind"] == action.kind
+        rebuilt = action_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == action
+        assert type(rebuilt) is type(action)
+
+    def test_actions_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MigrateItem("item-0", "enc-01").item_id = "other"
+
+    def test_enable_write_delay_sorts_item_ids(self):
+        action = EnableWriteDelay(("z", "a", "m"))
+        assert action.item_ids == ("a", "m", "z")
+
+    def test_all_kinds_covered(self):
+        kinds = {action.kind for action in ALL_ACTIONS}
+        assert kinds == {
+            "migrate-item",
+            "preload-item",
+            "unpin-item",
+            "enable-write-delay",
+            "flush-item",
+            "flush-write-delay",
+            "set-power-off-enabled",
+            "charge-block-migration",
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            action_from_dict({"kind": "no-such-action"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValidationError):
+            action_from_dict({"kind": "migrate-item", "item_id": "x"})
+
+
+class TestActionRecord:
+    def test_round_trip_exact(self):
+        record = ActionRecord(
+            action=MigrateItem("item-0", "enc-01"),
+            outcome=ActionOutcome.APPLIED,
+            time=1.25,
+            completion=3.8125,
+            cost_seconds=2.5625,
+            cost_joules=0.1 + 0.2,  # deliberately non-representable
+            cost_bytes=64 * 1024 * 1024,
+        )
+        data = json.loads(json.dumps(record.to_dict()))
+        rebuilt = ActionRecord.from_dict(data)
+        assert rebuilt == record
+        assert rebuilt.cost_joules == record.cost_joules
+
+    def test_outcome_values_are_taxonomy_strings(self):
+        assert {o.value for o in ActionOutcome} == {
+            "applied",
+            "aborted-by-fault",
+            "vetoed-by-degraded-mode",
+            "rejected",
+        }
+
+    def test_veto_record_round_trip(self):
+        record = ActionRecord(
+            action=SetPowerOffEnabled("enc-00", True),
+            outcome=ActionOutcome.VETOED_BY_DEGRADED_MODE,
+            time=10.0,
+            completion=10.0,
+            reason="degraded-mode",
+        )
+        rebuilt = ActionRecord.from_dict(record.to_dict())
+        assert rebuilt == record
+        assert rebuilt.outcome is ActionOutcome.VETOED_BY_DEGRADED_MODE

@@ -1,0 +1,14 @@
+"""Fixture: trips only R9 (storage mutation outside repro.actions)."""
+
+storage_controller = object()
+disk_enclosure = object()
+
+storage_controller.migrate_item(0.0, "item", "enc-01")
+storage_controller.preload_item(0.0, "item")
+storage_controller.unpin_item("item")
+storage_controller.select_write_delay(0.0, {"item"})
+storage_controller.flush_write_delay(0.0)
+storage_controller.flush_item(0.0, "item")
+storage_controller.charge_block_migration(0.0, "item", 512, "a", "b")
+disk_enclosure.enable_power_off(0.0)
+disk_enclosure.disable_power_off(0.0)

@@ -28,6 +28,7 @@ FIXTURE_RULES = [
     ("r6_mutable_default.py", "R6"),
     ("r7_naked_except.py", "R7"),
     ("r8_ad_hoc_time.py", "R8"),
+    ("r9_direct_mutation.py", "R9"),
 ]
 
 
@@ -59,6 +60,7 @@ def test_registry_has_all_rules() -> None:
         "R6",
         "R7",
         "R8",
+        "R9",
     ]
     for rule in RULES.values():
         assert rule.name and rule.summary
@@ -109,7 +111,7 @@ def test_json_report_round_trips() -> None:
     payload = json.loads(report.render_json())
     assert payload["files_checked"] == len(FIXTURE_RULES)
     seen = {v["rule_id"] for v in payload["violations"]}
-    assert seen == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
+    assert seen == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"}
     for violation in payload["violations"]:
         assert violation["line"] >= 1
         assert violation["message"]

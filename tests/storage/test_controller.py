@@ -147,6 +147,35 @@ class TestPreload:
         controller.unpin_item("a")
         assert not cache.preload.is_pinned("a")
 
+    def test_unpin_never_pinned_item_is_a_noop(self):
+        controller, _, cache, taps = build()
+        used_before = cache.preload.used_bytes
+        controller.unpin_item("a")
+        assert not cache.preload.is_pinned("a")
+        assert cache.preload.used_bytes == used_before
+        assert taps == []
+
+    def test_flush_item_with_zero_dirty_bytes_costs_no_io(self):
+        controller, _, cache, taps = build()
+        controller.select_write_delay(0.0, {"a"})
+        completion = controller.flush_item(5.0, "a")
+        assert completion == 5.0
+        assert taps == []
+        assert controller.flushed_bytes == 0
+        assert cache.write_delay.is_selected("a")
+
+    def test_flush_item_drains_only_that_item(self):
+        controller, _, cache, taps = build()
+        controller.select_write_delay(0.0, {"a", "b"})
+        controller.submit(write(1.0, item="a"))
+        controller.submit(write(2.0, item="b"))
+        taps.clear()
+        completion = controller.flush_item(3.0, "a")
+        assert completion > 3.0
+        assert cache.write_delay.dirty_bytes_of("a") == 0
+        assert cache.write_delay.dirty_bytes_of("b") == PAGE_BYTES
+        assert len(taps) == 1
+
 
 class TestMigration:
     def test_migrate_updates_mapping_and_counters(self):

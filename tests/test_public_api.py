@@ -63,6 +63,7 @@ class TestPublicApi:
     @pytest.mark.parametrize(
         "module",
         [
+            "repro.actions",
             "repro.analysis",
             "repro.baselines",
             "repro.core",
