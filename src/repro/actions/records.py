@@ -24,6 +24,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Mapping
 
 from repro.errors import ValidationError
+from repro.units import Bytes, Joules, Seconds
 
 __all__ = [
     "Action",
@@ -178,7 +179,7 @@ class ChargeBlockMigration(Action):
     """
 
     item_id: str
-    size_bytes: int
+    size_bytes: Bytes
     source_enclosure: str
     target_enclosure: str
 
@@ -234,11 +235,11 @@ class ActionRecord:
 
     action: Action
     outcome: ActionOutcome
-    time: float
-    completion: float
-    cost_seconds: float = 0.0
-    cost_joules: float = 0.0
-    cost_bytes: int = 0
+    time: Seconds
+    completion: Seconds
+    cost_seconds: Seconds = 0.0
+    cost_joules: Joules = 0.0
+    cost_bytes: Bytes = 0
     #: Short machine-readable qualifier ("capacity", "cooldown", ...).
     reason: str = ""
 

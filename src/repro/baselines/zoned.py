@@ -22,10 +22,11 @@ from repro.errors import ConfigurationError
 from repro.monitoring.application import ApplicationMonitor
 from repro.monitoring.storage import StorageMonitor
 from repro.simulation import SimulationContext
+from repro.storage.enclosure import DiskEnclosure
 from repro.storage.meter import PowerMeter
 from repro.storage.migration import MigrationEngine
 from repro.storage.virtualization import BlockVirtualization
-from repro.trace.records import LogicalIORecord
+from repro.trace.records import LogicalIORecord, PhysicalIORecord
 
 
 @dataclass(frozen=True)
@@ -44,7 +45,9 @@ class _ZoneVirtualization:
     to the real virtualization, so capacity accounting stays global.
     """
 
-    def __init__(self, inner: BlockVirtualization, names: tuple[str, ...]):
+    def __init__(
+        self, inner: BlockVirtualization, names: tuple[str, ...]
+    ) -> None:
         self._inner = inner
         self._names = names
 
@@ -52,10 +55,10 @@ class _ZoneVirtualization:
     def enclosure_names(self) -> list[str]:
         return list(self._names)
 
-    def enclosures(self):
+    def enclosures(self) -> list[DiskEnclosure]:
         return [self._inner.enclosure(name) for name in self._names]
 
-    def enclosure(self, name: str):
+    def enclosure(self, name: str) -> DiskEnclosure:
         if name not in self._names:
             raise ConfigurationError(
                 f"enclosure {name!r} is outside this zone"
@@ -75,7 +78,7 @@ class _ZoneVirtualization:
     def item_size(self, item_id: str) -> int:
         return self._inner.item_size(item_id)
 
-    def enclosure_of(self, item_id: str):
+    def enclosure_of(self, item_id: str) -> DiskEnclosure:
         return self._inner.enclosure_of(item_id)
 
     def used_bytes(self, enclosure: str) -> int:
@@ -87,10 +90,10 @@ class _ZoneVirtualization:
     def has_item(self, item_id: str) -> bool:
         return self._inner.has_item(item_id)
 
-    def resolve(self, item_id: str, offset: int):
+    def resolve(self, item_id: str, offset: int) -> tuple[str, int]:
         return self._inner.resolve(item_id, offset)
 
-    def move_item(self, item_id: str, target: str):
+    def move_item(self, item_id: str, target: str) -> tuple[str, str]:
         if target not in self._names:
             raise ConfigurationError(
                 f"zone policies may not migrate across zones "
@@ -185,7 +188,7 @@ class ZonedPolicy(PowerPolicy):
         # Physical records fan out to each zone's storage monitor.
         inner_tap = context.storage_monitor.on_physical
 
-        def fan_out(record):
+        def fan_out(record: PhysicalIORecord) -> None:
             inner_tap(record)
             for zone in self.zones:
                 if record.enclosure in zone.enclosures:

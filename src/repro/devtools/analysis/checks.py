@@ -1,0 +1,14 @@
+"""Checker registration: importing this module arms every built-in check.
+
+Kept separate from :mod:`repro.devtools.analysis.framework` so the
+registry import has no side-effect cycles: the framework defines the
+registry, the checker modules populate it when imported, and this module
+is the single place that imports them all.
+"""
+
+from __future__ import annotations
+
+# Importing for the @register_checker side effect.
+from repro.devtools.analysis import determinism, dimensions  # noqa: F401
+
+__all__: list[str] = []

@@ -1,0 +1,635 @@
+"""D1 — dimensional consistency of the energy/time/byte bookkeeping.
+
+The simulator's headline numbers are integrals: joules are watts ×
+seconds of power-state dwell time, throughput is bytes / seconds, and a
+single mixed-up term silently corrupts every downstream table.  This
+checker assigns a *dimension* to expressions — seeded from the
+:mod:`repro.units` aliases (``Seconds``, ``Joules``, ``Watts``,
+``Bytes``, ``Rate``) in annotations and from the units constants
+themselves — and propagates it through assignments, attribute reads
+(via the program-wide symbol table), calls, and arithmetic:
+
+* multiplication/division convert dimensions (``Watts × Seconds →
+  Joules``, ``Bytes / Seconds → Rate``, same/same → scalar), and
+* addition, subtraction, ``min``/``max``/``sum`` folding, comparisons,
+  returns, and argument passing must *preserve* them.
+
+Checks:
+
+=====  ====================  ============================================
+id     name                  finding
+=====  ====================  ============================================
+D101   mixed-dimension-arith joules + seconds, watts − bytes, ...
+D102   mixed-dimension-cmp   watts compared to bytes, ...
+D103   return-dimension      returning Seconds from a ``-> Joules`` def
+D104   argument-dimension    passing Joules where Seconds is declared
+=====  ====================  ============================================
+
+Unknown dimensions propagate silently: only a *provable* clash between
+two concrete dimensions is reported, so unannotated code stays quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from typing import Iterator
+
+from repro.devtools.analysis.framework import (
+    Checker,
+    Finding,
+    register_checker,
+)
+from repro.devtools.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleIndex,
+    Program,
+    _annotation_text,
+    annotation_terminal,
+)
+
+__all__ = [
+    "Dim",
+    "DimensionChecker",
+    "combine_div",
+    "combine_mul",
+    "dimension_of_annotation",
+]
+
+
+class Dim(enum.Enum):
+    """A physical dimension tracked by the checker."""
+
+    SECONDS = "seconds"
+    JOULES = "joules"
+    WATTS = "watts"
+    BYTES = "bytes"
+    RATE = "bytes/second"
+    #: Dimensionless number: literals, counts, ratios — combines freely.
+    SCALAR = "scalar"
+
+
+#: Annotation alias → dimension (the repro.units aliases).
+_DIM_BY_ALIAS = {
+    "Seconds": Dim.SECONDS,
+    "Joules": Dim.JOULES,
+    "Watts": Dim.WATTS,
+    "Bytes": Dim.BYTES,
+    "Rate": Dim.RATE,
+}
+
+#: units constant name → dimension of a value built from it.
+_DIM_BY_CONSTANT = {
+    "SECOND": Dim.SECONDS,
+    "MINUTE": Dim.SECONDS,
+    "HOUR": Dim.SECONDS,
+    "DAY": Dim.SECONDS,
+    "KB": Dim.BYTES,
+    "MB": Dim.BYTES,
+    "GB": Dim.BYTES,
+    "TB": Dim.BYTES,
+    "BLOCK_SIZE": Dim.BYTES,
+    "WATT": Dim.WATTS,
+    "KILOWATT": Dim.WATTS,
+}
+
+#: Dimension algebra for multiplication (symmetric pairs listed once).
+_MUL = {
+    frozenset((Dim.WATTS, Dim.SECONDS)): Dim.JOULES,
+    frozenset((Dim.RATE, Dim.SECONDS)): Dim.BYTES,
+}
+
+#: Dimension algebra for division: (numerator, denominator) → quotient.
+_DIV = {
+    (Dim.JOULES, Dim.SECONDS): Dim.WATTS,
+    (Dim.JOULES, Dim.WATTS): Dim.SECONDS,
+    (Dim.BYTES, Dim.SECONDS): Dim.RATE,
+    (Dim.BYTES, Dim.RATE): Dim.SECONDS,
+}
+
+
+def combine_mul(left: Dim | None, right: Dim | None) -> Dim | None:
+    """Dimension of ``left * right``; ``None`` when unknown/undefined."""
+    if left is None or right is None:
+        return None
+    if left is Dim.SCALAR:
+        return right
+    if right is Dim.SCALAR:
+        return left
+    return _MUL.get(frozenset((left, right)))
+
+
+def combine_div(left: Dim | None, right: Dim | None) -> Dim | None:
+    """Dimension of ``left / right``; ``None`` when unknown/undefined."""
+    if left is None or right is None:
+        return None
+    if left is right:
+        return Dim.SCALAR
+    if right is Dim.SCALAR:
+        return left
+    if left is Dim.SCALAR:
+        return None
+    return _DIV.get((left, right))
+
+
+def dimension_of_annotation(text: str | None) -> Dim | None:
+    """Dimension named by an annotation string, or ``None``."""
+    terminal = annotation_terminal(text)
+    if terminal is None:
+        return None
+    return _DIM_BY_ALIAS.get(terminal)
+
+
+def _container_value_dim(text: str | None) -> Dim | None:
+    """Element dimension of ``dict[K, Joules]`` / ``list[Seconds]`` / ...."""
+    if not text or "[" not in text:
+        return None
+    head, _, inner = text.partition("[")
+    inner = inner.rsplit("]", 1)[0]
+    base = head.strip().rsplit(".", 1)[-1]
+    parts = [p.strip() for p in inner.split(",")]
+    if base in ("dict", "Dict", "defaultdict", "Mapping", "MutableMapping"):
+        candidate = parts[-1] if len(parts) >= 2 else None
+    elif base in ("list", "List", "tuple", "Tuple", "set", "Set",
+                  "frozenset", "Sequence", "Iterable", "Iterator"):
+        candidate = parts[0] if parts else None
+    else:
+        return None
+    return _DIM_BY_ALIAS.get((candidate or "").rsplit(".", 1)[-1])
+
+
+class _FunctionScope:
+    """Per-function dimension environment and type hints."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        module: ModuleIndex,
+        program: Program,
+        owner: ClassInfo | None,
+    ) -> None:
+        self.fn = fn
+        self.module = module
+        self.program = program
+        self.owner = owner
+        #: Local name → dimension.
+        self.dims: dict[str, Dim] = {}
+        #: Local name → annotation text (for receiver type inference).
+        self.types: dict[str, str] = {}
+        for name, annotation in fn.params.items():
+            dim = dimension_of_annotation(annotation)
+            if dim is not None:
+                self.dims[name] = dim
+            if annotation:
+                self.types[name] = annotation
+
+
+@register_checker
+class DimensionChecker(Checker):
+    """D101–D104: dimension clashes in arithmetic, compares, returns, calls."""
+
+    check_ids = {
+        "D101": "mixed-dimension-arith",
+        "D102": "mixed-dimension-cmp",
+        "D103": "return-dimension",
+        "D104": "argument-dimension",
+    }
+
+    def check_module(
+        self, module: ModuleIndex, program: Program
+    ) -> Iterator[Finding]:
+        """Check every function and method defined in ``module``."""
+        for fn in module.functions.values():
+            yield from self._check_function(fn, module, program, owner=None)
+        for cls in module.classes.values():
+            for method in cls.methods.values():
+                yield from self._check_function(
+                    method, module, program, owner=cls
+                )
+
+    # ------------------------------------------------------------------
+    # per-function walk
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        fn: FunctionInfo,
+        module: ModuleIndex,
+        program: Program,
+        owner: ClassInfo | None,
+    ) -> Iterator[Finding]:
+        scope = _FunctionScope(fn, module, program, owner)
+        self._problems: list[tuple[str, ast.AST, str]] = []
+        declared = dimension_of_annotation(fn.returns)
+        for node in self._walk_statements(fn.node.body, scope):
+            if isinstance(node, ast.Return) and node.value is not None:
+                actual = self._dim_of(node.value, scope)
+                if (
+                    declared is not None
+                    and actual is not None
+                    and actual is not Dim.SCALAR
+                    and actual is not declared
+                ):
+                    self._problems.append(
+                        (
+                            "D103",
+                            node,
+                            f"returns {actual.value} from a function "
+                            f"declared '-> {fn.returns}'",
+                        )
+                    )
+        seen: set[tuple[str, int, int, str]] = set()
+        for check_id, node, message in self._problems:
+            key = (
+                check_id,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                message,
+            )
+            if key in seen:
+                continue  # re-evaluation of a shared subexpression
+            seen.add(key)
+            yield self.finding(check_id, module, node, fn.qualname, message)
+
+    def _walk_statements(
+        self, body: list[ast.stmt], scope: _FunctionScope
+    ) -> Iterator[ast.stmt]:
+        """Walk statements in source order, updating the environment."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are indexed and checked separately
+            self._visit_expressions(stmt, scope)
+            if isinstance(stmt, ast.Assign):
+                dim = self._dim_of(stmt.value, scope)
+                annotation = self._annotation_of(stmt.value, scope)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if dim is not None and dim is not Dim.SCALAR:
+                            scope.dims[target.id] = dim
+                        else:
+                            scope.dims.pop(target.id, None)
+                        if annotation:
+                            scope.types[target.id] = annotation
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                annotation = _annotation_text(stmt.annotation)
+                dim = dimension_of_annotation(annotation)
+                if dim is not None:
+                    scope.dims[stmt.target.id] = dim
+                if annotation:
+                    scope.types[stmt.target.id] = annotation
+                if stmt.value is not None:
+                    actual = self._dim_of(stmt.value, scope)
+                    if (
+                        dim is not None
+                        and actual is not None
+                        and actual not in (Dim.SCALAR, dim)
+                    ):
+                        self._problems.append(
+                            (
+                                "D101",
+                                stmt,
+                                f"assigns {actual.value} to a name "
+                                f"annotated {annotation}",
+                            )
+                        )
+            elif isinstance(stmt, ast.AugAssign):
+                if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                    if isinstance(stmt.target, ast.Name):
+                        left = scope.dims.get(stmt.target.id)
+                    else:
+                        left = self._dim_of(stmt.target, scope)
+                    right = self._dim_of(stmt.value, scope)
+                    self._combine_additive(left, right, stmt, scope)
+            elif isinstance(stmt, ast.For) and isinstance(
+                stmt.target, ast.Name
+            ):
+                element = self._element_annotation(stmt.iter, scope)
+                if element:
+                    scope.types[stmt.target.id] = element
+                    dim = dimension_of_annotation(element)
+                    if dim is not None:
+                        scope.dims[stmt.target.id] = dim
+            yield stmt
+            # Recurse into compound statements' bodies.
+            for field_name in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field_name, None)
+                if isinstance(inner, list) and inner and isinstance(
+                    inner[0], ast.stmt
+                ):
+                    yield from self._walk_statements(inner, scope)
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from self._walk_statements(handler.body, scope)
+
+    def _element_annotation(
+        self, iterable: ast.expr, scope: _FunctionScope
+    ) -> str | None:
+        """Element annotation when iterating ``list[X]`` / ``Iterable[X]``."""
+        annotation = self._annotation_of(iterable, scope)
+        if not annotation or "[" not in annotation:
+            return None
+        head, _, inner = annotation.partition("[")
+        base = head.strip().rsplit(".", 1)[-1]
+        if base in ("list", "List", "tuple", "Tuple", "set", "Set",
+                    "frozenset", "Sequence", "Iterable", "Iterator"):
+            return inner.rsplit("]", 1)[0].split(",")[0].strip()
+        return None
+
+    def _visit_expressions(
+        self, stmt: ast.stmt, scope: _FunctionScope
+    ) -> None:
+        """Evaluate this statement's own expressions for side-effect findings."""
+        for child in ast.iter_child_nodes(stmt):
+            if not isinstance(child, ast.expr):
+                continue
+            for node in ast.walk(child):
+                if isinstance(node, ast.Compare):
+                    self._check_compare(node, scope)
+                elif isinstance(node, ast.Call):
+                    self._check_call_arguments(node, scope)
+                elif isinstance(node, ast.BinOp):
+                    self._dim_of(node, scope)  # flags D101 as a side effect
+
+    # ------------------------------------------------------------------
+    # dimension evaluation
+    # ------------------------------------------------------------------
+    def _dim_of(self, node: ast.expr, scope: _FunctionScope) -> Dim | None:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return None
+            return Dim.SCALAR
+        if isinstance(node, ast.Name):
+            dim = scope.dims.get(node.id)
+            if dim is not None:
+                return dim
+            if node.id in _DIM_BY_CONSTANT and self._is_units_name(
+                node.id, scope
+            ):
+                return _DIM_BY_CONSTANT[node.id]
+            annotation = scope.module.variables.get(node.id)
+            return dimension_of_annotation(annotation)
+        if isinstance(node, ast.Attribute):
+            return self._dim_of_attribute(node, scope)
+        if isinstance(node, ast.UnaryOp):
+            return self._dim_of(node.operand, scope)
+        if isinstance(node, ast.BinOp):
+            return self._dim_of_binop(node, scope)
+        if isinstance(node, ast.IfExp):
+            left = self._dim_of(node.body, scope)
+            right = self._dim_of(node.orelse, scope)
+            if left == right:
+                return left
+            if left in (None, Dim.SCALAR):
+                return right
+            if right in (None, Dim.SCALAR):
+                return left
+            return None
+        if isinstance(node, ast.Call):
+            return self._dim_of_call(node, scope)
+        if isinstance(node, ast.Subscript):
+            container = self._annotation_of(node.value, scope)
+            return _container_value_dim(container)
+        return None
+
+    def _is_units_name(self, name: str, scope: _FunctionScope) -> bool:
+        target = scope.module.imports.get(name, "")
+        return target.startswith("repro.units") or scope.module.name.endswith(
+            "units"
+        )
+
+    def _dim_of_attribute(
+        self, node: ast.Attribute, scope: _FunctionScope
+    ) -> Dim | None:
+        # units.HOUR and friends.
+        if isinstance(node.value, ast.Name):
+            base = scope.module.imports.get(node.value.id, node.value.id)
+            if base in ("repro.units", "units") and node.attr in _DIM_BY_CONSTANT:
+                return _DIM_BY_CONSTANT[node.attr]
+            if base == "repro.units" or base.endswith(".units"):
+                alias = _DIM_BY_ALIAS.get(node.attr)
+                if alias is not None:
+                    return None  # the alias object itself, not a value
+        annotation = self._annotation_of(node, scope)
+        dim = dimension_of_annotation(annotation)
+        if dim is not None:
+            return dim
+        return None
+
+    def _annotation_of(
+        self, node: ast.expr, scope: _FunctionScope
+    ) -> str | None:
+        """Best-effort annotation text for an expression's static type."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and scope.owner is not None:
+                return scope.owner.name
+            return scope.types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            owner = self._class_of(node.value, scope)
+            if owner is not None:
+                return scope.program.class_attribute(owner, node.attr)
+            return None
+        if isinstance(node, ast.Call):
+            callee = self._resolve_callee(node, scope)
+            if isinstance(callee, FunctionInfo):
+                return callee.returns
+            if isinstance(callee, ClassInfo):
+                return callee.name
+        return None
+
+    def _class_of(
+        self, node: ast.expr, scope: _FunctionScope
+    ) -> ClassInfo | None:
+        """Resolve an expression to the class of its static type."""
+        if isinstance(node, ast.Name) and node.id == "self":
+            return scope.owner
+        annotation = self._annotation_of(node, scope)
+        return scope.program.resolve_class(scope.module, annotation)
+
+    def _resolve_callee(
+        self, node: ast.Call, scope: _FunctionScope
+    ) -> FunctionInfo | ClassInfo | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            full = scope.program.resolve_name(scope.module, func.id)
+            if full is not None:
+                if full in scope.program.functions:
+                    return scope.program.functions[full]
+                if full in scope.program.classes:
+                    return scope.program.classes[full]
+            return None
+        if isinstance(func, ast.Attribute):
+            # module.function / module.Class
+            if isinstance(func.value, ast.Name):
+                dotted = f"{func.value.id}.{func.attr}"
+                full = scope.program.resolve_name(scope.module, dotted)
+                if full is not None:
+                    if full in scope.program.functions:
+                        return scope.program.functions[full]
+                    if full in scope.program.classes:
+                        return scope.program.classes[full]
+            owner = self._class_of(func.value, scope)
+            if owner is not None:
+                return scope.program.resolve_method(owner, func.attr)
+        return None
+
+    _DIM_PRESERVING_BUILTINS = frozenset(
+        {"abs", "float", "round", "int"}
+    )
+    _DIM_FOLDING_BUILTINS = frozenset({"min", "max", "sum", "sorted"})
+
+    def _dim_of_call(self, node: ast.Call, scope: _FunctionScope) -> Dim | None:
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in self._DIM_PRESERVING_BUILTINS and node.args:
+                return self._dim_of(node.args[0], scope)
+            if name in self._DIM_FOLDING_BUILTINS and node.args:
+                return self._fold_arguments(node, scope)
+        callee = self._resolve_callee(node, scope)
+        if isinstance(callee, FunctionInfo):
+            return dimension_of_annotation(callee.returns)
+        return None
+
+    def _fold_arguments(
+        self, node: ast.Call, scope: _FunctionScope
+    ) -> Dim | None:
+        """min/max/sum preserve dimension; mixing dimensions is D101."""
+        dims = [self._dim_of(arg, scope) for arg in node.args]
+        concrete = [d for d in dims if d is not None and d is not Dim.SCALAR]
+        if len(set(concrete)) > 1:
+            names = " vs ".join(sorted({d.value for d in concrete}))
+            self._problems.append(
+                (
+                    "D101",
+                    node,
+                    f"{getattr(node.func, 'id', 'fold')}() mixes "
+                    f"dimensions: {names}",
+                )
+            )
+            return None
+        return concrete[0] if concrete else (Dim.SCALAR if dims else None)
+
+    def _combine_additive(
+        self,
+        left: Dim | None,
+        right: Dim | None,
+        node: ast.AST,
+        scope: _FunctionScope,
+    ) -> Dim | None:
+        if (
+            left is not None
+            and right is not None
+            and left is not Dim.SCALAR
+            and right is not Dim.SCALAR
+            and left is not right
+        ):
+            op = "±"
+            if isinstance(node, (ast.BinOp, ast.AugAssign)):
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+            self._problems.append(
+                (
+                    "D101",
+                    node,
+                    f"mixed-dimension arithmetic: {left.value} {op} "
+                    f"{right.value}",
+                )
+            )
+            return None
+        if left is None or right is None:
+            return None
+        if left is Dim.SCALAR:
+            return right
+        if right is Dim.SCALAR:
+            return left
+        return left
+
+    def _dim_of_binop(self, node: ast.BinOp, scope: _FunctionScope) -> Dim | None:
+        left = self._dim_of(node.left, scope)
+        right = self._dim_of(node.right, scope)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            return self._combine_additive(left, right, node, scope)
+        if isinstance(node.op, ast.Mult):
+            return combine_mul(left, right)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return combine_div(left, right)
+        if isinstance(node.op, ast.Mod):
+            return left
+        return None
+
+    # ------------------------------------------------------------------
+    # comparison and call-argument checks
+    # ------------------------------------------------------------------
+    def _check_compare(self, node: ast.Compare, scope: _FunctionScope) -> None:
+        if any(
+            isinstance(op, (ast.In, ast.NotIn, ast.Is, ast.IsNot))
+            for op in node.ops
+        ):
+            return
+        operands = [node.left, *node.comparators]
+        dims = [self._dim_of(expr, scope) for expr in operands]
+        for left, right in zip(dims, dims[1:]):
+            if (
+                left is not None
+                and right is not None
+                and left is not Dim.SCALAR
+                and right is not Dim.SCALAR
+                and left is not right
+            ):
+                self._problems.append(
+                    (
+                        "D102",
+                        node,
+                        f"comparison across dimensions: {left.value} vs "
+                        f"{right.value}",
+                    )
+                )
+
+    def _check_call_arguments(
+        self, node: ast.Call, scope: _FunctionScope
+    ) -> None:
+        callee = self._resolve_callee(node, scope)
+        params: list[tuple[str, str | None]]
+        label: str
+        if isinstance(callee, FunctionInfo):
+            params = list(callee.params.items())
+            label = callee.name
+        elif isinstance(callee, ClassInfo):
+            init = callee.methods.get("__init__")
+            if init is not None:
+                params = list(init.params.items())
+            else:
+                params = [(k, v) for k, v in callee.attributes.items()]
+            label = callee.name
+        else:
+            return
+        by_name = dict(params)
+        pairs: list[tuple[str, str | None, ast.expr]] = []
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(params):
+                name, annotation = params[index]
+                pairs.append((name, annotation, arg))
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg in by_name:
+                pairs.append((keyword.arg, by_name[keyword.arg], keyword.value))
+        for name, annotation, arg in pairs:
+            declared = dimension_of_annotation(annotation)
+            if declared is None:
+                continue
+            actual = self._dim_of(arg, scope)
+            if (
+                actual is not None
+                and actual is not Dim.SCALAR
+                and actual is not declared
+            ):
+                self._problems.append(
+                    (
+                        "D104",
+                        arg,
+                        f"passes {actual.value} to parameter {name!r} of "
+                        f"{label}() declared {annotation}",
+                    )
+                )

@@ -37,6 +37,7 @@ from typing import Callable, Iterable, Iterator
 from repro.errors import ValidationError
 
 __all__ = [
+    "MUTATOR_METHODS",
     "RULES",
     "LintContext",
     "Rule",
@@ -756,8 +757,11 @@ _MUTATION_OWNER_FILES = (
 
 #: Mutating entry points of the storage layer: placement, cache
 #: selection, delayed-write flushing, migration charging, and power-off
-#: enablement.  Everything else on the controller is a read.
-_MUTATOR_METHODS = frozenset(
+#: enablement.  Everything else on the controller is a read.  Shared
+#: with the D201 planner-purity checker in
+#: :mod:`repro.devtools.analysis.determinism`, which closes this rule's
+#: transitive-call hole.
+MUTATOR_METHODS = frozenset(
     {
         "migrate_item",
         "preload_item",
@@ -797,7 +801,7 @@ class DirectMutationRule(Rule):
             ):
                 continue
             method = node.func.attr
-            if method not in _MUTATOR_METHODS:
+            if method not in MUTATOR_METHODS:
                 continue
             yield self.violation(
                 ctx,

@@ -19,6 +19,7 @@ and rearm convention identical everywhere.
 from __future__ import annotations
 
 from repro.errors import ReplayError, ValidationError
+from repro.units import Seconds
 
 __all__ = ["SimClock", "Throttle"]
 
@@ -28,7 +29,7 @@ class SimClock:
 
     __slots__ = ("_now",)
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: Seconds = 0.0) -> None:
         if start < 0.0:
             raise ValidationError(
                 f"clock cannot start before t=0, got {start!r}"
@@ -36,11 +37,11 @@ class SimClock:
         self._now = start
 
     @property
-    def now(self) -> float:
+    def now(self) -> Seconds:
         """Current virtual time in seconds."""
         return self._now
 
-    def advance(self, to: float) -> float:
+    def advance(self, to: Seconds) -> Seconds:
         """Move the clock forward to ``to`` and return it.
 
         Raises :class:`~repro.errors.ReplayError` if ``to`` lies in the
@@ -68,7 +69,7 @@ class Throttle:
 
     __slots__ = ("interval_seconds", "_next_allowed")
 
-    def __init__(self, interval_seconds: float) -> None:
+    def __init__(self, interval_seconds: Seconds) -> None:
         if interval_seconds <= 0.0:
             raise ValidationError(
                 f"throttle interval must be positive, got {interval_seconds!r}"
@@ -77,22 +78,22 @@ class Throttle:
         self._next_allowed = 0.0
 
     @property
-    def next_allowed(self) -> float:
+    def next_allowed(self) -> Seconds:
         """Earliest virtual time at which :meth:`ready` returns True."""
         return self._next_allowed
 
-    def ready(self, now: float) -> bool:
+    def ready(self, now: Seconds) -> bool:
         """Whether an action is allowed at virtual time ``now``."""
         return now >= self._next_allowed
 
-    def arm(self, now: float) -> None:
+    def arm(self, now: Seconds) -> None:
         """Record an action at ``now``; the gate re-opens one interval later."""
         self._next_allowed = now + self.interval_seconds
 
-    def defer_until(self, time: float) -> None:
+    def defer_until(self, time: Seconds) -> None:
         """Hold the gate closed until an explicit virtual ``time``."""
         self._next_allowed = time
 
-    def reset(self, now: float) -> None:
+    def reset(self, now: Seconds) -> None:
         """Re-open the gate at ``now`` (used at window starts)."""
         self._next_allowed = now

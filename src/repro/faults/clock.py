@@ -40,6 +40,7 @@ from repro.faults.plan import (
     SlowSpinUp,
     SpinUpFailure,
 )
+from repro.units import Seconds
 
 
 @dataclass(frozen=True)
@@ -75,7 +76,7 @@ class FaultClock:
         #: Total migration aborts injected so far.
         self.migration_aborts_injected: int = 0
 
-    def spin_up_attempt(self, enclosure: str, now: float) -> SpinUpVerdict:
+    def spin_up_attempt(self, enclosure: str, now: Seconds) -> SpinUpVerdict:
         """Consume one spin-up attempt and return its injected outcome.
 
         A new *cycle* starts whenever the previous attempt succeeded (or
@@ -128,7 +129,7 @@ class FaultClock:
             self.spin_up_failures_injected += 1
         return SpinUpVerdict(fails=fails, seconds_multiplier=multiplier)
 
-    def outage_at(self, enclosure: str, now: float) -> EnclosureOutage | None:
+    def outage_at(self, enclosure: str, now: Seconds) -> EnclosureOutage | None:
         """The outage window covering ``now``, if any.
 
         With overlapping windows the one ending last wins, so a caller
@@ -146,7 +147,7 @@ class FaultClock:
         return found
 
     @property
-    def battery_failure_time(self) -> float | None:
+    def battery_failure_time(self) -> Seconds | None:
         """Virtual time of the earliest scheduled battery failure."""
         times = [
             event.time
@@ -155,12 +156,12 @@ class FaultClock:
         ]
         return min(times) if times else None
 
-    def battery_failed(self, now: float) -> bool:
+    def battery_failed(self, now: Seconds) -> bool:
         """Whether the cache battery has failed at or before ``now``."""
         time = self.battery_failure_time
         return time is not None and now >= time
 
-    def migration_abort(self, item_id: str, now: float) -> bool:
+    def migration_abort(self, item_id: str, now: Seconds) -> bool:
         """Consume a matching one-shot :class:`MigrationAbort`, if any."""
         for index, event in enumerate(self.plan.events):
             if (
@@ -174,7 +175,7 @@ class FaultClock:
                 return True
         return False
 
-    def note_service(self, enclosure: str, start: float) -> None:
+    def note_service(self, enclosure: str, start: Seconds) -> None:
         """Record an I/O service start for the outage-violation audit."""
         outage = self.outage_at(enclosure, start)
         if outage is not None:
@@ -183,20 +184,20 @@ class FaultClock:
                 f"outage [{outage.start:.3f}s, {outage.end:.3f}s)"
             )
 
-    def unavailability_seconds(self, end: float) -> float:
+    def unavailability_seconds(self, end: Seconds) -> Seconds:
         """Total enclosure-seconds of outage clipped to ``[0, end]``.
 
         Overlapping windows on the same enclosure are merged so they are
         not double-counted.
         """
-        windows: dict[str, list[tuple[float, float]]] = {}
+        windows: dict[str, list[tuple[Seconds, Seconds]]] = {}
         for event in self.plan.events:
             if isinstance(event, EnclosureOutage):
                 lo = max(0.0, event.start)
                 hi = min(end, event.end)
                 if hi > lo:
                     windows.setdefault(event.enclosure, []).append((lo, hi))
-        total = 0.0
+        total: Seconds = 0.0
         for spans in windows.values():
             spans.sort()
             merged_lo, merged_hi = spans[0]

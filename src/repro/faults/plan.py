@@ -19,6 +19,7 @@ from typing import Any, ClassVar, Mapping, TypeVar, Union
 
 from repro.errors import ValidationError
 from repro.faults.model import FaultModel
+from repro.units import Seconds
 
 #: Version tag embedded in serialized plans (bump on schema change).
 PLAN_FORMAT = 1
@@ -37,7 +38,7 @@ class SpinUpFailure:
     kind: ClassVar[str] = "spin_up_failure"
 
     enclosure: str
-    after: float = 0.0
+    after: Seconds = 0.0
     failures: int = 1
 
     def __post_init__(self) -> None:
@@ -65,8 +66,8 @@ class EnclosureOutage:
     kind: ClassVar[str] = "enclosure_outage"
 
     enclosure: str
-    start: float
-    end: float
+    start: Seconds
+    end: Seconds
 
     def __post_init__(self) -> None:
         if self.start < 0 or self.end <= self.start:
@@ -88,7 +89,7 @@ class CacheBatteryFailure:
 
     kind: ClassVar[str] = "cache_battery_failure"
 
-    time: float
+    time: Seconds
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -109,8 +110,8 @@ class SlowSpinUp:
     kind: ClassVar[str] = "slow_spin_up"
 
     enclosure: str
-    start: float
-    end: float
+    start: Seconds
+    end: Seconds
     multiplier: float = 3.0
 
     def __post_init__(self) -> None:
@@ -139,7 +140,7 @@ class MigrationAbort:
     kind: ClassVar[str] = "migration_abort"
 
     item_id: str
-    after: float = 0.0
+    after: Seconds = 0.0
 
     def __post_init__(self) -> None:
         if self.after < 0:

@@ -18,6 +18,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.errors import UsageError
+from repro.monitoring.repository import TraceRepository
 from repro.trace.records import LogicalIORecord
 
 
@@ -55,7 +56,7 @@ class ApplicationMonitor:
     def __init__(
         self,
         keep_full_trace: bool = False,
-        repository=None,
+        repository: TraceRepository[LogicalIORecord] | None = None,
     ) -> None:
         #: Records of the *current* monitoring window, in arrival order.
         self._window_records: list[LogicalIORecord] = []

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.monitoring.repository import TraceRepository
 from repro.storage.enclosure import DiskEnclosure
 from repro.trace.records import PhysicalIORecord, PowerSample, PowerStatusRecord
 
@@ -41,7 +42,11 @@ class StorageMonitor:
     #: never be Long Intervals and would bloat memory on busy runs).
     MIN_RETAINED_GAP = 0.1
 
-    def __init__(self, enclosures: list[DiskEnclosure], repository=None) -> None:
+    def __init__(
+        self,
+        enclosures: list[DiskEnclosure],
+        repository: TraceRepository[PhysicalIORecord] | None = None,
+    ) -> None:
         self.enclosures = {enc.name: enc for enc in enclosures}
         #: Optional §III-B store for the physical trace (a
         #: :class:`~repro.monitoring.repository.TraceRepository`).

@@ -24,22 +24,23 @@ from dataclasses import dataclass
 from repro.errors import ValidationError
 from repro.storage.enclosure import DiskEnclosure
 from repro.trace.records import PowerSample
+from repro.units import Joules, Seconds, Watts
 
 
 @dataclass(frozen=True)
 class TimelinePoint:
     """One sampling instant: total and per-enclosure interval watts."""
 
-    timestamp: float
-    total_watts: float
-    per_enclosure: dict[str, float]
+    timestamp: Seconds
+    total_watts: Watts
+    per_enclosure: dict[str, Watts]
 
 
 class PowerTimeline:
     """Samples enclosure power at a fixed cadence."""
 
     def __init__(
-        self, enclosures: list[DiskEnclosure], interval_seconds: float = 60.0
+        self, enclosures: list[DiskEnclosure], interval_seconds: Seconds = 60.0
     ) -> None:
         if interval_seconds <= 0:
             raise ValidationError("interval_seconds must be positive")
@@ -48,22 +49,22 @@ class PowerTimeline:
         self.enclosures = list(enclosures)
         self.interval_seconds = interval_seconds
         self.points: list[TimelinePoint] = []
-        self._last_energy: dict[str, float] = {
+        self._last_energy: dict[str, Joules] = {
             enc.name: 0.0 for enc in self.enclosures
         }
-        self._last_time = 0.0
-        self._next_sample = interval_seconds
+        self._last_time: Seconds = 0.0
+        self._next_sample: Seconds = interval_seconds
 
     @property
-    def next_sample_time(self) -> float:
+    def next_sample_time(self) -> Seconds:
         """Time at which the next power sample is due."""
         return self._next_sample
 
-    def sample_due(self, now: float) -> bool:
+    def sample_due(self, now: Seconds) -> bool:
         """Whether a power sample is due at time ``now``."""
         return now >= self._next_sample
 
-    def sample(self, now: float) -> TimelinePoint | None:
+    def sample(self, now: Seconds) -> TimelinePoint | None:
         """Record every interval boundary up to ``now``.
 
         Returns the latest new point, or None when called early.  Sparse
@@ -77,10 +78,10 @@ class PowerTimeline:
             self._next_sample += self.interval_seconds
         return point
 
-    def _record_point(self, at: float) -> TimelinePoint:
+    def _record_point(self, at: Seconds) -> TimelinePoint:
         elapsed = at - self._last_time
-        per_enclosure: dict[str, float] = {}
-        total = 0.0
+        per_enclosure: dict[str, Watts] = {}
+        total: Watts = 0.0
         for enclosure in self.enclosures:
             enclosure.settle(at)
             energy = enclosure.energy_joules()
@@ -96,7 +97,7 @@ class PowerTimeline:
         self._last_time = at
         return point
 
-    def finish(self, now: float) -> None:
+    def finish(self, now: Seconds) -> None:
         """Record remaining boundaries plus a final tail point."""
         self.sample(now)
         if now > self._last_time:
@@ -105,7 +106,7 @@ class PowerTimeline:
     # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------
-    def total_series(self) -> list[tuple[float, float]]:
+    def total_series(self) -> list[tuple[Seconds, Watts]]:
         """(timestamp, total watts) pairs in time order."""
         return [(p.timestamp, p.total_watts) for p in self.points]
 
@@ -120,13 +121,13 @@ class PowerTimeline:
             for p in self.points
         ]
 
-    def mean_watts(self) -> float:
+    def mean_watts(self) -> Watts:
         """Time-weighted mean of the recorded series."""
         if not self.points:
             return 0.0
-        total_energy = 0.0
-        total_time = 0.0
-        last = 0.0
+        total_energy: Joules = 0.0
+        total_time: Seconds = 0.0
+        last: Seconds = 0.0
         for point in self.points:
             span = point.timestamp - last
             total_energy += point.total_watts * span

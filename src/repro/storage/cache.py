@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro import units
 from repro.errors import CapacityError, ValidationError
+from repro.units import Bytes
 
 #: Cache lines are tracked at page granularity (64 blocks = 256 KiB) —
 #: enterprise controllers manage cache in large segments, and per-4-KiB
@@ -38,7 +39,7 @@ def block_to_page(block: int) -> int:
 class LRUBlockCache:
     """Page-grained LRU over ``(item_id, page_index)`` keys."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: Bytes) -> None:
         if capacity_bytes < 0:
             raise ValidationError("capacity must be non-negative")
         self.capacity_pages = capacity_bytes // PAGE_BYTES
@@ -92,19 +93,19 @@ class PreloadPartition:
     point (paper §V-C keeps already-preloaded items).
     """
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: Bytes) -> None:
         if capacity_bytes < 0:
             raise ValidationError("capacity must be non-negative")
         self.capacity_bytes = capacity_bytes
         self._items: dict[str, int] = {}
 
     @property
-    def used_bytes(self) -> int:
+    def used_bytes(self) -> Bytes:
         """Bytes currently pinned in the cache."""
         return sum(self._items.values())
 
     @property
-    def free_bytes(self) -> int:
+    def free_bytes(self) -> Bytes:
         """Remaining cache capacity in bytes."""
         return self.capacity_bytes - self.used_bytes
 
@@ -112,11 +113,11 @@ class PreloadPartition:
         """Ids of all pinned items."""
         return set(self._items)
 
-    def fits(self, size_bytes: int) -> bool:
+    def fits(self, size_bytes: Bytes) -> bool:
         """Whether an item of this size fits in the free space."""
         return size_bytes <= self.free_bytes
 
-    def pin(self, item_id: str, size_bytes: int) -> None:
+    def pin(self, item_id: str, size_bytes: Bytes) -> None:
         """Pin one data item; raises :class:`CapacityError` if it cannot fit."""
         if size_bytes < 0:
             raise ValidationError("size must be non-negative")
@@ -142,10 +143,10 @@ class PreloadPartition:
 class FlushPlan:
     """What a write-delay flush must write: per-item dirty byte counts."""
 
-    dirty_bytes_by_item: dict[str, int]
+    dirty_bytes_by_item: dict[str, Bytes]
 
     @property
-    def total_bytes(self) -> int:
+    def total_bytes(self) -> Bytes:
         """Total dirty bytes buffered across all items."""
         return sum(self.dirty_bytes_by_item.values())
 
@@ -160,7 +161,7 @@ class WriteDelayPartition:
     time").
     """
 
-    def __init__(self, capacity_bytes: int, dirty_block_rate: float = 0.5) -> None:
+    def __init__(self, capacity_bytes: Bytes, dirty_block_rate: float = 0.5) -> None:
         if capacity_bytes < 0:
             raise ValidationError("capacity must be non-negative")
         if not 0 < dirty_block_rate <= 1:
@@ -241,7 +242,7 @@ class WriteDelayPartition:
         """Whether the given page of the item is dirty."""
         return page in self._dirty.get(item_id, ())
 
-    def dirty_bytes_of(self, item_id: str) -> int:
+    def dirty_bytes_of(self, item_id: str) -> Bytes:
         """Bytes of dirty data buffered for one item (read-only peek).
 
         Lets the action executor cost a flush without touching the

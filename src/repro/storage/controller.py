@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro import units
+from repro.units import Bytes, Rate, Seconds
 from repro.errors import (
     CapacityError,
     EnclosureUnavailableError,
@@ -61,11 +62,11 @@ class StorageController:
         self,
         virtualization: BlockVirtualization,
         cache: StorageCache,
-        migration_throughput_bps: float = 60.0 * units.MB,
-        bulk_bandwidth_bps: float = BULK_BANDWIDTH_BPS,
+        migration_throughput_bps: Rate = 60.0 * units.MB,
+        bulk_bandwidth_bps: Rate = BULK_BANDWIDTH_BPS,
         physical_tap: PhysicalTap | None = None,
-        retry_backoff_base: float = 1.0,
-        retry_backoff_cap: float = 64.0,
+        retry_backoff_base: Seconds = 1.0,
+        retry_backoff_cap: Seconds = 64.0,
     ) -> None:
         if migration_throughput_bps <= 0:
             raise ValidationError("migration throughput must be positive")
@@ -86,10 +87,10 @@ class StorageController:
 
         self.logical_io_count = 0
         self.cache_hit_count = 0
-        self.migrated_bytes = 0
+        self.migrated_bytes: Bytes = 0
         self.migration_count = 0
-        self.preloaded_bytes = 0
-        self.flushed_bytes = 0
+        self.preloaded_bytes: Bytes = 0
+        self.flushed_bytes: Bytes = 0
 
         # Fault handling (:mod:`repro.faults`).  All of this is inert —
         # strictly zero-cost on the hot path — until a fault clock is
@@ -106,14 +107,14 @@ class StorageController:
         self.fault_denied_ios = 0
         self.fault_delayed_ios = 0
         self.fault_spin_up_retries = 0
-        self.fault_delay_seconds = 0.0
+        self.fault_delay_seconds: Seconds = 0.0
         self.fault_max_queue_delay = 0.0
         self.emergency_buffered_ios = 0
         self.emergency_flushes = 0
         self.migration_aborts = 0
-        self._at_risk_last_time: float | None = None
-        self._at_risk_last_bytes = 0
-        self.at_risk_peak_bytes = 0
+        self._at_risk_last_time: Seconds | None = None
+        self._at_risk_last_bytes: Bytes = 0
+        self.at_risk_peak_bytes: Bytes = 0
         self.at_risk_byte_seconds = 0.0
         self.at_risk_samples: list[tuple[float, int]] = []
 
@@ -136,7 +137,7 @@ class StorageController:
     # ------------------------------------------------------------------
     # fault handling
     # ------------------------------------------------------------------
-    def on_time(self, now: float) -> None:
+    def on_time(self, now: Seconds) -> None:
         """Advance fault bookkeeping to ``now`` (no-op without faults).
 
         Driven from exactly two places: internally on every application
@@ -152,7 +153,7 @@ class StorageController:
         self._drain_emergency(now)
         self._note_at_risk(now)
 
-    def _check_battery(self, now: float) -> None:
+    def _check_battery(self, now: Seconds) -> None:
         """React to a scheduled cache-battery failure.
 
         The instant the failure is noticed, every acknowledged write in
@@ -178,7 +179,7 @@ class StorageController:
         self._policy_selected = set()
         self._note_at_risk(max(now, completion))
 
-    def _drain_emergency(self, now: float) -> None:
+    def _drain_emergency(self, now: Seconds) -> None:
         """Flush emergency-buffered items whose outage has ended."""
         for item_id in sorted(self._emergency_items):
             enclosure = self.virtualization.enclosure_of(item_id)
@@ -194,7 +195,7 @@ class StorageController:
                 self._execute_flush(now, plan.dirty_bytes_by_item)
                 self.emergency_flushes += 1
 
-    def _note_at_risk(self, now: float) -> None:
+    def _note_at_risk(self, now: Seconds) -> None:
         """Integrate at-risk dirty bytes (acknowledged, battery gone)."""
         if not self._battery_failed:
             return
@@ -326,7 +327,7 @@ class StorageController:
     # ------------------------------------------------------------------
     # application I/O path
     # ------------------------------------------------------------------
-    def submit(self, record: LogicalIORecord) -> float:
+    def submit(self, record: LogicalIORecord) -> Seconds:
         """Serve one application I/O; returns its response time in seconds.
 
         Reads are served from cache when possible (preloaded items always
@@ -383,7 +384,7 @@ class StorageController:
             record.sequential,
         )
 
-    def _emergency_buffer_write(self, record: LogicalIORecord) -> float | None:
+    def _emergency_buffer_write(self, record: LogicalIORecord) -> Seconds | None:
         """Absorb a write whose home enclosure is out into the cache.
 
         While an enclosure is inside an injected outage window, the
@@ -413,7 +414,7 @@ class StorageController:
     # ------------------------------------------------------------------
     # power-saving primitives (paper §V)
     # ------------------------------------------------------------------
-    def preload_item(self, now: float, item_id: str) -> float:
+    def preload_item(self, now: Seconds, item_id: str) -> Seconds:
         """Load a whole data item into the preload partition.
 
         Issues a sequential read burst on the item's enclosure (the
@@ -436,7 +437,7 @@ class StorageController:
         """Evict a data item from the preload partition (paper §V-C)."""
         self.cache.preload.unpin(item_id)
 
-    def select_write_delay(self, now: float, item_ids: set[str]) -> float:
+    def select_write_delay(self, now: Seconds, item_ids: set[str]) -> Seconds:
         """Reconfigure the write-delay item set; flushes deselected items.
 
         Returns the time at which all deselection flushes complete.
@@ -448,7 +449,7 @@ class StorageController:
             item_ids = set()
         self._policy_selected = set(item_ids)
         completion = now
-        for stale in self.cache.write_delay.selected_items() - item_ids:
+        for stale in sorted(self.cache.write_delay.selected_items() - item_ids):
             if stale in self._emergency_items:
                 # Still buffering for an enclosure inside an outage
                 # window; _drain_emergency flushes it once the window
@@ -458,11 +459,11 @@ class StorageController:
             completion = max(
                 completion, self._execute_flush(now, plan.dirty_bytes_by_item)
             )
-        for item_id in item_ids:
+        for item_id in sorted(item_ids):
             self.cache.write_delay.select(item_id)
         return completion
 
-    def flush_write_delay(self, now: float) -> float:
+    def flush_write_delay(self, now: Seconds) -> Seconds:
         """Bulk-write every dirty block to its enclosure (paper §V-B).
 
         Under fault injection, items whose home enclosure is inside an
@@ -492,7 +493,7 @@ class StorageController:
             wd.flush_count += 1
         return completion
 
-    def flush_item(self, now: float, item_id: str) -> float:
+    def flush_item(self, now: Seconds, item_id: str) -> Seconds:
         """Write one item's dirty pages out (it stays write-delayed).
 
         Used before migrating a write-delayed item, so its delayed
@@ -501,7 +502,7 @@ class StorageController:
         plan = self.cache.write_delay.flush_item(item_id)
         return self._execute_flush(now, plan.dirty_bytes_by_item)
 
-    def _execute_flush(self, now: float, dirty_bytes_by_item: dict[str, int]) -> float:
+    def _execute_flush(self, now: Seconds, dirty_bytes_by_item: dict[str, Bytes]) -> Seconds:
         completion = now
         for item_id, size in dirty_bytes_by_item.items():
             if size <= 0:
@@ -514,7 +515,7 @@ class StorageController:
             self.flushed_bytes += size
         return completion
 
-    def migrate_item(self, now: float, item_id: str, target_enclosure: str) -> float:
+    def migrate_item(self, now: Seconds, item_id: str, target_enclosure: str) -> Seconds:
         """Move a data item to another enclosure (paper §V-A).
 
         The copy is throttled to ``migration_throughput_bps`` "so as to
@@ -616,7 +617,7 @@ class StorageController:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def finish(self, now: float) -> float:
+    def finish(self, now: Seconds) -> Seconds:
         """Flush outstanding dirty data and settle all enclosures."""
         self.on_time(now)
         completion = self.flush_write_delay(now)

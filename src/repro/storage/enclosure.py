@@ -31,6 +31,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.storage.power import PowerModel, PowerState, can_transition
+from repro.units import Bytes, Joules, Seconds, Watts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.clock import FaultClock
@@ -45,23 +46,23 @@ class IOResult:
     last I/O of the batch finished, and ``count`` the batch size.
     """
 
-    arrival: float
-    start: float
-    completion: float
+    arrival: Seconds
+    start: Seconds
+    completion: Seconds
     count: int
 
     @property
-    def response_time(self) -> float:
+    def response_time(self) -> Seconds:
         """Response time of the whole batch (completion − arrival)."""
         return self.completion - self.arrival
 
     @property
-    def wait_time(self) -> float:
+    def wait_time(self) -> Seconds:
         """Time spent waiting before service began (queue + spin-up)."""
         return self.start - self.arrival
 
     @property
-    def mean_response_time(self) -> float:
+    def mean_response_time(self) -> Seconds:
         """Mean per-I/O response assuming I/Os complete evenly in service.
 
         The i-th of ``count`` I/Os completes at
@@ -97,8 +98,8 @@ class DiskEnclosure:
         power_model: PowerModel | None = None,
         iops_random: float = 900.0,
         iops_sequential: float = 2800.0,
-        capacity_bytes: int = 0,
-        spin_down_timeout: float = 52.0,
+        capacity_bytes: Bytes = 0,
+        spin_down_timeout: Seconds = 52.0,
     ) -> None:
         if iops_random <= 0 or iops_sequential <= 0:
             raise ValidationError("IOPS capacities must be positive")
@@ -111,20 +112,20 @@ class DiskEnclosure:
         self.capacity_bytes = capacity_bytes
         self.spin_down_timeout = spin_down_timeout
 
-        self._clock = 0.0
+        self._clock: Seconds = 0.0
         self._state = PowerState.IDLE
-        self._state_entered = 0.0
-        self._idle_since = 0.0
-        self._busy_until = 0.0
-        self._transition_end = 0.0
+        self._state_entered: Seconds = 0.0
+        self._idle_since: Seconds = 0.0
+        self._busy_until: Seconds = 0.0
+        self._transition_end: Seconds = 0.0
         self._power_off_enabled = False
 
-        self._hold_awake_until = 0.0
-        self._external_energy = 0.0
-        self._energy_by_state: dict[PowerState, float] = {
+        self._hold_awake_until: Seconds = 0.0
+        self._external_energy: Joules = 0.0
+        self._energy_by_state: dict[PowerState, Joules] = {
             state: 0.0 for state in PowerState
         }
-        self._time_by_state: dict[PowerState, float] = {
+        self._time_by_state: dict[PowerState, Seconds] = {
             state: 0.0 for state in PowerState
         }
         self.spin_up_count = 0
@@ -132,10 +133,10 @@ class DiskEnclosure:
         self.io_count = 0
         self.read_count = 0
         self.write_count = 0
-        self.last_io_time: float | None = None
+        self.last_io_time: Seconds | None = None
         #: Spin-up events as (time requested, wait imposed) — used by the
         #: runtime trigger logic (paper §V-D).
-        self.spin_up_events: list[float] = []
+        self.spin_up_events: list[Seconds] = []
 
         #: Fault oracle (:mod:`repro.faults`); ``None`` outside fault runs.
         self._fault_clock: FaultClock | None = None
@@ -143,13 +144,13 @@ class DiskEnclosure:
         self._spin_up_failing = False
         #: Virtual times at which injected spin-up attempts failed —
         #: consulted by the degraded-mode gate in the policies.
-        self.spin_up_failure_times: list[float] = []
+        self.spin_up_failure_times: list[Seconds] = []
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
-    def clock(self) -> float:
+    def clock(self) -> Seconds:
         """Time up to which the energy timeline has been settled."""
         return self._clock
 
@@ -164,11 +165,11 @@ class DiskEnclosure:
         return self._power_off_enabled
 
     @property
-    def busy_until(self) -> float:
+    def busy_until(self) -> Seconds:
         """Completion time of the last queued I/O."""
         return self._busy_until
 
-    def energy_joules(self, state: PowerState | None = None) -> float:
+    def energy_joules(self, state: PowerState | None = None) -> Joules:
         """Energy accumulated so far, total or for one state.
 
         The total includes externally-charged energy (throttled
@@ -178,11 +179,11 @@ class DiskEnclosure:
             return self._energy_by_state[state]
         return sum(self._energy_by_state.values()) + self._external_energy
 
-    def time_in_state(self, state: PowerState) -> float:
+    def time_in_state(self, state: PowerState) -> Seconds:
         """Seconds spent in ``state`` so far."""
         return self._time_by_state[state]
 
-    def average_watts(self) -> float:
+    def average_watts(self) -> Watts:
         """Average power draw over the settled timeline."""
         if self._clock <= 0:
             return self.power_model.watts(self._state)
@@ -191,7 +192,7 @@ class DiskEnclosure:
     # ------------------------------------------------------------------
     # policy control
     # ------------------------------------------------------------------
-    def enable_power_off(self, now: float) -> None:
+    def enable_power_off(self, now: Seconds) -> None:
         """Allow this enclosure to spin down after the idle timeout."""
         self.settle(now)
         if not self._power_off_enabled:
@@ -201,7 +202,7 @@ class DiskEnclosure:
             if self._state is PowerState.IDLE:
                 self._idle_since = max(self._idle_since, now - 0.0)
 
-    def disable_power_off(self, now: float) -> None:
+    def disable_power_off(self, now: Seconds) -> None:
         """Forbid spinning down.  An already-off enclosure stays off until
         its next I/O (spinning every enclosure up eagerly would charge the
         policy change itself, which no evaluated method does)."""
@@ -215,7 +216,7 @@ class DiskEnclosure:
         """Attach the simulation's fault oracle (:mod:`repro.faults`)."""
         self._fault_clock = clock
 
-    def _check_outage(self, at: float) -> None:
+    def _check_outage(self, at: Seconds) -> None:
         """Refuse service while inside an injected outage window."""
         if self._fault_clock is None:
             return
@@ -226,7 +227,7 @@ class DiskEnclosure:
     # ------------------------------------------------------------------
     # timeline
     # ------------------------------------------------------------------
-    def _transition(self, target: PowerState, at: float) -> None:
+    def _transition(self, target: PowerState, at: Seconds) -> None:
         """Move to ``target``, auditing against the legal transition graph.
 
         Every state change funnels through here so that fault injection
@@ -243,7 +244,7 @@ class DiskEnclosure:
         self._state = target
         self._state_entered = at
 
-    def _accrue(self, state: PowerState, duration: float) -> None:
+    def _accrue(self, state: PowerState, duration: Seconds) -> None:
         if duration < 0:
             raise PowerStateError(
                 f"negative accrual of {duration} s in state {state} "
@@ -252,7 +253,7 @@ class DiskEnclosure:
         self._energy_by_state[state] += self.power_model.watts(state) * duration
         self._time_by_state[state] += duration
 
-    def settle(self, now: float) -> None:
+    def settle(self, now: Seconds) -> None:
         """Advance the energy timeline to ``now``.
 
         Idempotent for ``now <= clock``.  Handles ACTIVE→IDLE when the
@@ -356,7 +357,7 @@ class DiskEnclosure:
     # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
-    def service_time(self, count: int, sequential: bool) -> float:
+    def service_time(self, count: int, sequential: bool) -> Seconds:
         """Pure service time for a batch of ``count`` I/Os."""
         if count <= 0:
             raise ValidationError("count must be positive")
@@ -365,7 +366,7 @@ class DiskEnclosure:
 
     def submit(
         self,
-        now: float,
+        now: Seconds,
         count: int = 1,
         read: bool = True,
         sequential: bool = False,
@@ -406,9 +407,9 @@ class DiskEnclosure:
 
     def background_transfer(
         self,
-        start: float,
-        duration: float,
-        busy_seconds: float,
+        start: Seconds,
+        duration: Seconds,
+        busy_seconds: Seconds,
         count: int,
         read: bool,
     ) -> None:
@@ -445,8 +446,8 @@ class DiskEnclosure:
 
     def occupy(
         self,
-        now: float,
-        seconds: float,
+        now: Seconds,
+        seconds: Seconds,
         count: int = 1,
         read: bool = True,
     ) -> IOResult:
@@ -482,7 +483,7 @@ class DiskEnclosure:
         self.last_io_time = now
         return IOResult(arrival=now, start=start, completion=completion, count=count)
 
-    def finish(self, now: float) -> None:
+    def finish(self, now: Seconds) -> None:
         """Settle the timeline to the end of the run."""
         self.settle(max(now, self._clock))
 

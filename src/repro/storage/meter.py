@@ -14,25 +14,26 @@ from repro.errors import ValidationError
 from repro.storage.controller import StorageController
 from repro.storage.enclosure import DiskEnclosure
 from repro.storage.power import ControllerPowerModel, PowerState
+from repro.units import Joules, Seconds, Watts
 
 
 @dataclass(frozen=True)
 class PowerReading:
     """Average power of a storage unit over a measurement window."""
 
-    duration_seconds: float
-    enclosure_watts: float
-    controller_watts: float
-    enclosure_joules: float
-    controller_joules: float
+    duration_seconds: Seconds
+    enclosure_watts: Watts
+    controller_watts: Watts
+    enclosure_joules: Joules
+    controller_joules: Joules
 
     @property
-    def total_watts(self) -> float:
+    def total_watts(self) -> Watts:
         """Combined enclosure and controller power, in watts."""
         return self.enclosure_watts + self.controller_watts
 
     @property
-    def total_joules(self) -> float:
+    def total_joules(self) -> Joules:
         """Combined enclosure and controller energy, in joules."""
         return self.enclosure_joules + self.controller_joules
 
@@ -50,7 +51,7 @@ class PowerMeter:
         self.enclosures = list(enclosures)
         self.controller_model = controller_model or ControllerPowerModel()
 
-    def read(self, now: float, controller: StorageController | None = None) -> PowerReading:
+    def read(self, now: Seconds, controller: StorageController | None = None) -> PowerReading:
         """Measure average power from time 0 to ``now``.
 
         Settles every enclosure's timeline to ``now`` first, so the
@@ -59,7 +60,7 @@ class PowerMeter:
         """
         if now <= 0:
             raise ValidationError("measurement duration must be positive")
-        enclosure_joules = 0.0
+        enclosure_joules: Joules = 0.0
         for enclosure in self.enclosures:
             enclosure.settle(now)
             enclosure_joules += enclosure.energy_joules()
@@ -73,7 +74,7 @@ class PowerMeter:
             controller_joules=controller_joules,
         )
 
-    def state_breakdown(self, now: float) -> dict[PowerState, float]:
+    def state_breakdown(self, now: Seconds) -> dict[PowerState, Seconds]:
         """Total enclosure-seconds spent in each power state up to ``now``."""
         breakdown = {state: 0.0 for state in PowerState}
         for enclosure in self.enclosures:

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, ValidationError
+from repro.units import Joules, Seconds, Watts
 
 
 class PowerState(enum.Enum):
@@ -85,13 +86,13 @@ class PowerModel:
     :attr:`break_even_time` ≈ 52 s (paper Table II).
     """
 
-    active_watts: float = 270.0
-    idle_watts: float = 235.0
-    off_watts: float = 12.0
-    spin_up_watts: float = 1120.0
-    spin_up_seconds: float = 10.0
-    spin_down_watts: float = 150.0
-    spin_down_seconds: float = 4.0
+    active_watts: Watts = 270.0
+    idle_watts: Watts = 235.0
+    off_watts: Watts = 12.0
+    spin_up_watts: Watts = 1120.0
+    spin_up_seconds: Seconds = 10.0
+    spin_down_watts: Watts = 150.0
+    spin_down_seconds: Seconds = 4.0
 
     def __post_init__(self) -> None:
         if not (0 <= self.off_watts <= self.idle_watts <= self.active_watts):
@@ -109,7 +110,7 @@ class PowerModel:
                 "idle and off watts must differ for a break-even time to exist"
             )
 
-    def watts(self, state: PowerState) -> float:
+    def watts(self, state: PowerState) -> Watts:
         """Power draw of the enclosure in ``state``."""
         return {
             PowerState.ACTIVE: self.active_watts,
@@ -120,7 +121,7 @@ class PowerModel:
         }[state]
 
     @property
-    def transition_energy(self) -> float:
+    def transition_energy(self) -> Joules:
         """Total energy of one spin-down + spin-up cycle, in joules."""
         return (
             self.spin_up_watts * self.spin_up_seconds
@@ -128,12 +129,12 @@ class PowerModel:
         )
 
     @property
-    def transition_seconds(self) -> float:
+    def transition_seconds(self) -> Seconds:
         """Total time of one spin-down + spin-up cycle."""
         return self.spin_up_seconds + self.spin_down_seconds
 
     @property
-    def break_even_time(self) -> float:
+    def break_even_time(self) -> Seconds:
         """Minimum idle gap (seconds) for which power-off saves energy.
 
         Staying idle for a gap of length ``t`` costs ``idle × t``.
@@ -145,13 +146,13 @@ class PowerModel:
         extra = self.transition_energy - self.off_watts * self.transition_seconds
         return extra / (self.idle_watts - self.off_watts)
 
-    def energy_if_idle(self, gap_seconds: float) -> float:
+    def energy_if_idle(self, gap_seconds: Seconds) -> Joules:
         """Energy consumed by staying idle across a gap of this length."""
         if gap_seconds < 0:
             raise ValidationError("gap must be non-negative")
         return self.idle_watts * gap_seconds
 
-    def energy_if_power_cycled(self, gap_seconds: float) -> float:
+    def energy_if_power_cycled(self, gap_seconds: Seconds) -> Joules:
         """Energy consumed by spinning down and back up across a gap.
 
         If the gap is shorter than the combined transition time the cycle
@@ -164,7 +165,7 @@ class PowerModel:
         off_time = max(0.0, gap_seconds - self.transition_seconds)
         return self.transition_energy + self.off_watts * off_time
 
-    def power_off_saves(self, gap_seconds: float) -> bool:
+    def power_off_saves(self, gap_seconds: Seconds) -> bool:
         """Whether cycling power across this gap beats staying idle."""
         return self.energy_if_power_cycled(gap_seconds) < self.energy_if_idle(
             gap_seconds
@@ -181,10 +182,10 @@ class ControllerPowerModel:
     per-I/O increment so heavy cache traffic registers slightly.
     """
 
-    base_watts: float = 520.0
-    joules_per_io: float = 0.02
+    base_watts: Watts = 520.0
+    joules_per_io: Joules = 0.02
 
-    def energy(self, duration_seconds: float, io_count: int) -> float:
+    def energy(self, duration_seconds: Seconds, io_count: int) -> Joules:
         """Total controller energy over a run."""
         if duration_seconds < 0:
             raise ValidationError("duration must be non-negative")
@@ -192,7 +193,7 @@ class ControllerPowerModel:
             raise ValidationError("io_count must be non-negative")
         return self.base_watts * duration_seconds + self.joules_per_io * io_count
 
-    def average_watts(self, duration_seconds: float, io_count: int) -> float:
+    def average_watts(self, duration_seconds: Seconds, io_count: int) -> Watts:
         """Average controller power over a run."""
         if duration_seconds <= 0:
             return self.base_watts

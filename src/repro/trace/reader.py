@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterator, TextIO
+from typing import Callable, Iterator, TextIO, TypeVar
 
 from repro.errors import TraceError
 from repro.trace.records import IOType, LogicalIORecord, PhysicalIORecord
@@ -21,6 +21,8 @@ from repro.trace.writer import LOGICAL_HEADER, PHYSICAL_HEADER
 
 #: Windows FILETIME ticks per second (100 ns resolution).
 _MSR_TICKS_PER_SECOND = 10_000_000
+
+_RecordT = TypeVar("_RecordT", LogicalIORecord, PhysicalIORecord)
 
 
 def read_logical_trace(source: str | Path | TextIO) -> list[LogicalIORecord]:
@@ -95,7 +97,11 @@ def _rows(source: str | Path | TextIO) -> Iterator[tuple[int, list[str]]]:
         yield from enumerate(csv.reader(source), start=1)
 
 
-def _iter(source, header: list[str], parse) -> Iterator:
+def _iter(
+    source: str | Path | TextIO,
+    header: list[str],
+    parse: Callable[[list[str]], _RecordT],
+) -> Iterator[_RecordT]:
     rows = _rows(source)
     try:
         _, first = next(rows)

@@ -1,4 +1,4 @@
-"""Unit constants and small conversion helpers.
+"""Unit constants, dimension aliases, and small conversion helpers.
 
 The simulator works in SI base units throughout: **seconds** for time,
 **bytes** for data sizes, **watts** for power, and **joules** for energy.
@@ -9,13 +9,34 @@ numbers — and ``repro.devtools`` rule R2 enforces exactly that.
 Types are deliberately consistent: data-size constants are ``int``
 (byte counts are exact), while time and power constants are ``float``
 (they scale continuous quantities).  All are :data:`typing.Final`.
+
+The module also defines the **dimension aliases** :data:`Seconds`,
+:data:`Joules`, :data:`Watts`, :data:`Bytes`, and :data:`Rate`.  At
+runtime (and to mypy) they are plain ``float``/``int`` — annotating with
+them costs nothing — but the :mod:`repro.devtools.analysis` static pass
+reads them as *dimensions* and flags mixed-dimension arithmetic,
+comparisons, returns, and arguments across the whole program (check ids
+D101–D104).  Annotate any quantity-carrying signature with the alias of
+its unit and the analyzer propagates it everywhere the value flows.
 """
 
 from __future__ import annotations
 
-from typing import Final
+from typing import Final, TypeAlias
 
 from repro.errors import ValidationError
+
+# --- dimension aliases (read by repro.devtools.analysis) -----------------
+#: Virtual time / durations, in SI seconds.
+Seconds: TypeAlias = float
+#: Energy, in joules (integrated watts × seconds).
+Joules: TypeAlias = float
+#: Power, in watts (joules per second).
+Watts: TypeAlias = float
+#: Data sizes, in exact bytes.
+Bytes: TypeAlias = int
+#: Throughput, in bytes per second.
+Rate: TypeAlias = float
 
 # --- data sizes (binary multiples, as storage vendors use for cache) ----
 KB: Final[int] = 1024
@@ -58,7 +79,7 @@ _SIZE_SUFFIXES: Final[dict[str, int]] = {
 }
 
 
-def bytes_to_blocks(size: int) -> int:
+def bytes_to_blocks(size: Bytes) -> int:
     """Return the number of blocks needed to hold ``size`` bytes.
 
     Rounds up, so a single byte still occupies one block.
@@ -83,7 +104,7 @@ def bytes_to_blocks(size: int) -> int:
     return -(-size // BLOCK_SIZE)
 
 
-def blocks_to_bytes(blocks: int) -> int:
+def blocks_to_bytes(blocks: int) -> Bytes:
     """Return the byte size of ``blocks`` whole blocks.
 
     >>> blocks_to_bytes(2)
@@ -94,7 +115,7 @@ def blocks_to_bytes(blocks: int) -> int:
     return blocks * BLOCK_SIZE
 
 
-def parse_size(text: str) -> int:
+def parse_size(text: str) -> Bytes:
     """Parse a human-readable size (``'500 MB'``, ``'2GiB'``) into bytes.
 
     Multipliers are binary (``1 KB == 1024 B``), matching the constants
@@ -158,16 +179,26 @@ def format_bytes(size: float) -> str:
     raise AssertionError("unreachable")
 
 
-def format_duration(seconds: float) -> str:
+def format_duration(seconds: Seconds) -> str:
     """Human-readable duration, e.g. ``'1.8 hr'`` or ``'52 sec'``.
 
     >>> format_duration(52)
     '52 sec'
     >>> format_duration(6480)
     '1.8 hr'
+    >>> format_duration(23 * HOUR)
+    '23 hr'
+    >>> format_duration(2 * DAY)
+    '2 day'
+    >>> format_duration(1.5 * DAY)
+    '1.5 day'
+    >>> format_duration(14 * DAY)
+    '14 day'
     """
     if seconds < MINUTE:
         return f"{seconds:g} sec"
     if seconds < HOUR:
         return f"{seconds / MINUTE:g} min"
-    return f"{seconds / HOUR:g} hr"
+    if seconds < DAY:
+        return f"{seconds / HOUR:g} hr"
+    return f"{seconds / DAY:g} day"

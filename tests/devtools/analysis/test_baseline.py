@@ -1,0 +1,101 @@
+"""Tests for the analyzer's committed-baseline support."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.analysis.baseline import (
+    BASELINE_FORMAT,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.devtools.analysis.framework import Finding
+from repro.errors import ValidationError
+
+
+def _finding(line: int = 7, message: str = "reads the wall clock") -> Finding:
+    return Finding(
+        check_id="D203",
+        check_name="wall-clock",
+        path="src/x.py",
+        line=line,
+        col=4,
+        context="x.f",
+        message=message,
+    )
+
+
+def test_write_then_load_round_trips(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    count = write_baseline([_finding(), _finding(line=9)], path)
+    assert count == 1  # same identity, count folded to 2
+    table = load_baseline(path)
+    resolved = str(Path("src/x.py").resolve())
+    key = ("D203", resolved, "x.f", "reads the wall clock")
+    assert table == {key: 2}
+    document = json.loads(path.read_text())
+    assert document["format"] == BASELINE_FORMAT
+    assert document["entries"][0]["path"] == "src/x.py"  # stored as reported
+    assert document["entries"][0]["count"] == 2
+
+
+def test_partition_is_line_independent(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding(line=7)], path)
+    moved = _finding(line=321)
+    new, grandfathered = partition_findings([moved], load_baseline(path))
+    assert new == []
+    assert grandfathered == [moved]
+
+
+def test_partition_flags_count_growth(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding()], path)
+    first, second = _finding(line=7), _finding(line=8)
+    new, grandfathered = partition_findings(
+        [first, second], load_baseline(path)
+    )
+    assert grandfathered == [first]
+    assert new == [second]  # the extra occurrence is a new finding
+
+
+def test_partition_flags_changed_message(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding()], path)
+    changed = _finding(message="something else entirely")
+    new, _ = partition_findings([changed], load_baseline(path))
+    assert new == [changed]
+
+
+def test_partition_without_baseline_passes_through() -> None:
+    finding = _finding()
+    new, grandfathered = partition_findings([finding], None)
+    assert new == [finding]
+    assert grandfathered == []
+
+
+def test_load_rejects_malformed_documents(tmp_path: Path) -> None:
+    path = tmp_path / "bad.json"
+    path.write_text("not json", encoding="utf-8")
+    with pytest.raises(ValidationError, match="unreadable baseline"):
+        load_baseline(path)
+    path.write_text('{"no_entries": true}', encoding="utf-8")
+    with pytest.raises(ValidationError, match="not an analyzer baseline"):
+        load_baseline(path)
+    path.write_text('{"entries": [{"check": "D203"}]}', encoding="utf-8")
+    with pytest.raises(ValidationError, match="malformed entry"):
+        load_baseline(path)
+
+
+def test_committed_baseline_is_loadable_and_current() -> None:
+    repo_baseline = Path("analysis-baseline.json")
+    assert repo_baseline.exists()
+    table = load_baseline(repo_baseline)
+    assert table, "committed baseline should demonstrate real entries"
+    for check, path, _context, _message in table:
+        assert check.startswith("D")
+        assert Path(path).exists(), f"baselined file vanished: {path}"

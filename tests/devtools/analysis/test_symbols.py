@@ -1,0 +1,98 @@
+"""Tests for the analyzer's pass-1 indexer (symbol table + call graph)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import ast
+
+from repro.devtools.analysis.symbols import (
+    _annotation_text,
+    annotation_terminal,
+    index_paths,
+    module_name_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "analysis"
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_module_name_recovered_from_init_chain() -> None:
+    assert module_name_for(SRC / "storage" / "meter.py") == (
+        "repro.storage.meter"
+    )
+    assert module_name_for(SRC / "__init__.py") == "repro"
+
+
+def test_module_name_outside_any_package_is_the_stem() -> None:
+    assert module_name_for(FIXTURES / "d1_dimensions.py") == "d1_dimensions"
+    assert module_name_for(FIXTURES / "d2_purity" / "policy.py") == (
+        "d2_purity.policy"
+    )
+
+
+def test_annotation_terminal_takes_last_dotted_component() -> None:
+    assert annotation_terminal("Seconds") == "Seconds"
+    assert annotation_terminal("units.Seconds") == "Seconds"
+    assert annotation_terminal("dict[str, Joules]") == "dict"
+    assert annotation_terminal(None) is None
+
+
+def _annotation_of(source: str) -> str | None:
+    node = ast.parse(source, mode="eval").body
+    return _annotation_text(node)
+
+
+def test_annotation_text_unwraps_optional_and_quotes() -> None:
+    assert _annotation_of("Seconds") == "Seconds"
+    assert _annotation_of("Optional[Seconds]") == "Seconds"
+    assert _annotation_of("Seconds | None") == "Seconds"
+    assert _annotation_of("'Joules'") == "Joules"
+    assert _annotation_of("Final[Watts]") == "Watts"
+
+
+def test_index_builds_classes_functions_and_calls() -> None:
+    program = index_paths([FIXTURES / "d2_purity"])
+    policy = program.classes["d2_purity.policy.LeakyPolicy"]
+    assert "on_checkpoint" in policy.methods
+    helper = program.functions["d2_purity.helpers.drain_everything"]
+    assert "flush_write_delay" in {site.method for site in helper.calls}
+
+
+def test_inherits_from_follows_cross_module_bases() -> None:
+    program = index_paths([FIXTURES / "d2_purity"])
+    leaky = program.classes["d2_purity.policy.LeakyPolicy"]
+    assert program.inherits_from(leaky, "PowerPolicy")
+    base = program.classes["d2_purity.base.PowerPolicy"]
+    assert not program.inherits_from(base, "PowerPolicy")
+
+
+def test_resolve_name_follows_imports() -> None:
+    program = index_paths([FIXTURES / "d2_purity"])
+    module = program.modules["d2_purity.policy"]
+    assert program.resolve_name(module, "drain_everything") == (
+        "d2_purity.helpers.drain_everything"
+    )
+    assert program.resolve_name(module, "PowerPolicy") == (
+        "d2_purity.base.PowerPolicy"
+    )
+    assert program.resolve_name(module, "no_such_symbol") is None
+
+
+def test_instance_attributes_inferred_from_init() -> None:
+    program = index_paths([SRC / "storage" / "enclosure.py"])
+    enclosure = program.classes["repro.storage.enclosure.DiskEnclosure"]
+    assert enclosure.attributes.get("_clock") == "Seconds"
+    assert enclosure.attributes.get("spin_down_timeout") == "Seconds"
+    assert enclosure.attributes.get("_energy_by_state") == (
+        "dict[PowerState, Joules]"
+    )
+
+
+def test_parse_errors_are_collected_not_raised(tmp_path: Path) -> None:
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n", encoding="utf-8")
+    program = index_paths([bad])
+    assert str(bad) in program.parse_errors
+    assert not program.modules

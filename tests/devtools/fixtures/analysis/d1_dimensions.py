@@ -1,0 +1,33 @@
+"""Fixture: trips D101–D104 (dimensional consistency), one finding each.
+
+Indexed by the analyzer in tests — never imported at runtime.  The
+``window_power`` helper is dimensionally clean; each ``d1xx_*`` function
+below it contains exactly one provable dimension clash.
+"""
+
+from repro.units import Joules, Seconds, Watts
+
+
+def window_power(energy: Joules, elapsed: Seconds) -> Watts:
+    """Clean: joules / seconds = watts."""
+    return energy / elapsed
+
+
+def d101_mixed_sum(energy: Joules, elapsed: Seconds) -> float:
+    """D101: adds an energy to a time."""
+    return energy + elapsed
+
+
+def d102_mixed_compare(power: Watts, budget: Joules) -> bool:
+    """D102: compares a power against an energy."""
+    return power < budget
+
+
+def d103_wrong_return(elapsed: Seconds) -> Watts:
+    """D103: declared to return watts, returns seconds."""
+    return elapsed
+
+
+def d104_wrong_argument(energy: Joules, power: Watts) -> Watts:
+    """D104: passes watts where ``window_power`` expects seconds."""
+    return window_power(energy, power)

@@ -1,0 +1,32 @@
+"""Fixture: trips D202 (unseeded random), D203 (wall clock), D204 (set order).
+
+Indexed by the analyzer in tests — never imported at runtime.
+"""
+
+import random
+import time
+
+
+def d202_unseeded_jitter() -> float:
+    """D202: draws from the process-global generator."""
+    return random.uniform(0.0, 1.0)
+
+
+def d203_wall_clock_timestamp() -> float:
+    """D203: stamps simulation state with the wall clock."""
+    return time.time()
+
+
+def d204_sink_over_set() -> list[str]:
+    """D204: materialises a set in hash order."""
+    item_ids = {"b", "a", "c"}
+    return list(item_ids)
+
+
+def d204_loop_over_set() -> str:
+    """D204: iteration order feeds an order-sensitive accumulator."""
+    names = {"x", "y"}
+    out = ""
+    for name in names:
+        out += name
+    return out

@@ -1,0 +1,10 @@
+"""Fixture package: D201 planner purity across a helper-call chain.
+
+Indexed by the analyzer in tests — never imported at runtime.  The
+package mirrors the real layering in miniature: ``base`` declares the
+planner contract and the storage surface, ``helpers`` stands between,
+and ``policy`` holds one pure policy (plans through the executor
+gateway) and one leaky policy that reaches a storage mutator two helper
+hops below its entry point — exactly the transitive hole lint rule R9
+cannot see.
+"""

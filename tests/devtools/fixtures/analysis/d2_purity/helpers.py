@@ -1,0 +1,16 @@
+"""Helper chain standing between the policies and the storage layer."""
+
+from d2_purity.base import ActionExecutor, ActionPlan, StorageController
+
+_EXECUTOR = ActionExecutor()
+_CONTROLLER = StorageController()
+
+
+def submit_plan(now: float, plan: ActionPlan) -> None:
+    """Legal path: the plan goes through the executor gateway."""
+    _EXECUTOR.apply(now, plan)
+
+
+def drain_everything(now: float) -> None:
+    """Illegal path: calls a storage mutator directly."""
+    _CONTROLLER.flush_write_delay(now)

@@ -106,8 +106,20 @@ def test_parse_error_reported_as_pseudo_rule(tmp_path: Path) -> None:
     assert violations[0].rule_name == "parse-error"
 
 
+def test_every_rule_has_a_fixture() -> None:
+    """Adding a lint rule without a fixture proving it fires must fail."""
+    covered = {rule_id for _, rule_id in FIXTURE_RULES}
+    missing = sorted(set(RULES) - covered)
+    assert not missing, (
+        "every lint rule needs a tests/devtools/fixtures/ fixture proving "
+        f"it fires; missing: {missing}"
+    )
+
+
 def test_json_report_round_trips() -> None:
-    report = lint_paths([FIXTURES])
+    # Only the r*.py rule fixtures: fixtures/analysis/ holds the analyzer's
+    # own fixtures, which deliberately contain lint-style violations too.
+    report = lint_paths(sorted(FIXTURES.glob("r*.py")))
     payload = json.loads(report.render_json())
     assert payload["files_checked"] == len(FIXTURE_RULES)
     seen = {v["rule_id"] for v in payload["violations"]}
