@@ -27,12 +27,15 @@ def test_action_record_logging_overhead_within_bar(report):
     overhead = document["action_layer"]
     logged = overhead["logged_seconds"]
     unlogged = overhead["unlogged_seconds"]
-    excess = logged - unlogged
+    # Gate the zero-clamped excess: a negative difference means logging
+    # measured *faster*, which is scheduler noise, not a cost to gate.
+    excess = max(0.0, logged - unlogged)
     report(
         "Action-layer logging overhead (tpcc smoke, proposed policy)\n"
         f"  logged   : {logged:.4f} s\n"
         f"  unlogged : {unlogged:.4f} s\n"
-        f"  overhead : {overhead['overhead_fraction']:+.2%} "
+        f"  overhead : {overhead['overhead_fraction_raw']:+.2%} raw, "
+        f"{overhead['overhead_fraction']:.2%} gated "
         f"(bar {MAX_OVERHEAD_FRACTION:.0%}, "
         f"floor {NOISE_FLOOR_SECONDS * 1000:.0f} ms)"
     )
@@ -40,6 +43,6 @@ def test_action_record_logging_overhead_within_bar(report):
         MAX_OVERHEAD_FRACTION * unlogged, NOISE_FLOOR_SECONDS
     ), (
         f"action-record logging slowed replay by {excess:.4f} s "
-        f"({overhead['overhead_fraction']:+.2%}); the action layer must "
-        f"stay within {MAX_OVERHEAD_FRACTION:.0%} of the unlogged replay"
+        f"({overhead['overhead_fraction_raw']:+.2%} raw); the action layer "
+        f"must stay within {MAX_OVERHEAD_FRACTION:.0%} of the unlogged replay"
     )

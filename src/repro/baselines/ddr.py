@@ -135,11 +135,28 @@ class DDRPolicy(PowerPolicy):
         The copy is charged to the source (read) and the least-loaded
         hot enclosure (write) and counted as migrated data.
         """
+        self._on_access(record.timestamp, record.item_id, record.size)
+
+    def after_io_fast(
+        self,
+        timestamp: float,
+        item_id: str,
+        offset: int,
+        size: int,
+        is_read: bool,
+        sequential: bool,
+        response_time: float,
+    ) -> None:
+        """Scalar variant: the on-access migration check needs only
+        timestamp, item id, and size."""
+        self._on_access(timestamp, item_id, size)
+
+    def _on_access(self, now: float, item_id: str, size: int) -> None:
         context = self._require_context()
         if not self._cold:
             return
         virt = context.virtualization
-        source = virt.enclosure_of(record.item_id)
+        source = virt.enclosure_of(item_id)
         if source.name not in self._cold:
             return
         hot = [
@@ -151,12 +168,12 @@ class DDRPolicy(PowerPolicy):
             return
         target_name = min(hot, key=lambda n: self._smoothed_iops.get(n, 0.0))
         self.executor().apply(
-            record.timestamp,
+            now,
             ActionPlan(
                 [
                     ChargeBlockMigration(
-                        record.item_id,
-                        record.size,
+                        item_id,
+                        size,
                         source.name,
                         target_name,
                     )

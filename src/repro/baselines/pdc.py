@@ -82,6 +82,19 @@ class PDCPolicy(PowerPolicy):
         """Count item popularity for the current window."""
         self._popularity[record.item_id] += 1
 
+    def after_io_fast(
+        self,
+        timestamp: float,
+        item_id: str,
+        offset: int,
+        size: int,
+        is_read: bool,
+        sequential: bool,
+        response_time: float,
+    ) -> None:
+        """Scalar variant: popularity needs only the item id."""
+        self._popularity[item_id] += 1
+
     def on_checkpoint(self, now: float) -> ActionPlan | None:
         """Re-rank items by popularity and migrate across the array."""
         context = self._require_context()

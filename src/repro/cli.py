@@ -10,7 +10,9 @@ Subcommands::
     ecostor patterns WORKLOAD [--full]
     ecostor ssd-study / ecostor scaling-study
     ecostor export-trace WORKLOAD PATH [--full]
-    ecostor replay-trace PATH POLICY [--enclosures N] [--msr]
+    ecostor replay-trace PATH POLICY [--enclosures N] [--msr] [--ecot]
+    ecostor trace pack INPUT OUTPUT [--msr]
+    ecostor trace info PATH
     ecostor intervals WORKLOAD POLICY [--full]
     ecostor bench [--workload W] [--repeats N] [--out BENCH_engine.json]
     ecostor lint [PATHS ...] [--format text|json] [--select RULE ...]
@@ -28,7 +30,10 @@ route its sweeps through the same engine); ``run`` replays one workload
 under one policy (``--audit`` verifies the energy / capacity / time
 invariants every monitoring period); ``export-trace`` /
 ``replay-trace`` round-trip logical traces through CSV (or ingest real
-MSR-Cambridge block traces with ``--msr``); ``intervals`` draws a
+MSR-Cambridge block traces with ``--msr``, or packed ``.ecot`` columnar
+traces — see ``docs/trace-format.md``); ``trace pack`` converts a CSV
+or MSR trace into the ``.ecot`` binary format and ``trace info`` prints
+a packed file's header; ``intervals`` draws a
 Fig 17-19 curve in the terminal; ``lint`` runs the
 :mod:`repro.devtools` domain linter; ``analyze`` runs the whole-program
 dimensional & determinism analyzer (:mod:`repro.devtools.analysis`)
@@ -42,11 +47,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 from repro import units
 from repro.analysis.report import gigabytes, seconds, watts
 from repro.experiments.runner import STANDARD_POLICIES, run_cell
 from repro.experiments.testbed import WORKLOAD_NAMES, build_workload
+
+if TYPE_CHECKING:
+    from repro.workloads.items import Workload
 
 _FIGURE_SECTIONS = ("tables", "fig06", "fs", "tpcc", "tpch", "intervals")
 
@@ -285,11 +294,25 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_replay_trace(args: argparse.Namespace) -> int:
-    from repro.workloads.from_trace import workload_from_csv, workload_from_msr
+def _load_trace_workload(
+    args: argparse.Namespace, enclosure_count: int
+) -> "Workload":
+    """Pick the right trace loader: ``.ecot``, MSR, or logical CSV."""
+    from repro.workloads.from_trace import (
+        workload_from_csv,
+        workload_from_ecot,
+        workload_from_msr,
+    )
 
-    loader = workload_from_msr if args.msr else workload_from_csv
-    workload = loader(args.path, args.enclosures)
+    if getattr(args, "ecot", False) or str(args.path).endswith(".ecot"):
+        return workload_from_ecot(args.path, enclosure_count)
+    if args.msr:
+        return workload_from_msr(args.path, enclosure_count)
+    return workload_from_csv(args.path, enclosure_count)
+
+
+def _cmd_replay_trace(args: argparse.Namespace) -> int:
+    workload = _load_trace_workload(args, args.enclosures)
     print(f"loaded: {workload.description}")
     policy = STANDARD_POLICIES[args.policy]()
     result = run_cell(workload, policy)
@@ -324,10 +347,8 @@ def _cmd_analyze_trace(args: argparse.Namespace) -> int:
     from repro.config import DEFAULT_CONFIG
     from repro.core.patterns import build_profiles, pattern_fractions
     from repro.trace.stats import summarize
-    from repro.workloads.from_trace import workload_from_csv, workload_from_msr
 
-    loader = workload_from_msr if args.msr else workload_from_csv
-    workload = loader(args.path, enclosure_count=1)
+    workload = _load_trace_workload(args, enclosure_count=1)
     summary = summarize(workload.records)
     print(f"records:      {summary.record_count}")
     print(f"items:        {summary.item_count}")
@@ -351,6 +372,36 @@ def _cmd_analyze_trace(args: argparse.Namespace) -> int:
           f"{DEFAULT_CONFIG.break_even_time:g} s):")
     for pattern, fraction in mix.items():
         print(f"  {pattern.value}: {fraction * 100:5.1f} %")
+    return 0
+
+
+def _cmd_trace_pack(args: argparse.Namespace) -> int:
+    from repro.trace.columnar import ColumnarTrace
+    from repro.trace.reader import read_logical_trace, read_msr_trace
+
+    reader = read_msr_trace if args.msr else read_logical_trace
+    trace = ColumnarTrace.from_records(reader(args.input))
+    count = trace.save(args.output)
+    print(
+        f"packed {count} records over {len(trace.items)} items "
+        f"into {args.output}"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.trace.columnar import ECOT_VERSION, FLAG_READ, ColumnarTrace
+
+    trace = ColumnarTrace.load(args.path)
+    reads = sum(1 for flag in trace.flags if flag & FLAG_READ)
+    count = len(trace)
+    print(f"format:    .ecot version {ECOT_VERSION}")
+    print(f"records:   {count}")
+    print(f"items:     {len(trace.items)}")
+    if count:
+        span = max(trace.timestamps) - min(trace.timestamps)
+        print(f"span:      {span:,.1f} s")
+        print(f"reads:     {reads} ({reads / count:.0%})")
     return 0
 
 
@@ -552,7 +603,31 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--msr", action="store_true", help="input is MSR-Cambridge format"
     )
+    replay.add_argument(
+        "--ecot",
+        action="store_true",
+        help="input is a packed .ecot trace (auto-detected by suffix)",
+    )
     replay.set_defaults(func=_cmd_replay_trace)
+
+    trace = sub.add_parser(
+        "trace", help="columnar .ecot trace utilities (pack / info)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    pack = trace_sub.add_parser(
+        "pack", help="convert a CSV or MSR trace into a packed .ecot file"
+    )
+    pack.add_argument("input", help="source trace (logical CSV, or MSR)")
+    pack.add_argument("output", help="destination .ecot path")
+    pack.add_argument(
+        "--msr", action="store_true", help="input is MSR-Cambridge format"
+    )
+    pack.set_defaults(func=_cmd_trace_pack)
+    info = trace_sub.add_parser(
+        "info", help="print the header and summary of a packed .ecot file"
+    )
+    info.add_argument("path")
+    info.set_defaults(func=_cmd_trace_info)
 
     intervals = sub.add_parser(
         "intervals", help="draw a Fig 17-19 interval curve"
@@ -576,6 +651,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("path")
     analyze.add_argument("--msr", action="store_true")
+    analyze.add_argument(
+        "--ecot",
+        action="store_true",
+        help="input is a packed .ecot trace (auto-detected by suffix)",
+    )
     analyze.set_defaults(func=_cmd_analyze_trace)
 
     replication = sub.add_parser(

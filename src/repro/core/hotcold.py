@@ -40,6 +40,36 @@ class HotColdSplit:
         return enclosure in self.cold
 
 
+def _p3_totals(
+    profiles: Mapping[str, ItemProfile],
+) -> tuple[dict[int, int], int]:
+    """One pass over the profiles: per-bucket P3 I/O totals + P3 bytes.
+
+    Both Step 1 (``I_max``) and Step 2 (the byte bound on ``N_hot``)
+    reduce over the same P3 subset; a shared pass keeps the per-window
+    determination cost at one profile scan instead of two.
+    """
+    totals: defaultdict[int, int] = defaultdict(int)
+    p3_bytes = 0
+    for profile in profiles.values():
+        if profile.pattern is not IOPattern.P3:
+            continue
+        p3_bytes += profile.size_bytes
+        for index, count in enumerate(profile.bucket_counts):
+            totals[index] += count
+    return totals, p3_bytes
+
+
+def _peak_from_totals(
+    totals: Mapping[int, int], bucket_seconds: float, percentile: float
+) -> float:
+    if not totals:
+        return 0.0
+    values = sorted(totals.values())
+    index = max(0, math.ceil(len(values) * percentile / 100.0) - 1)
+    return values[index] / bucket_seconds
+
+
 def p3_peak_aggregate_iops(
     profiles: Mapping[str, ItemProfile],
     bucket_seconds: float,
@@ -58,17 +88,8 @@ def p3_peak_aggregate_iops(
         raise ValidationError("bucket_seconds must be positive")
     if not 0 < percentile <= 100:
         raise ValidationError("percentile must be in (0, 100]")
-    totals: defaultdict[int, int] = defaultdict(int)
-    for profile in profiles.values():
-        if profile.pattern is not IOPattern.P3:
-            continue
-        for index, count in enumerate(profile.bucket_counts):
-            totals[index] += count
-    if not totals:
-        return 0.0
-    values = sorted(totals.values())
-    index = max(0, math.ceil(len(values) * percentile / 100.0) - 1)
-    return values[index] / bucket_seconds
+    totals, _ = _p3_totals(profiles)
+    return _peak_from_totals(totals, bucket_seconds, percentile)
 
 
 def required_hot_count(
@@ -82,12 +103,10 @@ def required_hot_count(
         raise ValidationError("max_enclosure_iops must be positive")
     if enclosure_size_bytes <= 0:
         raise ValidationError("enclosure_size_bytes must be positive")
-    i_max = p3_peak_aggregate_iops(profiles, bucket_seconds)
-    p3_bytes = sum(
-        p.size_bytes
-        for p in profiles.values()
-        if p.pattern is IOPattern.P3
-    )
+    if bucket_seconds <= 0:
+        raise ValidationError("bucket_seconds must be positive")
+    totals, p3_bytes = _p3_totals(profiles)
+    i_max = _peak_from_totals(totals, bucket_seconds, 95.0)
     n_for_iops = math.ceil(i_max / max_enclosure_iops)
     n_for_size = math.ceil(p3_bytes / enclosure_size_bytes)
     return max(n_for_iops, n_for_size), i_max

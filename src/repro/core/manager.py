@@ -174,6 +174,35 @@ class EnergyEfficientPolicy(PowerPolicy):
             self._trigger_count += 1
             self._run_management(now, triggered=True)
 
+    def after_io_fast(
+        self,
+        timestamp: float,
+        item_id: str,
+        offset: int,
+        size: int,
+        is_read: bool,
+        sequential: bool,
+        response_time: float,
+    ) -> None:
+        """Scalar variant: the trigger check needs only the timestamp."""
+        if not self.enable_triggers or self._split is None:
+            return
+        throttle = self._trigger_throttle
+        if throttle is None or not throttle.ready(timestamp):
+            return
+        context = self._require_context()
+        throttle.arm(timestamp)
+        assert self._triggers is not None
+        result = self._triggers.check(
+            timestamp,
+            hot=self._split.hot,
+            cold=self._split.cold,
+            storage_monitor=context.storage_monitor,
+        )
+        if result.fired:
+            self._trigger_count += 1
+            self._run_management(timestamp, triggered=True)
+
     # ------------------------------------------------------------------
     # the power-management function (Algorithm 1)
     # ------------------------------------------------------------------
@@ -191,9 +220,9 @@ class EnergyEfficientPolicy(PowerPolicy):
             item: virt.enclosure_of(item).name for item in virt.item_ids()
         }
 
-        # Step 1: logical I/O patterns.
+        # Step 1: logical I/O patterns (fed columns, not record objects).
         profiles = build_profiles(
-            app.window_records(),
+            app.window_columns(),
             window_start,
             now,
             config.break_even_time,

@@ -23,11 +23,28 @@ import enum
 import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
 from repro.errors import ValidationError
 from repro.core.intervals import ItemActivity, extract_activity
 from repro.trace.records import LogicalIORecord
+
+
+@runtime_checkable
+class SupportsProfileArrays(Protocol):
+    """A window buffer that exposes its I/Os as parallel columns.
+
+    Both :class:`repro.monitoring.application.WindowColumns` and
+    :class:`repro.trace.columnar.ColumnarTrace` satisfy this; feeding
+    columns lets :func:`build_profiles` skip per-record attribute access
+    on the classification hot path.
+    """
+
+    def profile_arrays(
+        self,
+    ) -> tuple[Sequence[float], Sequence[str], Sequence[int], Sequence[bool]]:
+        """Return the ``(timestamps, item ids, sizes, reads)`` columns."""
+        ...
 
 
 class IOPattern(enum.Enum):
@@ -99,7 +116,7 @@ DEFAULT_IOPS_BUCKET_SECONDS = 60.0
 
 
 def build_profiles(
-    records: Iterable[LogicalIORecord],
+    records: Iterable[LogicalIORecord] | SupportsProfileArrays,
     window_start: float,
     window_end: float,
     break_even_time: float,
@@ -112,6 +129,11 @@ def build_profiles(
     ``item_sizes`` / ``item_enclosures`` enumerate all *placed* items —
     items with no I/O in the window still get a profile (pattern P0), as
     the paper's Step 1 explicitly marks them.
+
+    The window may arrive either as an iterable of records or as any
+    :class:`SupportsProfileArrays` columnar buffer; the per-I/O
+    accumulation is field-for-field identical, so both inputs produce
+    the same profiles.
     """
     if window_end <= window_start:
         raise ValidationError("window must have positive length")
@@ -126,20 +148,38 @@ def build_profiles(
     write_bytes: defaultdict[str, int] = defaultdict(int)
     read_bytes: defaultdict[str, int] = defaultdict(int)
 
-    for rec in records:
-        item = rec.item_id
-        events[item].append((rec.timestamp, rec.is_read))
-        if item not in buckets:
-            buckets[item] = [0] * bucket_count
-        index = min(
-            bucket_count - 1,
-            int((rec.timestamp - window_start) / iops_bucket_seconds),
-        )
-        buckets[item][index] += 1
-        if rec.is_read:
-            read_bytes[item] += rec.size
-        else:
-            write_bytes[item] += rec.size
+    if isinstance(records, SupportsProfileArrays):
+        timestamps, item_ids, io_sizes, io_reads = records.profile_arrays()
+        for ts, item, size, is_read in zip(
+            timestamps, item_ids, io_sizes, io_reads
+        ):
+            events[item].append((ts, is_read))
+            if item not in buckets:
+                buckets[item] = [0] * bucket_count
+            index = min(
+                bucket_count - 1,
+                int((ts - window_start) / iops_bucket_seconds),
+            )
+            buckets[item][index] += 1
+            if is_read:
+                read_bytes[item] += size
+            else:
+                write_bytes[item] += size
+    else:
+        for rec in records:
+            item = rec.item_id
+            events[item].append((rec.timestamp, rec.is_read))
+            if item not in buckets:
+                buckets[item] = [0] * bucket_count
+            index = min(
+                bucket_count - 1,
+                int((rec.timestamp - window_start) / iops_bucket_seconds),
+            )
+            buckets[item][index] += 1
+            if rec.is_read:
+                read_bytes[item] += rec.size
+            else:
+                write_bytes[item] += rec.size
 
     profiles: dict[str, ItemProfile] = {}
     for item_id, size in item_sizes.items():

@@ -57,6 +57,7 @@ from repro.engine.events import (
 )
 from repro.engine.queue import EventQueue
 from repro.errors import ReplayError
+from repro.trace.columnar import FLAG_READ, FLAG_SEQUENTIAL, ColumnarTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.baselines.base import PowerPolicy
@@ -151,25 +152,24 @@ class SimulationKernel:
         settlement order) are exactly those documented on
         :meth:`repro.trace.replay.TraceReplayer.run`; the golden test
         holds this method bit-identical to the pre-kernel loop.
+
+        A :class:`~repro.trace.columnar.ColumnarTrace` takes the batched
+        pump (:meth:`_replay_columnar`) — same simulation, no per-record
+        object materialization.
         """
         if duration is not None and duration <= 0.0:
             raise ReplayError(
                 f"declared duration must be positive, got {duration}"
             )
+        if isinstance(records, ColumnarTrace):
+            return self._replay_columnar(records, duration)
         context = self.context
         policy = self.policy
         app = context.app_monitor
         controller = context.controller
         clock = self.clock
 
-        policy.on_start(0.0)
-        app.begin_window(0.0)
-        context.storage_monitor.begin_window(0.0)
-        if self.timeline is not None:
-            self.queue.push(
-                TimelineSampleEvent(self.timeline.next_sample_time)
-            )
-        self._sync_checkpoint()
+        self._begin_replay()
 
         last_ts = 0.0
         count = 0
@@ -188,6 +188,109 @@ class SimulationKernel:
             count += 1
             self._sync_checkpoint()
 
+        return self._finish_replay(count, last_ts, duration)
+
+    def _replay_columnar(
+        self,
+        trace: ColumnarTrace,
+        duration: float | None,
+    ) -> ReplayOutcome:
+        """The batched pump: drive the simulation straight off columns.
+
+        Column slices between queued events go through the scalar fast
+        paths (``submit_fast`` / ``record_fast`` / ``after_io_fast``) —
+        no :class:`~repro.trace.records.LogicalIORecord` exists anywhere
+        on the loop.  Every decision and float operation matches the
+        record pump; the golden bit-identity test holds the two equal.
+        """
+        from repro.baselines.base import PowerPolicy
+
+        context = self.context
+        policy = self.policy
+        clock = self.clock
+        queue = self.queue
+
+        self._begin_replay()
+
+        timestamps = trace.timestamps
+        item_index = trace.item_index
+        offsets = trace.offsets
+        sizes = trace.sizes
+        flags = trace.flags
+        items = trace.items
+        # Flag bits decoded through tables instead of per-record bool()
+        # calls; the flags column is u1, so 256 entries cover it.
+        read_lut = [bool(value & FLAG_READ) for value in range(256)]
+        sequential_lut = [bool(value & FLAG_SEQUENTIAL) for value in range(256)]
+
+        submit_fast = context.controller.submit_fast
+        record_fast = context.app_monitor.record_fast
+        sync = self._sync_checkpoint
+        dispatch = self._dispatch_until
+        peek = queue.peek_key
+        advance = clock.advance
+
+        # Policies that override neither after-I/O hook (no-power-saving
+        # and friends) are skipped entirely: a no-op cannot move the
+        # checkpoint, so the per-record re-sync is dropped with it.
+        after_fast = policy.after_io_fast
+        policy_cls = type(policy)
+        if (
+            policy_cls.after_io is PowerPolicy.after_io
+            and policy_cls.after_io_fast is PowerPolicy.after_io_fast
+        ):
+            after_fast = None
+
+        trace_record = TRACE_RECORD
+        last_ts = 0.0
+        count = 0
+        for ts, idx, offset, size, flag in zip(
+            timestamps, item_index, offsets, sizes, flags
+        ):
+            if ts < last_ts:
+                raise ReplayError(
+                    f"trace not time-ordered: {ts} after {last_ts}"
+                )
+            last_ts = ts
+            # Re-peek per record: any after-I/O hook may have queued new
+            # events (e.g. a management cycle posting flush deadlines).
+            # The key is compared field-wise to avoid building a tuple
+            # per record.
+            key = peek()
+            if key is not None:
+                key_ts = key[0]
+                if key_ts < ts or (key_ts == ts and key[1] < trace_record):
+                    dispatch((ts, trace_record))
+            advance(ts)
+            item = items[idx]
+            is_read = read_lut[flag]
+            sequential = sequential_lut[flag]
+            response = submit_fast(ts, item, offset, size, is_read, sequential)
+            record_fast(ts, item, offset, size, is_read, sequential, response)
+            count += 1
+            if after_fast is not None:
+                after_fast(ts, item, offset, size, is_read, sequential, response)
+                sync()
+
+        return self._finish_replay(count, last_ts, duration)
+
+    def _begin_replay(self) -> None:
+        """Shared replay prologue: window starts, first timeline sample,
+        initial checkpoint sync."""
+        self.policy.on_start(0.0)
+        self.context.app_monitor.begin_window(0.0)
+        self.context.storage_monitor.begin_window(0.0)
+        if self.timeline is not None:
+            self.queue.push(
+                TimelineSampleEvent(self.timeline.next_sample_time)
+            )
+        self._sync_checkpoint()
+
+    def _finish_replay(
+        self, count: int, last_ts: float, duration: float | None
+    ) -> ReplayOutcome:
+        """Shared replay epilogue: tail drain, settlement, finish hooks."""
+        context = self.context
         if count == 0 and duration is None:
             raise ReplayError(
                 "cannot replay an empty trace without an explicit "
@@ -199,10 +302,10 @@ class SimulationKernel:
                 f"declared duration {end} ends before last record at {last_ts}"
             )
         self._drain_tail(end)
-        policy.on_end(end)
-        completion = controller.finish(end)
+        self.policy.on_end(end)
+        completion = context.controller.finish(end)
         final = max(end, completion)
-        clock.advance(final)
+        self.clock.advance(final)
         context.storage_monitor.finish(final)
         for enclosure in context.enclosures:
             enclosure.finish(final)

@@ -6,7 +6,11 @@ ROADMAP wants the perf trajectory to have actual data points.  This
 module measures end-to-end replay throughput (wall-clock seconds for a
 full :class:`~repro.trace.replay.TraceReplayer` run, best of N repeats
 to suppress scheduler noise) for the no-power-saving baseline and the
-proposed policy, and serializes the result as ``BENCH_engine.json``:
+proposed policy — in both pump modes, the per-record object loop and
+the batched :class:`~repro.trace.columnar.ColumnarTrace` pump, with the
+two interleaved per round so machine drift cannot masquerade as a
+pump-mode difference — and serializes the result as
+``BENCH_engine.json``:
 
 * locally via ``ecostor bench --out BENCH_engine.json``;
 * in CI's smoke mode (see ``.github/workflows/ci.yml``), so every
@@ -16,10 +20,12 @@ Since the :mod:`repro.actions` layer routed every storage mutation
 through the recording :class:`~repro.actions.executor.ActionExecutor`,
 the document also carries an ``action_layer`` section: the proposed
 policy timed with action-record logging on (the default) versus off
-(``executor.record_log = False``), and the resulting
-``overhead_fraction`` — the action log's logging cost relative to the
-same replay without it.  ``benchmarks/test_action_overhead.py`` holds
-that fraction to ≤ 2 %.
+(``executor.record_log = False``), and the resulting overhead: the
+signed ``overhead_fraction_raw`` as measured, plus the zero-clamped
+``overhead_fraction`` (a negative measurement means the residual noise
+floor exceeded the real logging cost — there is nothing to gate).
+``benchmarks/test_action_overhead.py`` holds the clamped fraction to
+≤ 2 %.
 
 Wall-clock timing lives here, *outside* the kernel: virtual time inside
 the simulation never touches ``perf_counter``.
@@ -41,8 +47,13 @@ from repro.trace.replay import TraceReplayer
 __all__ = ["BENCH_FORMAT", "DEFAULT_BENCH_POLICIES", "run_bench", "main"]
 
 #: Schema version of the emitted JSON document.  Format 2 added the
-#: ``action_layer`` overhead section.
-BENCH_FORMAT = 2
+#: ``action_layer`` overhead section.  Format 3 benchmarks both pump
+#: modes per policy (``object`` / ``columnar`` sub-documents plus
+#: ``columnar_speedup``; the headline ``records_per_second`` is the
+#: columnar pump's) and splits the action-layer fraction into
+#: ``overhead_fraction_raw`` (signed, as measured) and
+#: ``overhead_fraction`` (clamped at zero for gating).
+BENCH_FORMAT = 3
 
 #: Policies benchmarked by default: the do-nothing floor and the paper's
 #: method (the heaviest per-I/O and per-checkpoint work).
@@ -54,6 +65,7 @@ def _time_one_replay(
     full: bool,
     policy_name: str,
     record_actions: bool = True,
+    columnar: bool = False,
 ) -> float:
     workload = build_workload(workload_name, full)
     context = build_context(DEFAULT_CONFIG, workload.enclosure_count)
@@ -61,10 +73,14 @@ def _time_one_replay(
     context.require_executor().record_log = record_actions
     policy = STANDARD_POLICIES[policy_name]()
     replayer = TraceReplayer(context, policy)
+    # The columnar trace is built (and cached on the workload) outside
+    # the timed region: the benchmark measures the pump, and a real
+    # pipeline builds/loads the columns once, then replays many times.
+    records = workload.columnar() if columnar else workload.records
     # Wall-clock reads are the *product* here, not simulation state;
     # the replay itself never touches perf_counter.
     started = time.perf_counter()  # analysis: ignore[D203]
-    replayer.run(workload.records, duration=workload.duration)
+    replayer.run(records, duration=workload.duration)
     return time.perf_counter() - started  # analysis: ignore[D203]
 
 
@@ -83,16 +99,38 @@ def run_bench(
     """
     workload = build_workload(workload_name, full)
     record_count = len(workload.records)
-    results: dict[str, dict[str, float | int]] = {}
+    rounds = max(repeats, 1)
+    results: dict[str, dict] = {}
     for policy_name in policies:
-        best = min(
-            _time_one_replay(workload_name, full, policy_name)
-            for _ in range(max(repeats, 1))
-        )
+        # Object and columnar pumps are interleaved (alternating order
+        # each round) so machine-speed drift between batches hits both
+        # equally instead of masquerading as a pump-mode difference.
+        object_times: list[float] = []
+        columnar_times: list[float] = []
+        for round_index in range(rounds):
+            order = (False, True) if round_index % 2 == 0 else (True, False)
+            for columnar in order:
+                seconds = _time_one_replay(
+                    workload_name, full, policy_name, columnar=columnar
+                )
+                (columnar_times if columnar else object_times).append(seconds)
+        object_best = min(object_times)
+        columnar_best = min(columnar_times)
         results[policy_name] = {
-            "best_seconds": best,
-            "records_per_second": record_count / best,
-            "repeats": max(repeats, 1),
+            # Headline numbers are the columnar pump's: it is the replay
+            # path everything downstream (sharding, online serving) uses.
+            "best_seconds": columnar_best,
+            "records_per_second": record_count / columnar_best,
+            "object": {
+                "best_seconds": object_best,
+                "records_per_second": record_count / object_best,
+            },
+            "columnar": {
+                "best_seconds": columnar_best,
+                "records_per_second": record_count / columnar_best,
+            },
+            "columnar_speedup": object_best / columnar_best,
+            "repeats": rounds,
         }
     # Action-layer overhead: the proposed policy (the heaviest planner,
     # so the densest action log) with record logging on vs off.  Both
@@ -105,21 +143,32 @@ def run_bench(
     overhead_policy = "proposed" if "proposed" in policies else policies[0]
     logged_times: list[float] = []
     unlogged_times: list[float] = []
-    for round_index in range(max(repeats, 1)):
+    for round_index in range(rounds):
         order = (True, False) if round_index % 2 == 0 else (False, True)
         for record_actions in order:
             seconds = _time_one_replay(
-                workload_name, full, overhead_policy, record_actions
+                workload_name,
+                full,
+                overhead_policy,
+                record_actions,
+                columnar=True,
             )
             (logged_times if record_actions else unlogged_times).append(seconds)
     logged = min(logged_times)
     unlogged = min(unlogged_times)
+    # Even interleaved, best-of-N on two near-equal sides can come out a
+    # hair negative (logging measured "faster") — that residual is
+    # scheduler noise, not a real speedup.  The raw signed value is
+    # reported for honesty; the gate in
+    # ``benchmarks/test_action_overhead.py`` consumes the clamped one.
+    raw_fraction = (logged - unlogged) / unlogged
     action_layer = {
         "policy": overhead_policy,
         "logged_seconds": logged,
         "unlogged_seconds": unlogged,
-        "overhead_fraction": (logged - unlogged) / unlogged,
-        "repeats": max(repeats, 1),
+        "overhead_fraction_raw": raw_fraction,
+        "overhead_fraction": max(0.0, raw_fraction),
+        "repeats": rounds,
     }
     return {
         "format": BENCH_FORMAT,
@@ -144,14 +193,16 @@ def main(
     document = run_bench(workload_name, full=full, repeats=repeats)
     for policy_name, row in document["policies"].items():
         print(
-            f"{policy_name:>16}: {row['best_seconds']:.4f} s best of "
-            f"{row['repeats']} ({row['records_per_second']:,.0f} records/s)"
+            f"{policy_name:>16}: "
+            f"{row['columnar']['records_per_second']:,.0f} records/s "
+            f"columnar vs {row['object']['records_per_second']:,.0f} object "
+            f"({row['columnar_speedup']:.2f}x, best of {row['repeats']})"
         )
     overhead = document["action_layer"]
     print(
-        f"    action layer: {overhead['overhead_fraction']:+.2%} logging "
-        f"overhead on {overhead['policy']} "
-        f"({overhead['logged_seconds']:.4f} s logged, "
+        f"    action layer: {overhead['overhead_fraction_raw']:+.2%} raw "
+        f"({overhead['overhead_fraction']:.2%} gated) logging overhead on "
+        f"{overhead['policy']} ({overhead['logged_seconds']:.4f} s logged, "
         f"{overhead['unlogged_seconds']:.4f} s unlogged)"
     )
     if out is not None:

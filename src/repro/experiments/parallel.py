@@ -141,9 +141,11 @@ def workload_fingerprint(spec: WorkloadSpec) -> str:
         feed(volume, index)
     for phase in workload.phases:
         feed(*phase)
-    for record in workload.records:
-        feed(record.timestamp, record.item_id, record.offset, record.size,
-             record.io_type.value, record.sequential)
+    # Fed via the columnar representation: identical field tuples (and
+    # therefore identical digests — CACHE_FORMAT is unchanged) without
+    # per-record attribute access over the whole trace.
+    for fields in workload.columnar().iter_field_tuples():
+        feed(*fields)
     return digest.hexdigest()
 
 

@@ -19,7 +19,84 @@ from dataclasses import dataclass
 
 from repro.errors import UsageError
 from repro.monitoring.repository import TraceRepository
-from repro.trace.records import LogicalIORecord
+from repro.trace.records import IOType, LogicalIORecord
+
+
+class WindowColumns:
+    """One monitoring window's logical I/Os as parallel columns.
+
+    The Application Monitor buffers the current window here instead of
+    as a list of record objects: the classification pass
+    (:func:`repro.core.patterns.build_profiles`) consumes plain columns,
+    so neither pump mode has to materialize
+    :class:`~repro.trace.records.LogicalIORecord` objects per window.
+    """
+
+    __slots__ = (
+        "timestamps",
+        "item_ids",
+        "offsets",
+        "sizes",
+        "reads",
+        "sequentials",
+    )
+
+    def __init__(self) -> None:
+        self.timestamps: list[float] = []
+        self.item_ids: list[str] = []
+        self.offsets: list[int] = []
+        self.sizes: list[int] = []
+        self.reads: list[bool] = []
+        self.sequentials: list[bool] = []
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def append(
+        self,
+        timestamp: float,
+        item_id: str,
+        offset: int,
+        size: int,
+        is_read: bool,
+        sequential: bool,
+    ) -> None:
+        """Append one I/O's fields."""
+        self.timestamps.append(timestamp)
+        self.item_ids.append(item_id)
+        self.offsets.append(offset)
+        self.sizes.append(size)
+        self.reads.append(is_read)
+        self.sequentials.append(sequential)
+
+    def clear(self) -> None:
+        """Drop all buffered I/Os."""
+        self.timestamps.clear()
+        self.item_ids.clear()
+        self.offsets.clear()
+        self.sizes.clear()
+        self.reads.clear()
+        self.sequentials.clear()
+
+    def profile_arrays(self) -> tuple[list[float], list[str], list[int], list[bool]]:
+        """The ``(timestamps, item ids, sizes, reads)`` columns that the
+        access-pattern classifier consumes (same shape as
+        :meth:`repro.trace.columnar.ColumnarTrace.profile_arrays`)."""
+        return self.timestamps, self.item_ids, self.sizes, self.reads
+
+    def to_records(self) -> list[LogicalIORecord]:
+        """Materialize the buffered window as record objects."""
+        return [
+            LogicalIORecord(
+                timestamp=self.timestamps[i],
+                item_id=self.item_ids[i],
+                offset=self.offsets[i],
+                size=self.sizes[i],
+                io_type=IOType.READ if self.reads[i] else IOType.WRITE,
+                sequential=self.sequentials[i],
+            )
+            for i in range(len(self.timestamps))
+        ]
 
 
 @dataclass(frozen=True)
@@ -58,8 +135,9 @@ class ApplicationMonitor:
         keep_full_trace: bool = False,
         repository: TraceRepository[LogicalIORecord] | None = None,
     ) -> None:
-        #: Records of the *current* monitoring window, in arrival order.
-        self._window_records: list[LogicalIORecord] = []
+        #: I/Os of the *current* monitoring window, in arrival order,
+        #: buffered as parallel columns (no record objects).
+        self._window = WindowColumns()
         self._window_start = 0.0
         #: Logical mapping information: item → volume name.
         self._item_volume: dict[str, str] = {}
@@ -102,22 +180,91 @@ class ApplicationMonitor:
     # ------------------------------------------------------------------
     def record(self, record: LogicalIORecord, response_time: float) -> None:
         """Capture one application I/O and its measured response."""
-        self._window_records.append(record)
         if self._keep_full_trace:
             self._full_trace.append(record)
         if self.repository is not None:
             self.repository.append(record)
+        self._capture(
+            record.timestamp,
+            record.item_id,
+            record.offset,
+            record.size,
+            record.io_type is IOType.READ,
+            record.sequential,
+            response_time,
+        )
+
+    def record_fast(
+        self,
+        timestamp: float,
+        item_id: str,
+        offset: int,
+        size: int,
+        is_read: bool,
+        sequential: bool,
+        response_time: float,
+    ) -> None:
+        """Capture one application I/O given as plain fields.
+
+        The batched replay pump's entry point: identical statistics to
+        :meth:`record` without constructing a record object.  When full
+        tracing or a repository needs real records, the call falls back
+        to :meth:`record` with a materialized one.
+        """
+        if self._keep_full_trace or self.repository is not None:
+            self.record(
+                LogicalIORecord(
+                    timestamp=timestamp,
+                    item_id=item_id,
+                    offset=offset,
+                    size=size,
+                    io_type=IOType.READ if is_read else IOType.WRITE,
+                    sequential=sequential,
+                ),
+                response_time,
+            )
+            return
+        # _capture and the window append, unrolled: one call per logical
+        # I/O on the batched hot path, so the two extra frames are
+        # measurable.  Keep in lockstep with :meth:`_capture` and
+        # :meth:`WindowColumns.append`.
+        window = self._window
+        window.timestamps.append(timestamp)
+        window.item_ids.append(item_id)
+        window.offsets.append(offset)
+        window.sizes.append(size)
+        window.reads.append(is_read)
+        window.sequentials.append(sequential)
         self.io_count += 1
         self.response_sum += response_time
-        self.response_samples.append(
-            (record.timestamp, response_time, record.is_read)
-        )
+        self.response_samples.append((timestamp, response_time, is_read))
         if response_time > self.max_response:
             self.max_response = response_time
-        if record.is_read:
+        if is_read:
             self.read_count += 1
             self.read_response_sum += response_time
-        self.ios_per_item[record.item_id] += 1
+        self.ios_per_item[item_id] += 1
+
+    def _capture(
+        self,
+        timestamp: float,
+        item_id: str,
+        offset: int,
+        size: int,
+        is_read: bool,
+        sequential: bool,
+        response_time: float,
+    ) -> None:
+        self._window.append(timestamp, item_id, offset, size, is_read, sequential)
+        self.io_count += 1
+        self.response_sum += response_time
+        self.response_samples.append((timestamp, response_time, is_read))
+        if response_time > self.max_response:
+            self.max_response = response_time
+        if is_read:
+            self.read_count += 1
+            self.read_response_sum += response_time
+        self.ios_per_item[item_id] += 1
 
     @property
     def window_start(self) -> float:
@@ -125,12 +272,20 @@ class ApplicationMonitor:
         return self._window_start
 
     def window_records(self) -> list[LogicalIORecord]:
-        """Records captured since the window began (arrival order)."""
-        return list(self._window_records)
+        """Records captured since the window began (arrival order).
+
+        Materializes record objects from the columnar buffer; the
+        classification hot path uses :meth:`window_columns` instead.
+        """
+        return self._window.to_records()
+
+    def window_columns(self) -> WindowColumns:
+        """The current window's I/Os as parallel columns (no copy)."""
+        return self._window
 
     def begin_window(self, now: float) -> None:
         """Start a new monitoring window, discarding the old buffer."""
-        self._window_records.clear()
+        self._window.clear()
         self._window_start = now
 
     def full_trace(self) -> list[LogicalIORecord]:

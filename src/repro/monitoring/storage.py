@@ -17,7 +17,12 @@ from dataclasses import dataclass
 
 from repro.monitoring.repository import TraceRepository
 from repro.storage.enclosure import DiskEnclosure
-from repro.trace.records import PhysicalIORecord, PowerSample, PowerStatusRecord
+from repro.trace.records import (
+    IOType,
+    PhysicalIORecord,
+    PowerSample,
+    PowerStatusRecord,
+)
 
 
 @dataclass(frozen=True)
@@ -68,19 +73,66 @@ class StorageMonitor:
         """Physical-tap callback from the storage controller."""
         if self.repository is not None:
             self.repository.append(record)
-        name = record.enclosure
-        self.physical_io_count += record.count
-        self._window_counts[name] += record.count
-        if record.is_read:
-            self._window_reads[name] += record.count
+        self._note_physical(
+            record.timestamp, record.enclosure, record.count, record.is_read
+        )
+
+    def on_physical_fast(
+        self,
+        timestamp: float,
+        enclosure: str,
+        block: int,
+        count: int,
+        io_type: IOType,
+        item_id: str | None,
+    ) -> None:
+        """Scalar physical-tap callback for the batched hot path.
+
+        Same statistics as :meth:`on_physical`; a
+        :class:`~repro.trace.records.PhysicalIORecord` is materialized
+        only when a repository actually stores the trace.
+        """
+        if self.repository is not None:
+            self.repository.append(
+                PhysicalIORecord(
+                    timestamp=timestamp,
+                    enclosure=enclosure,
+                    block_address=block,
+                    count=count,
+                    io_type=io_type,
+                    item_id=item_id,
+                )
+            )
+        # _note_physical, unrolled: this callback fires once per physical
+        # I/O on the batched hot path, so the extra frame is measurable.
+        self.physical_io_count += count
+        self._window_counts[enclosure] += count
+        if io_type is IOType.READ:
+            self._window_reads[enclosure] += count
+        prev = self._last_io.get(enclosure)
+        if prev is not None:
+            gap = timestamp - prev
+            if gap >= self.MIN_RETAINED_GAP:
+                self._gaps[enclosure].append(gap)
+            elif gap > 0:
+                self._short_gap_total[enclosure] += gap
+        self._last_io[enclosure] = timestamp
+
+    def _note_physical(
+        self, timestamp: float, name: str, count: int, is_read: bool
+    ) -> None:
+        self.physical_io_count += count
+        self._window_counts[name] += count
+        if is_read:
+            self._window_reads[name] += count
         prev = self._last_io.get(name)
         if prev is not None:
-            gap = record.timestamp - prev
+            gap = timestamp - prev
             if gap >= self.MIN_RETAINED_GAP:
                 self._gaps[name].append(gap)
             elif gap > 0:
                 self._short_gap_total[name] += gap
-        self._last_io[name] = record.timestamp
+        self._last_io[name] = timestamp
 
     def begin_window(self, now: float) -> None:
         """Reset per-window counters and mark the window start."""

@@ -306,8 +306,10 @@ class StorageCache:
         newest data lives in cache); otherwise the LRU decides (and
         absorbs the page on a miss).
         """
-        if self.preload.is_pinned(item_id):
+        # The partition checks are inlined (same module): this façade is
+        # called once per page of every read the replay pump serves.
+        if item_id in self.preload._items:
             return True
-        if self.write_delay.is_dirty(item_id, page):
+        if page in self.write_delay._dirty.get(item_id, ()):
             return True
         return self.lru.access(item_id, page)

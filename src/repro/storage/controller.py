@@ -54,6 +54,12 @@ MIGRATION_CHUNK_BYTES = 64 * units.MB
 
 PhysicalTap = Callable[[PhysicalIORecord], None]
 
+#: Scalar variant of the physical tap used on the batched hot path:
+#: ``(timestamp, enclosure name, block, count, io_type, item_id)``.  A
+#: subscriber that installs one receives plain fields and decides for
+#: itself whether a :class:`PhysicalIORecord` needs to exist.
+PhysicalTapFast = Callable[[float, str, int, int, IOType, "str | None"], None]
+
 
 class StorageController:
     """The storage unit's controller: cache + routing + power primitives."""
@@ -82,6 +88,7 @@ class StorageController:
         self.migration_throughput_bps = migration_throughput_bps
         self.bulk_bandwidth_bps = bulk_bandwidth_bps
         self._physical_tap = physical_tap
+        self._physical_tap_fast: PhysicalTapFast | None = None
         self.retry_backoff_base = retry_backoff_base
         self.retry_backoff_cap = retry_backoff_cap
 
@@ -122,8 +129,24 @@ class StorageController:
     # plumbing
     # ------------------------------------------------------------------
     def set_physical_tap(self, tap: PhysicalTap | None) -> None:
-        """Attach the storage monitor's physical-trace listener."""
+        """Attach the storage monitor's physical-trace listener.
+
+        Installing a record-level tap clears any scalar fast tap so a
+        custom listener observes every physical I/O as a record, exactly
+        as before the batched path existed.
+        """
         self._physical_tap = tap
+        self._physical_tap_fast = None
+
+    def set_physical_tap_fast(self, tap: PhysicalTapFast | None) -> None:
+        """Attach a scalar physical-I/O listener for the batched path.
+
+        Takes precedence over the record tap: when set, physical I/O is
+        reported as plain fields and no :class:`PhysicalIORecord` is
+        constructed here — the subscriber materializes one only if it
+        actually stores full traces.
+        """
+        self._physical_tap_fast = tap
 
     def set_fault_clock(self, clock: "FaultClock") -> None:
         """Attach the simulation's fault oracle (:mod:`repro.faults`)."""
@@ -264,6 +287,11 @@ class StorageController:
         io_type: IOType,
         item_id: str | None,
     ) -> None:
+        if self._physical_tap_fast is not None:
+            self._physical_tap_fast(
+                timestamp, enclosure, block, count, io_type, item_id
+            )
+            return
         if self._physical_tap is None:
             return
         self._physical_tap(
@@ -336,7 +364,113 @@ class StorageController:
         the dirty-block rate is reached — while all other writes go to the
         enclosure.  The battery-backed cache makes absorbed writes durable,
         so their response is the cache latency (paper §II-E.2).
+
+        Fault-free runs take :meth:`submit_fast` (same decisions, scalar
+        arguments); fault injection keeps the record-level slow path.
         """
+        if self._fault_clock is None:
+            return self.submit_fast(
+                record.timestamp,
+                record.item_id,
+                record.offset,
+                record.size,
+                record.io_type is IOType.READ,
+                record.sequential,
+            )
+        return self._submit_slow(record)
+
+    def submit_fast(
+        self,
+        timestamp: float,
+        item_id: str,
+        offset: int,
+        size: int,
+        is_read: bool,
+        sequential: bool,
+    ) -> Seconds:
+        """Serve one application I/O given as plain fields.
+
+        The batched replay pump's entry point: no
+        :class:`~repro.trace.records.LogicalIORecord` is required.  The
+        decisions and arithmetic mirror :meth:`submit` operation for
+        operation (the golden bit-identity test holds both to the same
+        timeline); with a fault clock attached the call materializes a
+        record and defers to the slow path.
+        """
+        if self._fault_clock is not None:
+            return self._submit_slow(
+                LogicalIORecord(
+                    timestamp=timestamp,
+                    item_id=item_id,
+                    offset=offset,
+                    size=size,
+                    io_type=IOType.READ if is_read else IOType.WRITE,
+                    sequential=sequential,
+                )
+            )
+        self.logical_io_count += 1
+        virtualization = self.virtualization
+        if not virtualization.has_item(item_id):
+            raise MappingError(f"I/O to unplaced data item {item_id!r}")
+        cache = self.cache
+        first_page = offset // cache_mod.PAGE_BYTES
+        last_page = (offset + size - 1) // cache_mod.PAGE_BYTES
+
+        if is_read:
+            # Evaluate every page (no short-circuit) so each one enters
+            # the LRU; the I/O is a hit only if all of them already were.
+            all_hit = True
+            for page in range(first_page, last_page + 1):
+                if not cache.read_hit(item_id, page):
+                    all_hit = False
+            if all_hit:
+                self.cache_hit_count += 1
+                return CACHE_HIT_LATENCY
+            io_type = IOType.READ
+        else:
+            if cache.write_delay.is_selected(item_id):
+                self.cache_hit_count += 1
+                needs_flush = False
+                for page in range(first_page, last_page + 1):
+                    if cache.write_delay.absorb_write(item_id, page):
+                        needs_flush = True
+                if needs_flush:
+                    self.flush_write_delay(timestamp)
+                return CACHE_HIT_LATENCY
+            io_type = IOType.WRITE
+
+        # Fault-free single physical I/O via the cached route, with the
+        # tap dispatch of :meth:`_emit_physical` unrolled — this is the
+        # hottest call chain of the whole replay, so every frame counts.
+        enclosure, name, base_block, item_size = virtualization.route(item_id)
+        if offset < 0 or offset >= item_size:
+            raise MappingError(
+                f"offset {offset} outside item {item_id!r} of size {item_size}"
+            )
+        response = enclosure.submit_one(timestamp, is_read, sequential)
+        tap_fast = self._physical_tap_fast
+        if tap_fast is not None:
+            tap_fast(
+                timestamp,
+                name,
+                base_block + offset // units.BLOCK_SIZE,
+                1,
+                io_type,
+                item_id,
+            )
+        elif self._physical_tap is not None:
+            self._emit_physical(
+                timestamp,
+                name,
+                base_block + offset // units.BLOCK_SIZE,
+                1,
+                io_type,
+                item_id,
+            )
+        return response
+
+    def _submit_slow(self, record: LogicalIORecord) -> Seconds:
+        """Record-level I/O path; the only one fault injection takes."""
         self.logical_io_count += 1
         self.on_time(record.timestamp)
         item_id = record.item_id

@@ -30,7 +30,7 @@ from repro.errors import (
     SpinUpFailedError,
     ValidationError,
 )
-from repro.storage.power import PowerModel, PowerState, can_transition
+from repro.storage.power import LEGAL_TRANSITIONS, PowerModel, PowerState
 from repro.units import Bytes, Joules, Seconds, Watts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -122,6 +122,13 @@ class DiskEnclosure:
 
         self._hold_awake_until: Seconds = 0.0
         self._external_energy: Joules = 0.0
+        #: Per-state wattage, precomputed once: :meth:`_accrue` runs
+        #: several times per served I/O and must not rebuild the power
+        #: model's lookup table each time (the model is frozen, so the
+        #: snapshot can never go stale).
+        self._watts_by_state: dict[PowerState, Watts] = {
+            state: self.power_model.watts(state) for state in PowerState
+        }
         self._energy_by_state: dict[PowerState, Joules] = {
             state: 0.0 for state in PowerState
         }
@@ -236,7 +243,9 @@ class DiskEnclosure:
         does not contain — that would be a simulator bug and raises
         :class:`~repro.errors.AuditError` instead of silently clamping.
         """
-        if not can_transition(self._state, target):
+        # can_transition(), inlined: transitions fire about twice per
+        # served I/O and the audit must stay on even in the hot path.
+        if (self._state, target) not in LEGAL_TRANSITIONS:
             raise AuditError(
                 f"{self.name}: illegal power-state transition "
                 f"{self._state.value} -> {target.value} at t={at:.3f}s"
@@ -250,7 +259,7 @@ class DiskEnclosure:
                 f"negative accrual of {duration} s in state {state} "
                 f"on {self.name}"
             )
-        self._energy_by_state[state] += self.power_model.watts(state) * duration
+        self._energy_by_state[state] += self._watts_by_state[state] * duration
         self._time_by_state[state] += duration
 
     def settle(self, now: Seconds) -> None:
@@ -260,32 +269,55 @@ class DiskEnclosure:
         queue drains, and IDLE→SPIN_DOWN→OFF when power-off is enabled and
         the idle timeout elapses.
         """
-        if now < self._clock:
+        if now <= self._clock:
             return
+        # The ACTIVE and IDLE branches inline :meth:`_accrue` (including
+        # its negative-duration audit): they run a couple of times per
+        # served I/O, and the dict/attribute traffic through hoisted
+        # locals is what keeps the batched pump's frame count down.
+        energy = self._energy_by_state
+        time_in = self._time_by_state
+        watts = self._watts_by_state
+        active = PowerState.ACTIVE
+        idle = PowerState.IDLE
         while self._clock < now:
-            if self._state is PowerState.ACTIVE:
-                end = min(now, self._busy_until)
-                self._accrue(PowerState.ACTIVE, end - self._clock)
+            if self._state is active:
+                busy_until = self._busy_until
+                end = busy_until if busy_until < now else now
+                duration = end - self._clock
+                if duration < 0:
+                    raise PowerStateError(
+                        f"negative accrual of {duration} s in state "
+                        f"{active} on {self.name}"
+                    )
+                energy[active] += watts[active] * duration
+                time_in[active] += duration
                 self._clock = end
-                if self._clock >= self._busy_until:
-                    self._transition(PowerState.IDLE, self._clock)
-                    self._idle_since = self._clock
-            elif self._state is PowerState.IDLE:
+                if end >= busy_until:
+                    self._transition(idle, end)
+                    self._idle_since = end
+            elif self._state is idle:
+                end = now
+                spins_down = False
                 if self._power_off_enabled:
                     spin_at = max(
                         self._idle_since + self.spin_down_timeout,
                         self._hold_awake_until,
                     )
                     if spin_at <= now:
-                        self._accrue(PowerState.IDLE, spin_at - self._clock)
-                        self._clock = spin_at
-                        self._begin_spin_down()
-                    else:
-                        self._accrue(PowerState.IDLE, now - self._clock)
-                        self._clock = now
-                else:
-                    self._accrue(PowerState.IDLE, now - self._clock)
-                    self._clock = now
+                        end = spin_at
+                        spins_down = True
+                duration = end - self._clock
+                if duration < 0:
+                    raise PowerStateError(
+                        f"negative accrual of {duration} s in state "
+                        f"{idle} on {self.name}"
+                    )
+                energy[idle] += watts[idle] * duration
+                time_in[idle] += duration
+                self._clock = end
+                if spins_down:
+                    self._begin_spin_down()
             elif self._state is PowerState.SPIN_DOWN:
                 end = min(now, self._transition_end)
                 self._accrue(PowerState.SPIN_DOWN, end - self._clock)
@@ -404,6 +436,57 @@ class DiskEnclosure:
             self.write_count += count
         self.last_io_time = now
         return IOResult(arrival=now, start=start, completion=completion, count=count)
+
+    def submit_one(
+        self,
+        now: Seconds,
+        read: bool,
+        sequential: bool,
+    ) -> Seconds:
+        """Serve a single I/O; returns its mean response time in seconds.
+
+        The allocation-free specialization of :meth:`submit` for
+        ``count=1`` that the batched replay pump drives: no
+        :class:`IOResult` is built, and the no-fault run skips the
+        outage/spin-up-failure machinery entirely.  Kept
+        operation-for-operation float-identical to
+        ``submit(now, count=1, ...).mean_response_time`` — the golden
+        bit-identity test holds both paths to the same timeline.
+        """
+        if self._fault_clock is not None:
+            return self.submit(
+                now, count=1, read=read, sequential=sequential
+            ).mean_response_time
+        self.settle(now)
+        state = self._state
+        if state is not PowerState.ACTIVE and state is not PowerState.IDLE:
+            self._ensure_on()
+        start = now
+        if self._clock > start:
+            start = self._clock
+        if self._busy_until > start:
+            start = self._busy_until
+        # settle(start) is a no-op unless the queue pushed the start past
+        # the settled clock (start >= clock by construction).
+        if start > self._clock:
+            self.settle(start)
+        # 1/rate == service_time(1, sequential) exactly (1 converts to
+        # 1.0 with no rounding).
+        service = 1.0 / (self.iops_sequential if sequential else self.iops_random)
+        completion = start + service
+        if self._state is not PowerState.ACTIVE:
+            self._transition(PowerState.ACTIVE, start)
+        if completion > self._busy_until:
+            self._busy_until = completion
+        self.io_count += 1
+        if read:
+            self.read_count += 1
+        else:
+            self.write_count += 1
+        self.last_io_time = now
+        # mean response for count=1: wait + service*(1+1)/(2*1) == wait
+        # + service, since service*2/2 is exact in floating point.
+        return (start - now) + service
 
     def background_transfer(
         self,

@@ -32,6 +32,13 @@ class PowerState(enum.Enum):
     OFF = "off"
     SPIN_UP = "spin_up"
 
+    # Members are singletons (equality is identity), so identity hashing
+    # is equivalent to Enum's name-based hash — minus a Python-level
+    # call on every dict/set lookup.  The enclosure energy timeline
+    # indexes per-state tables several times per served I/O, which makes
+    # this the hottest hash in the whole replay loop.
+    __hash__ = object.__hash__
+
     @property
     def is_on(self) -> bool:
         """Whether the disks are spinning and able to serve I/O soon."""

@@ -63,6 +63,11 @@ class BlockVirtualization:
         self._item_base: dict[str, int] = {}
         self._used_bytes: dict[str, int] = {name: 0 for name in names}
         self._next_block: dict[str, int] = {name: 0 for name in names}
+        # Hot-path routing cache: item id → (enclosure, name, base block,
+        # size bytes).  One dict probe replaces the three-map chain of
+        # :meth:`resolve` on every served I/O; entries are dropped the
+        # moment the mapping they summarize changes.
+        self._route_cache: dict[str, tuple[DiskEnclosure, str, int, int]] = {}
 
     # ------------------------------------------------------------------
     # enclosures and volumes
@@ -131,6 +136,7 @@ class BlockVirtualization:
         self._item_volume[item_id] = volume
         self._item_size[item_id] = size_bytes
         self._item_base[item_id] = self._next_block[enc.name]
+        self._route_cache.pop(item_id, None)
         blocks = units.bytes_to_blocks(size_bytes)
         self._next_block[enc.name] += blocks
         self._used_bytes[enc.name] += size_bytes
@@ -143,6 +149,7 @@ class BlockVirtualization:
         enclosure = self._volumes[volume].enclosure
         self._used_bytes[enclosure] -= self._item_size.pop(item_id)
         self._item_base.pop(item_id)
+        self._route_cache.pop(item_id, None)
 
     def has_item(self, item_id: str) -> bool:
         """Whether the item is mapped to a volume."""
@@ -178,6 +185,27 @@ class BlockVirtualization:
             base_block=self._item_base[item_id],
             blocks=units.bytes_to_blocks(self._item_size[item_id]),
         )
+
+    def route(self, item_id: str) -> tuple[DiskEnclosure, str, int, int]:
+        """Resolve an item to ``(enclosure, name, base block, size bytes)``.
+
+        The hot-path companion of :meth:`resolve`/:meth:`enclosure_of`:
+        the batched replay pump calls this once per I/O, so the answer is
+        cached until :meth:`add_item`/:meth:`remove_item`/:meth:`move_item`
+        changes the mapping.  Raises :class:`MappingError` for unplaced
+        items, exactly as the uncached accessors do.
+        """
+        route = self._route_cache.get(item_id)
+        if route is None:
+            enclosure = self.enclosure_of(item_id)
+            route = (
+                enclosure,
+                enclosure.name,
+                self._item_base[item_id],
+                self._item_size[item_id],
+            )
+            self._route_cache[item_id] = route
+        return route
 
     def resolve(self, item_id: str, offset: int) -> tuple[str, int]:
         """Map (item, byte offset) → (enclosure name, block address)."""
@@ -246,4 +274,5 @@ class BlockVirtualization:
         self._item_volume[item_id] = volume_name
         self._item_base[item_id] = self._next_block[target_enclosure]
         self._next_block[target_enclosure] += units.bytes_to_blocks(size)
+        self._route_cache.pop(item_id, None)
         return src, target_enclosure

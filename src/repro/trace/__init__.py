@@ -1,5 +1,6 @@
 """Trace subsystem: record types, readers/writers, replay, statistics."""
 
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.reader import (
     iter_logical_trace,
     iter_physical_trace,
@@ -18,6 +19,7 @@ from repro.trace.stats import TraceSummary, interarrival_gaps, summarize
 from repro.trace.writer import write_logical_trace, write_physical_trace
 
 __all__ = [
+    "ColumnarTrace",
     "IOType",
     "LogicalIORecord",
     "PhysicalIORecord",

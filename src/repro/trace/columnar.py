@@ -1,0 +1,401 @@
+"""Columnar logical-trace representation and the ``.ecot`` file format.
+
+The per-record-object hot path caps replay throughput: every
+:class:`~repro.trace.records.LogicalIORecord` is a frozen dataclass
+whose construction, validation, and attribute access all cost Python
+bytecode per I/O.  :class:`ColumnarTrace` stores the same trace as
+parallel primitive columns —
+
+* ``timestamps`` — float64 (``array('d')``),
+* ``item_index`` — uint32 index into the interned :attr:`items` table,
+* ``offsets`` / ``sizes`` — int64 (``array('q')``),
+* ``flags`` — one byte per record (:data:`FLAG_READ` | :data:`FLAG_SEQUENTIAL`)
+
+— built once from any record iterable.  The simulation kernel's batch
+pump (:meth:`repro.engine.kernel.SimulationKernel.replay`) consumes the
+columns directly, and everything that still wants record objects can
+iterate the trace (iteration materializes records lazily), so a
+``ColumnarTrace`` is a drop-in ``Sequence[LogicalIORecord]``.
+
+``.ecot`` ("EcoStor trace") is the trace's versioned binary form: a
+fixed little-endian header, the interned item table, then the raw
+column payloads, 8-byte aligned so :meth:`ColumnarTrace.load` can map
+the file with :mod:`mmap` and cast zero-copy memoryviews over the
+columns.  ``ecostor trace pack`` converts CSV/MSR traces into it; see
+``docs/trace-format.md`` for the byte-level layout.
+"""
+
+from __future__ import annotations
+
+import mmap as mmap_mod
+import struct
+from array import array
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, Sequence, overload
+
+from repro.errors import TraceError, ValidationError
+from repro.trace.records import IOType, LogicalIORecord
+
+__all__ = [
+    "ECOT_MAGIC",
+    "ECOT_VERSION",
+    "FLAG_READ",
+    "FLAG_SEQUENTIAL",
+    "ColumnarTrace",
+]
+
+#: File magic of the ``.ecot`` format (first four bytes).
+ECOT_MAGIC = b"ECOT"
+
+#: Current ``.ecot`` format version, written into every header and
+#: checked on load — unknown versions are refused, never guessed at.
+ECOT_VERSION = 1
+
+#: Flag bit: the record is a read (else a write).
+FLAG_READ = 0x01
+
+#: Flag bit: the application marked the access sequential.
+FLAG_SEQUENTIAL = 0x02
+
+#: Fixed header: magic, version, record count, item count, header+item
+#: table span in bytes (= offset of the first column, 8-byte aligned).
+_HEADER = struct.Struct("<4sIQIQ")
+
+#: Length prefix of one interned item id (UTF-8 byte length).
+_ITEM_LEN = struct.Struct("<H")
+
+#: Alignment of the column payloads, so memoryview casts over an
+#: mmap-ed file start on natural boundaries.
+_COLUMN_ALIGN = 8
+
+_TS_CODE = "d"
+_INDEX_CODE = "I"
+_BYTES_CODE = "q"
+
+
+def _pad(offset: int) -> int:
+    """Bytes of padding needed to align ``offset`` to a column boundary."""
+    return (-offset) % _COLUMN_ALIGN
+
+
+class ColumnarTrace(Sequence[LogicalIORecord]):
+    """A logical I/O trace as parallel primitive columns.
+
+    Immutable by convention: the columns are built once (by
+    :meth:`from_records` or :meth:`load`) and only read afterwards.
+    Indexing and iteration materialize :class:`LogicalIORecord` objects
+    on demand, so the trace is usable anywhere a record sequence is —
+    but the batch replay pump reads the columns directly and never
+    materializes at all.
+    """
+
+    __slots__ = (
+        "items",
+        "timestamps",
+        "item_index",
+        "offsets",
+        "sizes",
+        "flags",
+    )
+
+    def __init__(
+        self,
+        items: tuple[str, ...],
+        timestamps: "array[float] | memoryview",
+        item_index: "array[int] | memoryview",
+        offsets: "array[int] | memoryview",
+        sizes: "array[int] | memoryview",
+        flags: "bytes | memoryview",
+    ) -> None:
+        n = len(timestamps)
+        if not (len(item_index) == len(offsets) == len(sizes) == len(flags) == n):
+            raise ValidationError(
+                "columnar trace requires equal-length columns, got "
+                f"ts={len(timestamps)}, item={len(item_index)}, "
+                f"offset={len(offsets)}, size={len(sizes)}, flags={len(flags)}"
+            )
+        self.items = items
+        self.timestamps = timestamps
+        self.item_index = item_index
+        self.offsets = offsets
+        self.sizes = sizes
+        self.flags = flags
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[LogicalIORecord]) -> "ColumnarTrace":
+        """Build the columns from any record iterable (one pass).
+
+        Item ids are interned in first-appearance order; the record
+        order is preserved exactly (the trace need not be time-ordered —
+        the replayer validates ordering itself, and readers may want to
+        pack raw unsorted captures).
+        """
+        timestamps = array(_TS_CODE)
+        item_index = array(_INDEX_CODE)
+        offsets = array(_BYTES_CODE)
+        sizes = array(_BYTES_CODE)
+        flags = bytearray()
+        intern: dict[str, int] = {}
+        for record in records:
+            index = intern.setdefault(record.item_id, len(intern))
+            timestamps.append(record.timestamp)
+            item_index.append(index)
+            offsets.append(record.offset)
+            sizes.append(record.size)
+            flag = FLAG_READ if record.io_type is IOType.READ else 0
+            if record.sequential:
+                flag |= FLAG_SEQUENTIAL
+            flags.append(flag)
+        return cls(
+            items=tuple(intern),
+            timestamps=timestamps,
+            item_index=item_index,
+            offsets=offsets,
+            sizes=sizes,
+            flags=bytes(flags),
+        )
+
+    def to_records(self) -> list[LogicalIORecord]:
+        """Materialize the whole trace as record objects (same order)."""
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def _materialize(self, i: int) -> LogicalIORecord:
+        flag = self.flags[i]
+        return LogicalIORecord(
+            timestamp=self.timestamps[i],
+            item_id=self.items[self.item_index[i]],
+            offset=self.offsets[i],
+            size=self.sizes[i],
+            io_type=IOType.READ if flag & FLAG_READ else IOType.WRITE,
+            sequential=bool(flag & FLAG_SEQUENTIAL),
+        )
+
+    @overload
+    def __getitem__(self, index: int) -> LogicalIORecord: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "ColumnarTrace": ...
+
+    def __getitem__(
+        self, index: "int | slice"
+    ) -> "LogicalIORecord | ColumnarTrace":
+        if isinstance(index, slice):
+            return ColumnarTrace(
+                items=self.items,
+                timestamps=self.timestamps[index],
+                item_index=self.item_index[index],
+                offsets=self.offsets[index],
+                sizes=self.sizes[index],
+                flags=self.flags[index],
+            )
+        n = len(self.timestamps)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"record index {index} out of range ({n} records)")
+        return self._materialize(index)
+
+    def __iter__(self) -> Iterator[LogicalIORecord]:
+        for i in range(len(self.timestamps)):
+            yield self._materialize(i)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnarTrace):
+            return NotImplemented
+        return (
+            self.items == other.items
+            and list(self.timestamps) == list(other.timestamps)
+            and list(self.item_index) == list(other.item_index)
+            and list(self.offsets) == list(other.offsets)
+            and list(self.sizes) == list(other.sizes)
+            and bytes(self.flags) == bytes(other.flags)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity only
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarTrace({len(self)} records, {len(self.items)} items)"
+        )
+
+    # ------------------------------------------------------------------
+    # analysis adapters
+    # ------------------------------------------------------------------
+    def profile_arrays(
+        self,
+    ) -> tuple[Sequence[float], Sequence[str], Sequence[int], Sequence[bool]]:
+        """Columns the pattern classifier consumes: (ts, item, size, is_read).
+
+        The item column is materialized as strings (one lookup per
+        record); :func:`repro.core.patterns.build_profiles` detects this
+        method and takes its columnar branch.
+        """
+        items = self.items
+        item_ids = [items[i] for i in self.item_index]
+        reads = [bool(flag & FLAG_READ) for flag in self.flags]
+        return self.timestamps, item_ids, self.sizes, reads
+
+    def iter_field_tuples(
+        self,
+    ) -> Iterator[tuple[float, str, int, int, str, bool]]:
+        """Yield ``(ts, item_id, offset, size, io_value, sequential)``.
+
+        Exactly the field values :func:`repro.experiments.parallel.workload_fingerprint`
+        feeds per record, so fingerprints computed from the columns are
+        byte-identical to fingerprints computed from record objects.
+        """
+        items = self.items
+        read_value = IOType.READ.value
+        write_value = IOType.WRITE.value
+        for i in range(len(self.timestamps)):
+            flag = self.flags[i]
+            yield (
+                self.timestamps[i],
+                items[self.item_index[i]],
+                self.offsets[i],
+                self.sizes[i],
+                read_value if flag & FLAG_READ else write_value,
+                bool(flag & FLAG_SEQUENTIAL),
+            )
+
+    # ------------------------------------------------------------------
+    # .ecot file format
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> int:
+        """Write the trace as a version-``1`` ``.ecot`` file.
+
+        Returns the number of records written.  The write is atomic at
+        the filesystem level only insofar as it truncates-then-writes;
+        callers wanting atomicity should write to a temp file and rename.
+        """
+        item_table = bytearray()
+        for item_id in self.items:
+            encoded = item_id.encode("utf-8")
+            if len(encoded) > 0xFFFF:
+                raise TraceError(
+                    f"item id too long for .ecot ({len(encoded)} bytes): "
+                    f"{item_id[:40]!r}..."
+                )
+            item_table += _ITEM_LEN.pack(len(encoded))
+            item_table += encoded
+        span = _HEADER.size + len(item_table)
+        span += _pad(span)
+        header = _HEADER.pack(
+            ECOT_MAGIC, ECOT_VERSION, len(self), len(self.items), span
+        )
+        with open(path, "wb") as handle:
+            handle.write(header)
+            handle.write(item_table)
+            handle.write(b"\x00" * _pad(_HEADER.size + len(item_table)))
+            for column in (self.timestamps, self.item_index, self.offsets, self.sizes):
+                data = (
+                    column.tobytes()
+                    if isinstance(column, (array, memoryview))
+                    else bytes(column)
+                )
+                handle.write(data)
+            handle.write(bytes(self.flags))
+        return len(self)
+
+    @classmethod
+    def load(cls, path: "str | Path", use_mmap: bool = True) -> "ColumnarTrace":
+        """Read an ``.ecot`` file back into a columnar trace.
+
+        With ``use_mmap`` (the default) the column payloads are
+        zero-copy memoryview casts over a private memory map of the
+        file; pass ``use_mmap=False`` to copy them into ``array``
+        objects instead (e.g. when the file will be replaced in place).
+        """
+        with open(path, "rb") as handle:
+            head = handle.read(_HEADER.size)
+            if len(head) < _HEADER.size:
+                raise TraceError(f"{path}: truncated .ecot header")
+            magic, version, record_count, item_count, span = _HEADER.unpack(head)
+            if magic != ECOT_MAGIC:
+                raise TraceError(
+                    f"{path}: not an .ecot file (magic {magic!r})"
+                )
+            if version != ECOT_VERSION:
+                raise TraceError(
+                    f"{path}: unsupported .ecot version {version} "
+                    f"(this build reads version {ECOT_VERSION})"
+                )
+            items = cls._read_item_table(handle, item_count, path)
+            if use_mmap:
+                buffer: "mmap_mod.mmap | bytes" = mmap_mod.mmap(
+                    handle.fileno(), 0, access=mmap_mod.ACCESS_READ
+                )
+            else:
+                handle.seek(0)
+                buffer = handle.read()
+        return cls._from_buffer(buffer, items, record_count, span, path)
+
+    @staticmethod
+    def _read_item_table(
+        handle: BinaryIO, item_count: int, path: "str | Path"
+    ) -> tuple[str, ...]:
+        items = []
+        read = handle.read
+        for _ in range(item_count):
+            raw_len = read(_ITEM_LEN.size)
+            if len(raw_len) < _ITEM_LEN.size:
+                raise TraceError(f"{path}: truncated .ecot item table")
+            (length,) = _ITEM_LEN.unpack(raw_len)
+            encoded = read(length)
+            if len(encoded) < length:
+                raise TraceError(f"{path}: truncated .ecot item table")
+            items.append(encoded.decode("utf-8"))
+        return tuple(items)
+
+    @classmethod
+    def _from_buffer(
+        cls,
+        buffer: "mmap_mod.mmap | bytes",
+        items: tuple[str, ...],
+        record_count: int,
+        span: int,
+        path: "str | Path",
+    ) -> "ColumnarTrace":
+        view = memoryview(buffer)
+        sizes_of = (
+            ("timestamps", _TS_CODE, 8),
+            ("item_index", _INDEX_CODE, 4),
+            ("offsets", _BYTES_CODE, 8),
+            ("sizes", _BYTES_CODE, 8),
+            ("flags", "B", 1),
+        )
+        expected = span + sum(record_count * width for _, _, width in sizes_of)
+        if len(view) < expected:
+            raise TraceError(
+                f"{path}: truncated .ecot columns "
+                f"({len(view)} bytes, need {expected})"
+            )
+        columns: dict[str, memoryview] = {}
+        offset = span
+        for name, code, width in sizes_of:
+            chunk = view[offset : offset + record_count * width]
+            columns[name] = chunk.cast(code)
+            offset += record_count * width
+        if record_count and max(columns["item_index"]) >= len(items):
+            raise TraceError(
+                f"{path}: item index {max(columns['item_index'])} outside "
+                f"the {len(items)}-entry item table"
+            )
+        return cls(
+            items=items,
+            timestamps=columns["timestamps"],
+            item_index=columns["item_index"],
+            offsets=columns["offsets"],
+            sizes=columns["sizes"],
+            flags=columns["flags"],
+        )

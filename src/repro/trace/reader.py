@@ -52,38 +52,47 @@ def read_msr_trace(
     """Parse an MSR-Cambridge format block trace into logical records.
 
     ``rebase_time`` shifts timestamps so the trace starts at 0, which is
-    what the replayer expects.
+    what the replayer expects.  The base is the **minimum** tick of the
+    whole trace, not the first row's: MSR captures are frequently
+    written in per-disk chunks rather than global time order, and
+    rebasing against the first row silently handed every earlier record
+    a negative timestamp (which the replayer then rejects — or worse,
+    mis-orders once sorted).  Row order is preserved; callers that need
+    time order sort afterwards, as :func:`repro.workloads.from_trace.workload_from_records`
+    does.
     """
-    records: list[LogicalIORecord] = []
-    first_ticks: int | None = None
+    parsed: list[tuple[int, str, str, IOType, int, int]] = []
     for line_no, row in _rows(source):
         if len(row) < 6:
             raise TraceError(
                 f"MSR trace line {line_no}: expected >= 6 fields, got {len(row)}"
             )
         try:
-            ticks = int(row[0])
-            hostname = row[1]
-            disknum = row[2]
-            io_type = IOType.parse(row[3])
-            offset = int(row[4])
-            size = int(row[5])
+            parsed.append(
+                (
+                    int(row[0]),
+                    row[1],
+                    row[2],
+                    IOType.parse(row[3]),
+                    int(row[4]),
+                    int(row[5]),
+                )
+            )
         except (ValueError, IndexError) as exc:
             raise TraceError(f"MSR trace line {line_no}: {exc}") from exc
-        if first_ticks is None:
-            first_ticks = ticks
-        base = first_ticks if rebase_time else 0
-        timestamp = (ticks - base) / _MSR_TICKS_PER_SECOND
-        records.append(
-            LogicalIORecord(
-                timestamp=timestamp,
-                item_id=f"{hostname}.{disknum}",
-                offset=offset,
-                size=max(size, 1),
-                io_type=io_type,
-            )
+    base = 0
+    if rebase_time and parsed:
+        base = min(ticks for ticks, *_ in parsed)
+    return [
+        LogicalIORecord(
+            timestamp=(ticks - base) / _MSR_TICKS_PER_SECOND,
+            item_id=f"{hostname}.{disknum}",
+            offset=offset,
+            size=max(size, 1),
+            io_type=io_type,
         )
-    return records
+        for ticks, hostname, disknum, io_type, offset, size in parsed
+    ]
 
 
 # ---------------------------------------------------------------------------

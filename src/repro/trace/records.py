@@ -43,13 +43,18 @@ class IOType(enum.Enum):
         raise ValidationError(f"unknown I/O type {text!r}")
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class LogicalIORecord:
     """One application-level I/O (paper §III-A, "Logical I/O Trace").
 
     ``sequential`` is the application's access-pattern hint (a table scan
     versus a random index probe); the storage controller uses it to select
     the sequential or random service rate.
+
+    Slotted: records are materialized by the million on the replay hot
+    path, and ``__slots__`` keeps both construction and attribute access
+    cheap (the columnar representation in :mod:`repro.trace.columnar`
+    avoids materializing them at all).
     """
 
     timestamp: float
@@ -87,7 +92,7 @@ class LogicalIORecord:
         return range(first, last + 1)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class PhysicalIORecord:
     """One block-level I/O as issued to a disk enclosure (paper §III-B)."""
 

@@ -21,6 +21,7 @@ from typing import Sequence, TextIO
 
 from repro import units
 from repro.errors import WorkloadError
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.reader import read_logical_trace, read_msr_trace
 from repro.trace.records import LogicalIORecord
 from repro.workloads.items import DataItemSpec, Workload
@@ -110,4 +111,22 @@ def workload_from_msr(
     """
     return workload_from_records(
         read_msr_trace(source), enclosure_count, name=name
+    )
+
+
+def workload_from_ecot(
+    source: str | Path,
+    enclosure_count: int,
+    name: str = "ecot-replay",
+) -> Workload:
+    """Load a packed ``.ecot`` columnar trace as a workload.
+
+    The columns are materialized into record objects once so the
+    standard catalog inference and validation run; the replay itself
+    goes back through :meth:`Workload.columnar` (cached), so the batched
+    pump still drives primitive columns.
+    """
+    trace = ColumnarTrace.load(source)
+    return workload_from_records(
+        trace.to_records(), enclosure_count, name=name
     )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import WorkloadError
 from repro.simulation import SimulationContext, default_volume
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.records import LogicalIORecord
 
 
@@ -81,6 +82,23 @@ class Workload:
     def io_count(self) -> int:
         """Number of records in the generated trace."""
         return len(self.records)
+
+    def columnar(self) -> ColumnarTrace:
+        """The trace as a :class:`~repro.trace.columnar.ColumnarTrace`.
+
+        Built once and cached on the instance; rebuilt if the record
+        list was replaced or resized in the meantime.  Feed this to
+        :meth:`repro.trace.replay.TraceReplayer.run` for the batched
+        pump, or to :func:`repro.experiments.parallel.workload_fingerprint`
+        for an allocation-free cache key.
+        """
+        cached = self.__dict__.get("_columnar_cache")
+        if not isinstance(cached, ColumnarTrace) or len(cached) != len(
+            self.records
+        ):
+            cached = ColumnarTrace.from_records(self.records)
+            self.__dict__["_columnar_cache"] = cached
+        return cached
 
     def item_ids(self) -> list[str]:
         """Ids of all data items in the set."""

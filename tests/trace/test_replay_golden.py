@@ -24,6 +24,8 @@ import json
 from dataclasses import asdict
 from pathlib import Path
 
+import pytest
+
 from repro.config import DEFAULT_CONFIG
 from repro.core.manager import EnergyEfficientPolicy
 from repro.experiments.runner import STANDARD_POLICIES
@@ -38,6 +40,7 @@ from repro.faults.plan import (
 )
 from repro.monitoring.timeline import PowerTimeline
 from repro.simulation import build_context
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.replay import TraceReplayer
 
 GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / (
@@ -63,8 +66,15 @@ def _fault_plan(first_item: str) -> FaultPlan:
     )
 
 
-def _capture_cell(policy_name: str, with_faults: bool) -> dict:
-    """Replay one (policy, fault?) cell and flatten every measurement."""
+def _capture_cell(
+    policy_name: str, with_faults: bool, columnar: bool = False
+) -> dict:
+    """Replay one (policy, fault?) cell and flatten every measurement.
+
+    ``columnar=True`` feeds the same trace as a
+    :class:`~repro.trace.columnar.ColumnarTrace`, engaging the kernel's
+    batched pump — which this test holds to the very same golden file.
+    """
     workload = build_workload("fileserver", full=False)
     faults = (
         _fault_plan(workload.items[0].item_id) if with_faults else None
@@ -77,8 +87,11 @@ def _capture_cell(policy_name: str, with_faults: bool) -> dict:
         context.enclosures, interval_seconds=TIMELINE_INTERVAL
     )
     policy = STANDARD_POLICIES[policy_name]()
+    records: object = workload.records
+    if columnar:
+        records = ColumnarTrace.from_records(workload.records)
     result = TraceReplayer(context, policy, timeline=timeline).run(
-        workload.records, duration=workload.duration
+        records, duration=workload.duration
     )
     cell = {"replay": asdict(result)}
     cell["timeline"] = [
@@ -103,24 +116,28 @@ def _capture_cell(policy_name: str, with_faults: bool) -> dict:
     return cell
 
 
-def capture_all() -> dict:
+def capture_all(columnar: bool = False) -> dict:
     """Capture every golden cell: four policies, with and without faults."""
     cells = {}
     for with_faults in (False, True):
         for policy_name in STANDARD_POLICIES:
             label = f"{policy_name}{'+faults' if with_faults else ''}"
-            cells[label] = _capture_cell(policy_name, with_faults)
+            cells[label] = _capture_cell(
+                policy_name, with_faults, columnar=columnar
+            )
     return cells
 
 
-def test_replay_bit_identical_to_golden():
+@pytest.mark.parametrize("columnar", [False, True], ids=["object", "columnar"])
+def test_replay_bit_identical_to_golden(columnar):
     golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
-    captured = json.loads(json.dumps(capture_all()))
+    captured = json.loads(json.dumps(capture_all(columnar=columnar)))
     assert captured.keys() == golden.keys()
     for label in golden:
         assert captured[label] == golden[label], (
-            f"replay of cell {label!r} diverged from the pre-kernel golden "
-            "result — the engine's decision sequence changed"
+            f"replay of cell {label!r} ({'columnar' if columnar else 'object'}"
+            " pump) diverged from the pre-kernel golden result — the "
+            "engine's decision sequence changed"
         )
 
 
