@@ -152,6 +152,43 @@ class ActionExecutor:
         self.degraded_cooldowns = 0
 
     # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable executor state (:mod:`repro.persistence`).
+
+        The action log rides along record-for-record (records are frozen
+        dataclasses of frozen actions — directly picklable), together
+        with every outcome counter and the degraded-mode gate's
+        per-enclosure cool-down deadlines.
+        """
+        return {
+            "log": list(self.log),
+            "actions_applied": self.actions_applied,
+            "actions_aborted": self.actions_aborted,
+            "actions_vetoed": self.actions_vetoed,
+            "actions_rejected": self.actions_rejected,
+            "migrations_applied": self.migrations_applied,
+            "migrations_aborted": self.migrations_aborted,
+            "migrated_bytes_applied": self.migrated_bytes_applied,
+            "cooldown_until": dict(self._cooldown_until),
+            "degraded_cooldowns": self.degraded_cooldowns,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the executor exactly as :meth:`snapshot_state` captured it."""
+        self.log = list(state["log"])
+        self.actions_applied = state["actions_applied"]
+        self.actions_aborted = state["actions_aborted"]
+        self.actions_vetoed = state["actions_vetoed"]
+        self.actions_rejected = state["actions_rejected"]
+        self.migrations_applied = state["migrations_applied"]
+        self.migrations_aborted = state["migrations_aborted"]
+        self.migrated_bytes_applied = state["migrated_bytes_applied"]
+        self._cooldown_until = dict(state["cooldown_until"])
+        self.degraded_cooldowns = state["degraded_cooldowns"]
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def apply(

@@ -161,3 +161,21 @@ class PowerPolicy(abc.ABC):
 
     def on_end(self, now: float) -> None:
         """Called once after the last record, before final settlement."""
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable planner state (:mod:`repro.persistence`).
+
+        The base captures the determinations counter; stateful policies
+        extend the dict (call ``super().snapshot_state()`` first) with
+        their window cursors and accumulators.  A restored policy is
+        ``bind()``-ed to the rebuilt context but its :meth:`on_start` is
+        **not** re-run — the captured state already reflects it.
+        """
+        return {"determinations": self.determinations}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore planner state exactly as :meth:`snapshot_state` captured it."""
+        self.determinations = state["determinations"]

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.actions.plan import ActionPlan
 from repro.baselines.base import PowerPolicy
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SnapshotError
 from repro.monitoring.application import ApplicationMonitor
 from repro.monitoring.storage import StorageMonitor
 from repro.simulation import SimulationContext
@@ -182,10 +182,9 @@ class ZonedPolicy(PowerPolicy):
     # ------------------------------------------------------------------
     # PowerPolicy interface: fan out to the zones
     # ------------------------------------------------------------------
-    def on_start(self, now: float) -> None:
-        """Start every zone policy and fan monitoring out per zone."""
+    def _install_fan_out(self) -> None:
+        """Tap physical records and fan them out per zone's monitor."""
         context = self._require_context()
-        # Physical records fan out to each zone's storage monitor.
         inner_tap = context.storage_monitor.on_physical
 
         def fan_out(record: PhysicalIORecord) -> None:
@@ -196,6 +195,10 @@ class ZonedPolicy(PowerPolicy):
                     break
 
         context.controller.set_physical_tap(fan_out)
+
+    def on_start(self, now: float) -> None:
+        """Start every zone policy and fan monitoring out per zone."""
+        self._install_fan_out()
         for zone in self.zones:
             zone.policy.on_start(now)
             zone.policy.context.app_monitor.begin_window(now)
@@ -238,3 +241,68 @@ class ZonedPolicy(PowerPolicy):
         """Finish every zone policy."""
         for zone in self.zones:
             zone.policy.on_end(now)
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Capture the router cache plus every zone's sub-simulation.
+
+        Each zone owns a private app monitor, storage monitor and
+        migration engine (built in :meth:`_zone_context`); they are
+        invisible to the session-level capture, so the zoned planner
+        snapshots them alongside the inner policies' own state.
+        """
+        state = super().snapshot_state()
+        state["item_zone"] = {
+            item: zone.name for item, zone in self._item_zone.items()
+        }
+        state["zones"] = {
+            zone.name: {
+                "policy": zone.policy.snapshot_state(),
+                "app_monitor": (
+                    zone.policy._require_context().app_monitor.snapshot_state()
+                ),
+                "storage_monitor": (
+                    zone.policy._require_context()
+                    .storage_monitor.snapshot_state()
+                ),
+                "migration_engine": (
+                    zone.policy._require_context()
+                    .migration_engine.snapshot_state()
+                ),
+            }
+            for zone in self.zones
+        }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore every zone from :meth:`snapshot_state`'s capture.
+
+        The policy must already be ``bind()``-ed (which rebuilds the
+        zone sub-contexts); restoring also re-arms the physical-record
+        fan-out tap that :meth:`on_start` installed in the original run.
+        """
+        super().restore_state(state)
+        by_name = {zone.name: zone for zone in self.zones}
+        if set(state["zones"]) != set(by_name):
+            raise SnapshotError(
+                "snapshot zones do not match this policy's zones: "
+                f"snapshot has {sorted(state['zones'])}, "
+                f"policy has {sorted(by_name)}"
+            )
+        for name, zone_state in state["zones"].items():
+            zone = by_name[name]
+            zone.policy.restore_state(zone_state["policy"])
+            zone_context = zone.policy._require_context()
+            zone_context.app_monitor.restore_state(zone_state["app_monitor"])
+            zone_context.storage_monitor.restore_state(
+                zone_state["storage_monitor"]
+            )
+            zone_context.migration_engine.restore_state(
+                zone_state["migration_engine"]
+            )
+        self._item_zone = {
+            item: by_name[name] for item, name in state["item_zone"].items()
+        }
+        self._install_fan_out()

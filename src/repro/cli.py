@@ -7,6 +7,10 @@ Subcommands::
     ecostor figures [--full] [--only fig06|fs|tpcc|tpch|intervals|tables]
     ecostor ablations [--full]
     ecostor run WORKLOAD POLICY [--full] [--audit]
+                [--snapshot-every N --snapshot-dir DIR]
+    ecostor resume SNAPSHOT
+    ecostor crash-test [--workload W] [--policies P ...] [--trials N]
+                       [--snapshot-every N] [--seed S] [--report PATH]
     ecostor patterns WORKLOAD [--full]
     ecostor ssd-study / ecostor scaling-study
     ecostor export-trace WORKLOAD PATH [--full]
@@ -28,7 +32,10 @@ re-run serially and assert bit-identical results; ``figures``
 regenerates every paper table/figure as text (``--jobs``/``--cache-dir``
 route its sweeps through the same engine); ``run`` replays one workload
 under one policy (``--audit`` verifies the energy / capacity / time
-invariants every monitoring period); ``export-trace`` /
+invariants every monitoring period; ``--snapshot-every`` writes
+crash-safe ``.ecsn`` state snapshots that ``resume`` continues from
+bit-identically, and ``crash-test`` proves that with a seeded
+kill/resume sweep — see ``docs/snapshots.md``); ``export-trace`` /
 ``replay-trace`` round-trip logical traces through CSV (or ingest real
 MSR-Cambridge block traces with ``--msr``, or packed ``.ecot`` columnar
 traces — see ``docs/trace-format.md``); ``trace pack`` converts a CSV
@@ -179,7 +186,55 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_replay_report(workload_label: str, replay: object) -> None:
+    """Shared ``run``/``resume`` report over one ReplayResult."""
+    print(f"workload:        {workload_label}")
+    print(f"policy:          {replay.policy_name}")
+    print(f"enclosure power: {watts(replay.power.enclosure_watts)}")
+    print(f"controller:      {watts(replay.power.controller_watts)}")
+    print(f"mean response:   {seconds(replay.mean_response)}")
+    print(f"read response:   {seconds(replay.mean_read_response)}")
+    print(f"migrated:        {gigabytes(replay.migrated_bytes)}")
+    print(f"determinations:  {replay.determinations}")
+    print(f"spin-ups:        {replay.spin_up_count}")
+    print(f"cache hit ratio: {replay.cache_hit_ratio:.2f}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import UsageError
+
+    if bool(args.snapshot_every) != (args.snapshot_dir is not None):
+        raise UsageError(
+            "--snapshot-every and --snapshot-dir must be given together"
+        )
+    if args.snapshot_every:
+        # The durable path: route through a snapshot session so every
+        # Nth record boundary lands an atomic .ecsn file that `ecostor
+        # resume` can continue from (see docs/snapshots.md).
+        from repro.persistence import RunSpec, SnapshotSession
+
+        spec = RunSpec(
+            workload=args.workload,
+            policy=args.policy,
+            full=args.full,
+            audit=args.audit,
+        )
+        session = SnapshotSession(spec)
+        replay = session.run(args.snapshot_every, args.snapshot_dir)
+        _print_replay_report(
+            f"{session.workload.name} ({session.workload.io_count} I/Os)",
+            replay,
+        )
+        if args.audit:
+            print(
+                f"audit:           {session.auditor.checks_run} invariant "
+                "checks, 0 violations"
+            )
+        print(
+            f"snapshots:       {session.snapshots_written} written to "
+            f"{args.snapshot_dir}"
+        )
+        return 0
     workload = build_workload(args.workload, args.full)
     policy = STANDARD_POLICIES[args.policy]()
     result = run_cell(workload, policy, audit=args.audit)
@@ -199,6 +254,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "0 violations"
         )
     return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.persistence import RunSpec, SnapshotSession, load_snapshot
+
+    payload = load_snapshot(args.snapshot)
+    meta = payload["meta"]
+    spec = RunSpec.from_dict(meta["spec"])
+    print(
+        f"resuming {spec.workload} / {spec.policy} from record "
+        f"{meta['count']} (t={meta['ts']:,.1f} s)",
+        file=sys.stderr,
+    )
+    session = SnapshotSession(spec)
+    replay = session.resume(payload)
+    _print_replay_report(
+        f"{session.workload.name} ({session.workload.io_count} I/Os)",
+        replay,
+    )
+    if session.auditor is not None:
+        print(
+            f"audit:           {session.auditor.checks_run} invariant "
+            "checks, 0 violations"
+        )
+    return 0
+
+
+def _cmd_crash_test(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.persistence import RunSpec, run_crash_sweep
+
+    status = 0
+    reports = []
+    for policy in args.policies or sorted(STANDARD_POLICIES):
+        spec = RunSpec(
+            workload=args.workload,
+            policy=policy,
+            full=args.full,
+            audit=True,
+        )
+        report = run_crash_sweep(
+            spec,
+            snapshot_every=args.snapshot_every,
+            trials=args.trials,
+            seed=args.seed,
+        )
+        print(report.render())
+        print()
+        reports.append(report)
+        if not report.ok:
+            status = 1
+    if args.report is not None:
+        document = "[\n" + ",\n".join(r.to_json() for r in reports) + "\n]\n"
+        Path(args.report).write_text(document, encoding="utf-8")
+        print(f"wrote recovery report to {args.report}", file=sys.stderr)
+    return status
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -499,7 +611,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify energy/capacity/time invariants every monitoring period",
     )
+    run.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write a crash-safe .ecsn snapshot every N records "
+        "(requires --snapshot-dir)",
+    )
+    run.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for .ecsn snapshot files",
+    )
     run.set_defaults(func=_cmd_run)
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume a crashed run from a .ecsn snapshot (bit-identical)",
+    )
+    resume.add_argument("snapshot", help="path to a snap-*.ecsn file")
+    resume.set_defaults(func=_cmd_resume)
+
+    crash_test = sub.add_parser(
+        "crash-test",
+        help="seeded kill/resume sweep proving snapshot resume bit-identity",
+    )
+    crash_test.add_argument(
+        "--workload", choices=WORKLOAD_NAMES, default="fileserver"
+    )
+    crash_test.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(STANDARD_POLICIES),
+        default=None,
+        help="policies to drill (default: all four)",
+    )
+    crash_test.add_argument("--full", action="store_true")
+    crash_test.add_argument(
+        "--snapshot-every", type=int, default=2000, metavar="N"
+    )
+    crash_test.add_argument(
+        "--trials", type=int, default=2, help="kill points per policy"
+    )
+    crash_test.add_argument("--seed", type=int, default=11)
+    crash_test.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the JSON recovery report here (CI artifact)",
+    )
+    crash_test.set_defaults(func=_cmd_crash_test)
 
     chaos = sub.add_parser(
         "chaos",
@@ -670,9 +833,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for the ``ecostor`` command line interface."""
+    """Entry point for the ``ecostor`` command line interface.
+
+    Domain errors — bad traces, invalid arguments, misuse of the
+    simulation API, invariant-audit failures, unusable snapshots — exit
+    with status 2 and a one-line diagnostic on stderr instead of a
+    traceback.  Genuine bugs (anything else) still propagate loudly.
+    """
+    from repro.errors import (
+        AuditError,
+        SnapshotError,
+        TraceError,
+        UsageError,
+        ValidationError,
+    )
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (
+        AuditError,
+        SnapshotError,
+        TraceError,
+        UsageError,
+        ValidationError,
+    ) as exc:
+        message = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+        print(f"ecostor: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,7 +19,8 @@ only on the standard library (no mypy/ruff dependency):
 * :mod:`repro.devtools.analysis` — a whole-program analyser that
   indexes the package into a symbol table and call graph, then checks
   dimensional consistency over the :mod:`repro.units` aliases
-  (D101–D104) and planner purity/determinism (D201–D204), gated on a
+  (D101–D104) and planner purity/determinism/snapshottability
+  (D201–D205), gated on a
   committed ``analysis-baseline.json``.  Run it as ``ecostor analyze``.
 * :mod:`repro.devtools.audit` — an opt-in runtime
   :class:`~repro.devtools.audit.InvariantAuditor` the trace replayer

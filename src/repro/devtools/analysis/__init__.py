@@ -21,6 +21,12 @@ Built-in checkers:
   ``ActionExecutor.apply`` (closing lint rule R9's transitive-call
   hole), and flags unseeded :mod:`random`, wall-clock reads, and
   unordered ``set`` iteration feeding ordering-sensitive sinks.
+* **D205 — snapshot protocol**
+  (:mod:`~repro.devtools.analysis.snapshots`): flags policy classes
+  whose mutable state is invisible to :mod:`repro.persistence` —
+  ``self`` attributes grown outside construction without a matching
+  ``snapshot_state``/``restore_state`` pair, and half-implemented
+  protocol pairs.
 
 Run it as ``ecostor analyze`` or ``python -m repro.devtools.analysis``;
 findings are silenced inline (``# analysis: ignore[D203]``) or

@@ -9,6 +9,10 @@ is the single place that imports them all.
 from __future__ import annotations
 
 # Importing for the @register_checker side effect.
-from repro.devtools.analysis import determinism, dimensions  # noqa: F401
+from repro.devtools.analysis import (  # noqa: F401
+    determinism,
+    dimensions,
+    snapshots,
+)
 
 __all__: list[str] = []

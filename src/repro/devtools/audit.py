@@ -117,6 +117,26 @@ class InvariantAuditor:
                 f"{details}\n{self.snapshot(now)}"
             )
 
+    def snapshot_state(self) -> dict:
+        """Serializable audit cursors (:mod:`repro.persistence`).
+
+        Restoring these keeps the monotonic-time checks armed *across*
+        a resume seam: a restored run that somehow rewound an enclosure
+        clock would fail the audit exactly as the uninterrupted run
+        would.
+        """
+        return {
+            "checks_run": self.checks_run,
+            "last_now": self._last_now,
+            "last_clock": dict(self._last_clock),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the cursors exactly as :meth:`snapshot_state` captured them."""
+        self.checks_run = state["checks_run"]
+        self._last_now = state["last_now"]
+        self._last_clock = dict(state["last_clock"])
+
     def snapshot(self, now: float) -> str:
         """Dump of the audited state, embedded in audit failures."""
         ctx = self.context

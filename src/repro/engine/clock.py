@@ -55,6 +55,14 @@ class SimClock:
         self._now = to
         return to
 
+    def snapshot_state(self) -> dict:
+        """Serializable clock state (:mod:`repro.persistence`)."""
+        return {"now": self._now}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the clock exactly as :meth:`snapshot_state` captured it."""
+        self._now = state["now"]
+
 
 class Throttle:
     """Virtual-time rate limiter for recurring cheap checks.
@@ -97,3 +105,15 @@ class Throttle:
     def reset(self, now: Seconds) -> None:
         """Re-open the gate at ``now`` (used at window starts)."""
         self._next_allowed = now
+
+    def snapshot_state(self) -> dict:
+        """Serializable throttle state (:mod:`repro.persistence`)."""
+        return {
+            "interval_seconds": self.interval_seconds,
+            "next_allowed": self._next_allowed,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the throttle exactly as captured."""
+        self.interval_seconds = state["interval_seconds"]
+        self._next_allowed = state["next_allowed"]

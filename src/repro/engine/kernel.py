@@ -42,6 +42,7 @@ policy, with and without faults.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.actions.plan import ActionPlan
@@ -50,13 +51,16 @@ from repro.engine.clock import SimClock
 from repro.engine.events import (
     ACTION_APPLY,
     TRACE_RECORD,
+    ActionApplyEvent,
     Event,
     FaultBookkeepingEvent,
+    FlushDeadlineEvent,
     PolicyCheckpointEvent,
     TimelineSampleEvent,
+    TraceRecordEvent,
 )
 from repro.engine.queue import EventQueue
-from repro.errors import ReplayError
+from repro.errors import ReplayError, SnapshotError, UsageError
 from repro.trace.columnar import FLAG_READ, FLAG_SEQUENTIAL, ColumnarTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -70,6 +74,52 @@ __all__ = ["ReplayOutcome", "SimulationKernel"]
 #: Priority bound one past the last class; ``run_until`` uses it so a
 #: pump to time ``t`` includes every event class scheduled at ``t``.
 _PAST_LAST_CLASS = ACTION_APPLY + 1
+
+#: Event-kind tags used by the kernel snapshot (:mod:`repro.persistence`).
+#: Snapshots never pickle :class:`~repro.engine.events.Event` instances —
+#: their ``queued``/``cancelled`` flags and kernel back-references are
+#: runtime identity, not state — so live queue entries are serialized as
+#: ``(seq, kind, time, payload)`` tuples and rebuilt on restore.
+_EVENT_KINDS: dict[type[Event], str] = {
+    TimelineSampleEvent: "timeline_sample",
+    FaultBookkeepingEvent: "fault_bookkeeping",
+    PolicyCheckpointEvent: "policy_checkpoint",
+    TraceRecordEvent: "trace_record",
+    FlushDeadlineEvent: "flush_deadline",
+    ActionApplyEvent: "action_apply",
+}
+
+
+def _encode_event(event: Event) -> tuple[str, float, object]:
+    """Serialize one live event as a ``(kind, time, payload)`` tuple."""
+    kind = _EVENT_KINDS.get(type(event))
+    if kind is None:
+        raise UsageError(
+            f"cannot snapshot unknown event type {type(event).__name__!r}"
+        )
+    payload: object = None
+    if isinstance(event, TraceRecordEvent):
+        payload = event.record
+    elif isinstance(event, ActionApplyEvent):
+        payload = event.plan
+    return (kind, event.time, payload)
+
+
+def _decode_event(kind: str, time: float, payload: object) -> Event:
+    """Rebuild a fresh event instance from its snapshot tuple."""
+    if kind == "timeline_sample":
+        return TimelineSampleEvent(time)
+    if kind == "fault_bookkeeping":
+        return FaultBookkeepingEvent(time)
+    if kind == "policy_checkpoint":
+        return PolicyCheckpointEvent(time)
+    if kind == "flush_deadline":
+        return FlushDeadlineEvent(time)
+    if kind == "trace_record":
+        return TraceRecordEvent(payload)  # type: ignore[arg-type]
+    if kind == "action_apply":
+        return ActionApplyEvent(time, payload)  # type: ignore[arg-type]
+    raise SnapshotError(f"unknown event kind {kind!r} in snapshot")
 
 
 @dataclass(frozen=True)
@@ -110,6 +160,8 @@ class SimulationKernel:
         self._scheduled_checkpoint: float | None = None
         self._checkpoint_hooks: list[Callable[[float], None]] = []
         self._finish_hooks: list[Callable[[float], None]] = []
+        self._record_hook: Callable[[int, float], None] | None = None
+        self._finished = False
 
     # ------------------------------------------------------------------
     # Hook + scheduling surface
@@ -128,13 +180,39 @@ class SimulationKernel:
         """Call ``hook(final)`` once after end-of-run settlement."""
         self._finish_hooks.append(hook)
 
+    def set_record_hook(
+        self, hook: Callable[[int, float], None] | None
+    ) -> None:
+        """Call ``hook(count, time)`` after each trace record completes.
+
+        The hook fires at *record boundaries* — after the record's
+        submit/observe/policy chain and the checkpoint re-sync — which
+        is exactly where :mod:`repro.persistence` takes snapshots (and
+        where its crash harness injects kills).  The hook must not
+        mutate simulation state; it observes the cursor, nothing more.
+        """
+        self._record_hook = hook
+
+    @property
+    def finished(self) -> bool:
+        """Whether this kernel's run has settled (kernels are single-use)."""
+        return self._finished
+
     def post(self, event: Event) -> Event:
         """Schedule ``event`` on the kernel's queue and return it.
 
         The online entry point: arrivals, deadlines, or custom event
         sources go in here and fire when :meth:`run_until` (or the
-        batch pump) reaches their time.
+        batch pump) reaches their time.  Raises
+        :class:`~repro.errors.UsageError` once the run has finished —
+        a settled kernel's books are final and an event posted after
+        settlement could never fire.
         """
+        if self._finished:
+            raise UsageError(
+                "cannot post events to a finished kernel: the run has "
+                "settled; build a fresh kernel for a new window"
+            )
         return self.queue.push(event)
 
     # ------------------------------------------------------------------
@@ -161,18 +239,68 @@ class SimulationKernel:
             raise ReplayError(
                 f"declared duration must be positive, got {duration}"
             )
+        self._begin_replay()
         if isinstance(records, ColumnarTrace):
             return self._replay_columnar(records, duration)
+        return self._replay_objects(records, duration, 0, 0.0)
+
+    def resume_replay(
+        self,
+        records: Iterable[LogicalIORecord],
+        duration: float | None,
+        start_count: int,
+        start_ts: float,
+    ) -> ReplayOutcome:
+        """Continue a replay from a restored snapshot boundary.
+
+        The caller has already rebuilt the context/policy wiring and
+        restored every component's state (including this kernel's, via
+        :meth:`restore_state`) from a :mod:`repro.persistence` snapshot
+        taken after record ``start_count`` at timestamp ``start_ts``.
+        Those first ``start_count`` records of ``records`` are skipped —
+        their effects live in the restored state — and the pump resumes
+        with the cursor seeded at the boundary.  The replay prologue
+        (``policy.on_start``, window begins, the first timeline sample)
+        is deliberately **not** re-run: the restored queue and monitors
+        already reflect it.  Epilogue semantics match :meth:`replay`,
+        so the outcome is bit-identical to an uninterrupted run.
+        """
+        if self._finished:
+            raise UsageError(
+                "cannot resume a finished kernel: build a fresh kernel "
+                "and restore the snapshot into it"
+            )
+        if duration is not None and duration <= 0.0:
+            raise ReplayError(
+                f"declared duration must be positive, got {duration}"
+            )
+        if start_count < 0 or start_ts < 0.0:
+            raise ReplayError(
+                "resume cursor must be non-negative, got "
+                f"count={start_count}, ts={start_ts}"
+            )
+        if isinstance(records, ColumnarTrace):
+            return self._replay_columnar(
+                records[start_count:], duration, start_count, start_ts
+            )
+        remaining = islice(iter(records), start_count, None)
+        return self._replay_objects(remaining, duration, start_count, start_ts)
+
+    def _replay_objects(
+        self,
+        records: Iterable[LogicalIORecord],
+        duration: float | None,
+        count: int,
+        last_ts: float,
+    ) -> ReplayOutcome:
+        """The per-record-object pump, starting from an explicit cursor."""
         context = self.context
         policy = self.policy
         app = context.app_monitor
         controller = context.controller
         clock = self.clock
+        hook = self._record_hook
 
-        self._begin_replay()
-
-        last_ts = 0.0
-        count = 0
         for record in records:
             ts = record.timestamp
             if ts < last_ts:
@@ -187,6 +315,8 @@ class SimulationKernel:
             policy.after_io(record, response)
             count += 1
             self._sync_checkpoint()
+            if hook is not None:
+                hook(count, ts)
 
         return self._finish_replay(count, last_ts, duration)
 
@@ -194,6 +324,8 @@ class SimulationKernel:
         self,
         trace: ColumnarTrace,
         duration: float | None,
+        count: int = 0,
+        last_ts: float = 0.0,
     ) -> ReplayOutcome:
         """The batched pump: drive the simulation straight off columns.
 
@@ -209,8 +341,7 @@ class SimulationKernel:
         policy = self.policy
         clock = self.clock
         queue = self.queue
-
-        self._begin_replay()
+        hook = self._record_hook
 
         timestamps = trace.timestamps
         item_index = trace.item_index
@@ -242,8 +373,6 @@ class SimulationKernel:
             after_fast = None
 
         trace_record = TRACE_RECORD
-        last_ts = 0.0
-        count = 0
         for ts, idx, offset, size, flag in zip(
             timestamps, item_index, offsets, sizes, flags
         ):
@@ -271,6 +400,8 @@ class SimulationKernel:
             if after_fast is not None:
                 after_fast(ts, item, offset, size, is_read, sequential, response)
                 sync()
+            if hook is not None:
+                hook(count, ts)
 
         return self._finish_replay(count, last_ts, duration)
 
@@ -315,6 +446,7 @@ class SimulationKernel:
             self.timeline.finish(final)
         for hook in self._finish_hooks:
             hook(final)
+        self._finished = True
         return ReplayOutcome(io_count=count, end=end, final=final)
 
     # ------------------------------------------------------------------
@@ -327,7 +459,22 @@ class SimulationKernel:
         Advances the clock to ``time`` even if nothing fires, and
         returns it.  This is the incremental pump for online operation;
         it performs no end-of-run settlement.
+
+        Raises :class:`~repro.errors.UsageError` for a ``time`` behind
+        the current clock (virtual time never rewinds — clamping would
+        silently skip the events between ``time`` and now) and for any
+        pump attempt after the run has finished.
         """
+        if self._finished:
+            raise UsageError(
+                "cannot pump a finished kernel: the run has settled; "
+                "build a fresh kernel for a new window"
+            )
+        if time < self.clock.now:
+            raise UsageError(
+                f"run_until({time}) is in the past: the clock is at "
+                f"{self.clock.now}"
+            )
         self._dispatch_until((time, _PAST_LAST_CLASS))
         if self.clock.now < time:
             self.clock.advance(time)
@@ -453,3 +600,52 @@ class SimulationKernel:
             self.queue.cancel(self._bookkeeping_event)
             self._bookkeeping_event = None
         self._scheduled_checkpoint = None
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable kernel state: clock, live events, checkpoint link.
+
+        Captured strictly read-only at a record boundary.  Events are
+        stored as ``(seq, (kind, time, payload))`` tuples — see
+        :func:`_encode_event` — with the queue's sequence counter, so a
+        restore reproduces same-timestamp FIFO tie-breaks exactly.
+        """
+        entries = [
+            (seq, _encode_event(event))
+            for _, _, seq, event in self.queue.live_entries()
+        ]
+        return {
+            "clock": self.clock.snapshot_state(),
+            "queue_entries": entries,
+            "queue_next_seq": self.queue.next_seq,
+            "scheduled_checkpoint": self._scheduled_checkpoint,
+            "finished": self._finished,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild clock, queue, and checkpoint linkage from a snapshot.
+
+        The one live :class:`PolicyCheckpointEvent` (and its paired
+        :class:`FaultBookkeepingEvent`, when present) is re-linked to
+        the kernel's identity fields so lazy cancellation keeps working
+        across the resume seam.
+        """
+        self.clock.restore_state(state["clock"])
+        entries: list[tuple[float, int, int, Event]] = []
+        checkpoint_event: PolicyCheckpointEvent | None = None
+        bookkeeping_event: FaultBookkeepingEvent | None = None
+        for seq, (kind, time, payload) in state["queue_entries"]:
+            event = _decode_event(kind, time, payload)
+            if isinstance(event, PolicyCheckpointEvent):
+                checkpoint_event = event
+            elif isinstance(event, FaultBookkeepingEvent):
+                bookkeeping_event = event
+            entries.append((event.time, event.priority, seq, event))
+        self.queue.restore_entries(entries, state["queue_next_seq"])
+        self._checkpoint_event = checkpoint_event
+        self._bookkeeping_event = bookkeeping_event
+        self._scheduled_checkpoint = state["scheduled_checkpoint"]
+        self._finished = state["finished"]

@@ -86,3 +86,43 @@ class EventQueue:
             self._live -= 1
             return event
         return None
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+
+    def live_entries(self) -> list[tuple[float, int, int, Event]]:
+        """Live ``(time, priority, seq, event)`` entries in pop order.
+
+        Cancelled entries are omitted — they can never fire, so a
+        restored queue without them behaves identically.  The sequence
+        numbers are the originals: restoring them verbatim (together
+        with :attr:`next_seq`) keeps FIFO tie-breaks bit-identical
+        across a snapshot/resume seam.
+        """
+        return sorted(
+            entry for entry in self._heap if not entry[3].cancelled
+        )
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next pushed event would receive."""
+        return self._seq
+
+    def restore_entries(
+        self,
+        entries: list[tuple[float, int, int, Event]],
+        next_seq: int,
+    ) -> None:
+        """Rebuild the queue from :meth:`live_entries` output.
+
+        Bypasses :meth:`push` so the stored sequence numbers (and with
+        them same-key pop order) are preserved exactly; the events must
+        be fresh un-queued instances.
+        """
+        self._heap = []
+        for time, priority, seq, event in sorted(entries):
+            event.queued = True
+            heappush(self._heap, (time, priority, seq, event))
+        self._live = len(self._heap)
+        self._seq = next_seq

@@ -112,6 +112,16 @@ class TraceError(ReproError):
     """A trace file or record stream is malformed."""
 
 
+class SnapshotError(ReproError):
+    """A simulation snapshot file is unusable (:mod:`repro.persistence`).
+
+    Raised when a snapshot's magic, version, length, or checksum does
+    not verify, or its payload fails to decode — a torn write, a
+    truncated copy, or bit rot.  The loader refuses the file outright;
+    no state is ever partially restored from a bad snapshot.
+    """
+
+
 class ReplayError(ReproError):
     """The trace replayer was driven incorrectly (e.g. time went backwards)."""
 

@@ -175,6 +175,41 @@ class FaultClock:
                 return True
         return False
 
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable draw cursors (:mod:`repro.persistence`).
+
+        Captures every mutable counter and consumed-event set; the plan
+        itself is immutable and travels separately (by fingerprint), so
+        a restored clock replays the *remaining* one-shot events exactly
+        as the uninterrupted run would.
+        """
+        return {
+            "states": {
+                name: (state.attempts, state.cycles, state.streak_remaining)
+                for name, state in self._states.items()
+            },
+            "consumed_spin_up_events": sorted(self._consumed_spin_up_events),
+            "consumed_aborts": sorted(self._consumed_aborts),
+            "outage_violations": list(self.outage_violations),
+            "spin_up_failures_injected": self.spin_up_failures_injected,
+            "migration_aborts_injected": self.migration_aborts_injected,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the cursors exactly as :meth:`snapshot_state` captured them."""
+        self._states = {
+            name: _EnclosureFaultState(attempts, cycles, streak)
+            for name, (attempts, cycles, streak) in state["states"].items()
+        }
+        self._consumed_spin_up_events = set(state["consumed_spin_up_events"])
+        self._consumed_aborts = set(state["consumed_aborts"])
+        self.outage_violations = list(state["outage_violations"])
+        self.spin_up_failures_injected = state["spin_up_failures_injected"]
+        self.migration_aborts_injected = state["migration_aborts_injected"]
+
     def note_service(self, enclosure: str, start: Seconds) -> None:
         """Record an I/O service start for the outage-violation audit."""
         outage = self.outage_at(enclosure, start)

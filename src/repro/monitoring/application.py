@@ -298,6 +298,62 @@ class ApplicationMonitor:
         return list(self._full_trace)
 
     # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable monitor state (:mod:`repro.persistence`).
+
+        Captures the current window's columns, the mapping information,
+        and every response accumulator.  The full trace (when retention
+        is on) rides along; an attached spill repository is *not*
+        captured — snapshot sessions run without one.
+        """
+        window = self._window
+        return {
+            "window": {
+                "timestamps": list(window.timestamps),
+                "item_ids": list(window.item_ids),
+                "offsets": list(window.offsets),
+                "sizes": list(window.sizes),
+                "reads": list(window.reads),
+                "sequentials": list(window.sequentials),
+            },
+            "window_start": self._window_start,
+            "item_volume": list(self._item_volume.items()),
+            "full_trace": list(self._full_trace),
+            "io_count": self.io_count,
+            "read_count": self.read_count,
+            "response_sum": self.response_sum,
+            "read_response_sum": self.read_response_sum,
+            "max_response": self.max_response,
+            "ios_per_item": list(self.ios_per_item.items()),
+            "response_samples": list(self.response_samples),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the monitor exactly as :meth:`snapshot_state` captured it."""
+        window = state["window"]
+        self._window.timestamps = list(window["timestamps"])
+        self._window.item_ids = list(window["item_ids"])
+        self._window.offsets = list(window["offsets"])
+        self._window.sizes = list(window["sizes"])
+        self._window.reads = list(window["reads"])
+        self._window.sequentials = list(window["sequentials"])
+        self._window_start = state["window_start"]
+        self._item_volume = dict(state["item_volume"])
+        self._full_trace = list(state["full_trace"])
+        self.io_count = state["io_count"]
+        self.read_count = state["read_count"]
+        self.response_sum = state["response_sum"]
+        self.read_response_sum = state["read_response_sum"]
+        self.max_response = state["max_response"]
+        self.ios_per_item = defaultdict(int, state["ios_per_item"])
+        self.response_samples = [
+            (timestamp, response, is_read)
+            for timestamp, response, is_read in state["response_samples"]
+        ]
+
+    # ------------------------------------------------------------------
     # measurements
     # ------------------------------------------------------------------
     def response_stats(self) -> ResponseStats:

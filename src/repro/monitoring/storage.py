@@ -182,6 +182,40 @@ class StorageMonitor:
         return self._last_io.get(enclosure)
 
     # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable monitor state (:mod:`repro.persistence`).
+
+        Window counters, gap books, and the finish marker; the enclosure
+        objects themselves snapshot separately, and a spill repository
+        is not captured (snapshot sessions run without one).
+        """
+        return {
+            "window_counts": dict(self._window_counts),
+            "window_reads": dict(self._window_reads),
+            "window_start": self._window_start,
+            "last_io": dict(self._last_io),
+            "gaps": {name: list(gaps) for name, gaps in self._gaps.items()},
+            "short_gap_total": dict(self._short_gap_total),
+            "physical_io_count": self.physical_io_count,
+            "finished_at": self._finished_at,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the monitor exactly as :meth:`snapshot_state` captured it."""
+        self._window_counts = defaultdict(int, state["window_counts"])
+        self._window_reads = defaultdict(int, state["window_reads"])
+        self._window_start = state["window_start"]
+        self._last_io = dict(state["last_io"])
+        self._gaps = defaultdict(list)
+        for name, gaps in state["gaps"].items():
+            self._gaps[name] = list(gaps)
+        self._short_gap_total = defaultdict(float, state["short_gap_total"])
+        self.physical_io_count = state["physical_io_count"]
+        self._finished_at = state["finished_at"]
+
+    # ------------------------------------------------------------------
     # power status and consumption (read from the enclosures)
     # ------------------------------------------------------------------
     def power_status(self, now: float) -> list[PowerStatusRecord]:

@@ -104,6 +104,40 @@ class PowerTimeline:
             self._record_point(now)
 
     # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable timeline state (:mod:`repro.persistence`).
+
+        Points are stored as plain ``(timestamp, total, per-enclosure)``
+        tuples, not :class:`TimelinePoint` instances, so the payload
+        stays decoupled from the class definition.
+        """
+        return {
+            "points": [
+                (p.timestamp, p.total_watts, dict(p.per_enclosure))
+                for p in self.points
+            ],
+            "last_energy": dict(self._last_energy),
+            "last_time": self._last_time,
+            "next_sample": self._next_sample,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the timeline exactly as :meth:`snapshot_state` captured it."""
+        self.points = [
+            TimelinePoint(
+                timestamp=timestamp,
+                total_watts=total,
+                per_enclosure=dict(per_enclosure),
+            )
+            for timestamp, total, per_enclosure in state["points"]
+        ]
+        self._last_energy = dict(state["last_energy"])
+        self._last_time = state["last_time"]
+        self._next_sample = state["next_sample"]
+
+    # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------
     def total_series(self) -> list[tuple[Seconds, Watts]]:

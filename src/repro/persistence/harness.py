@@ -1,0 +1,260 @@
+"""Crash-injection harness: prove resume bit-identity the hard way.
+
+The durability claim of :mod:`repro.persistence` is behavioural, not
+structural: *killing the replay at any record boundary and resuming
+from the latest valid snapshot yields the same final result, bit for
+bit, as never crashing at all*.  This module turns that claim into a
+repeatable drill:
+
+1. run the uninterrupted **golden** replay once and keep its full
+   comparison surface — the :class:`~repro.trace.replay.ReplayResult`
+   (flattened via ``dataclasses.asdict``), the typed action log, and
+   every power-timeline point;
+2. for each seeded random kill point, run again with snapshots on and
+   an injected crash (an exception raised from the kernel's record
+   hook, after the boundary's snapshot — exactly where a power loss
+   would land), then build a *fresh* session, restore the newest valid
+   snapshot, resume, and compare against the golden surface;
+3. run the **torn-write drill**: truncate the newest snapshot file the
+   way an interrupted write would, assert the loader refuses it with
+   :class:`~repro.errors.SnapshotError`, and prove recovery falls back
+   to the previous snapshot and *still* reaches the golden result.
+
+The sweep result is a :class:`RecoveryReport` that renders as text for
+humans and serializes to JSON for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import SnapshotError, ValidationError
+from repro.persistence.format import (
+    find_latest_valid,
+    load_snapshot,
+    snapshot_count,
+)
+from repro.persistence.session import RunSpec, SnapshotSession
+from repro.trace.replay import ReplayResult
+
+__all__ = ["CrashTrial", "RecoveryReport", "run_crash_sweep"]
+
+
+class _InjectedCrash(Exception):
+    """Raised from the record hook to simulate a mid-replay kill."""
+
+
+@dataclass(frozen=True)
+class CrashTrial:
+    """One kill/resume cycle of the sweep."""
+
+    #: Record boundary the crash was injected at.
+    kill_at: int
+    #: Boundary of the snapshot recovery restarted from (0 = no usable
+    #: snapshot existed yet, so recovery replayed from the beginning).
+    resumed_from: int
+    #: Whether the recovered result matched the golden run bit for bit.
+    identical: bool
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of one crash-injection sweep over one run spec."""
+
+    spec: dict
+    snapshot_every: int
+    seed: int
+    io_count: int
+    trials: tuple[CrashTrial, ...]
+    #: The torn-write drill: was the truncated snapshot refused?
+    torn_write_refused: bool = False
+    #: ... and did resume from the fallback snapshot match the golden?
+    torn_write_recovered: bool = False
+    #: Boundary the torn-write drill fell back to (-1 = drill skipped:
+    #: fewer than two snapshots were written).
+    torn_write_fallback: int = field(default=-1)
+
+    @property
+    def ok(self) -> bool:
+        """True when every trial and the torn-write drill held."""
+        trials_ok = all(trial.identical for trial in self.trials)
+        if self.torn_write_fallback < 0:
+            return trials_ok
+        return trials_ok and self.torn_write_refused and (
+            self.torn_write_recovered
+        )
+
+    def to_json(self) -> str:
+        """JSON document for the CI recovery-report artifact."""
+        return json.dumps(asdict(self), indent=1, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable sweep summary."""
+        lines = [
+            f"crash sweep: {self.spec['workload']} / {self.spec['policy']}"
+            f" — {len(self.trials)} kill points over {self.io_count} records"
+            f" (snapshot every {self.snapshot_every}, seed {self.seed})"
+        ]
+        for trial in self.trials:
+            verdict = "bit-identical" if trial.identical else "DIVERGED"
+            lines.append(
+                f"  kill@{trial.kill_at:>8} -> resume@"
+                f"{trial.resumed_from:>8}: {verdict}"
+            )
+        if self.torn_write_fallback >= 0:
+            refused = "refused" if self.torn_write_refused else "ACCEPTED"
+            recovered = (
+                "bit-identical" if self.torn_write_recovered else "DIVERGED"
+            )
+            lines.append(
+                f"  torn write: truncated newest snapshot {refused}, "
+                f"fallback to @{self.torn_write_fallback}: {recovered}"
+            )
+        lines.append("result: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def _comparable(result: ReplayResult, session: SnapshotSession) -> tuple:
+    """Everything the bit-identity assertion covers, as plain data."""
+    timeline = None
+    if session.timeline is not None:
+        timeline = tuple(
+            (point.timestamp, point.total_watts, tuple(
+                sorted(point.per_enclosure.items())
+            ))
+            for point in session.timeline.points
+        )
+    return (asdict(result), result.actions, timeline)
+
+
+def _crash_and_resume(
+    spec: RunSpec, snapshot_every: int, kill_at: int, directory: Path
+) -> tuple[tuple, int]:
+    """Kill one run at ``kill_at``, recover, and return the comparison
+    surface plus the boundary recovery resumed from."""
+
+    def injector(count: int, ts: float) -> None:
+        if count == kill_at:
+            raise _InjectedCrash(count)
+
+    session = SnapshotSession(spec)
+    try:
+        result = session.run(snapshot_every, directory, record_hook=injector)
+    except _InjectedCrash:
+        pass
+    else:
+        # The kill point lay beyond the trace; nothing crashed.
+        return _comparable(result, session), 0
+    latest = find_latest_valid(directory)
+    recovered = SnapshotSession(spec)
+    if latest is None:
+        # Crashed before the first snapshot landed: recovery is a plain
+        # replay from the beginning.
+        return _comparable(recovered.run(), recovered), 0
+    result = recovered.resume(load_snapshot(latest))
+    return _comparable(result, recovered), snapshot_count(latest)
+
+
+def _torn_write_drill(
+    spec: RunSpec,
+    snapshot_every: int,
+    directory: Path,
+    golden: tuple,
+) -> tuple[bool, bool, int]:
+    """Truncate the newest snapshot; prove refusal + fallback recovery.
+
+    Returns ``(refused, recovered, fallback_count)``; a fallback count
+    of -1 means the run wrote fewer than two snapshots and the drill
+    could not execute.
+    """
+    SnapshotSession(spec).run(snapshot_every, directory)
+    snapshots = sorted(directory.glob("snap-*.ecsn"))
+    if len(snapshots) < 2:
+        return (False, False, -1)
+    newest = snapshots[-1]
+    torn = newest.read_bytes()[:-7]
+    newest.write_bytes(torn)
+    try:
+        load_snapshot(newest)
+    except SnapshotError:
+        refused = True
+    else:
+        refused = False
+    fallback = find_latest_valid(directory)
+    if fallback is None or fallback == newest:
+        return (refused, False, -1)
+    session = SnapshotSession(spec)
+    result = session.resume(load_snapshot(fallback))
+    recovered = _comparable(result, session) == golden
+    return (refused, recovered, snapshot_count(fallback))
+
+
+def run_crash_sweep(
+    spec: RunSpec,
+    snapshot_every: int = 500,
+    trials: int = 3,
+    seed: int = 11,
+    workdir: str | Path | None = None,
+) -> RecoveryReport:
+    """Seeded kill/resume sweep over one run spec.
+
+    ``trials`` kill points are drawn uniformly from the record range by
+    ``random.Random(seed)`` — reproducible across machines.  Snapshot
+    files go under ``workdir`` (one subdirectory per trial; a temporary
+    directory is used and removed when ``workdir`` is ``None``).
+    """
+    if snapshot_every <= 0:
+        raise ValidationError("snapshot_every must be positive")
+    if trials <= 0:
+        raise ValidationError("trials must be positive")
+    golden_session = SnapshotSession(spec)
+    golden_result = golden_session.run()
+    golden = _comparable(golden_result, golden_session)
+    io_count = golden_result.io_count
+    rng = random.Random(seed)
+    kill_points = sorted(
+        rng.randint(1, max(1, io_count)) for _ in range(trials)
+    )
+    owns_workdir = workdir is None
+    base = Path(
+        tempfile.mkdtemp(prefix="ecsn-sweep-") if owns_workdir else workdir
+    )
+    base.mkdir(parents=True, exist_ok=True)
+    try:
+        results = []
+        for index, kill_at in enumerate(kill_points):
+            directory = base / f"trial-{index:02d}"
+            directory.mkdir(parents=True, exist_ok=True)
+            surface, resumed_from = _crash_and_resume(
+                spec, snapshot_every, kill_at, directory
+            )
+            results.append(
+                CrashTrial(
+                    kill_at=kill_at,
+                    resumed_from=resumed_from,
+                    identical=surface == golden,
+                )
+            )
+        torn_dir = base / "torn-write"
+        torn_dir.mkdir(parents=True, exist_ok=True)
+        refused, recovered, fallback = _torn_write_drill(
+            spec, snapshot_every, torn_dir, golden
+        )
+    finally:
+        if owns_workdir:
+            shutil.rmtree(base, ignore_errors=True)
+    return RecoveryReport(
+        spec=spec.to_dict(),
+        snapshot_every=snapshot_every,
+        seed=seed,
+        io_count=io_count,
+        trials=tuple(results),
+        torn_write_refused=refused,
+        torn_write_recovered=recovered,
+        torn_write_fallback=fallback,
+    )

@@ -85,6 +85,26 @@ class LRUBlockCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def snapshot_state(self) -> dict:
+        """Serializable LRU state (:mod:`repro.persistence`).
+
+        The key list preserves recency order (oldest first), which is
+        the part of the state that decides future evictions.
+        """
+        return {
+            "blocks": list(self._blocks),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the LRU exactly as captured, recency order included."""
+        self._blocks = OrderedDict(
+            ((item, page), None) for item, page in state["blocks"]
+        )
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
 
 class PreloadPartition:
     """Cache region pinning whole data items (the preload function).
@@ -137,6 +157,14 @@ class PreloadPartition:
     def is_pinned(self, item_id: str) -> bool:
         """Whether the item is currently pinned."""
         return item_id in self._items
+
+    def snapshot_state(self) -> dict:
+        """Serializable pin table (:mod:`repro.persistence`)."""
+        return {"items": list(self._items.items())}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the pin table exactly as captured."""
+        self._items = {item: size for item, size in state["items"]}
 
 
 @dataclass(frozen=True)
@@ -274,6 +302,32 @@ class WriteDelayPartition:
         self.flush_count += 1
         return plan
 
+    def snapshot_state(self) -> dict:
+        """Serializable write-delay state (:mod:`repro.persistence`).
+
+        The dirty map's insertion order is observable state —
+        :meth:`dirty_items` reports first-dirtied order — so it is
+        captured as an ordered list of ``(item, sorted pages)`` pairs.
+        """
+        return {
+            "selected": sorted(self._selected),
+            "dirty": [
+                (item, sorted(pages))
+                for item, pages in self._dirty.items()
+            ],
+            "flush_count": self.flush_count,
+            "absorbed_pages": self.absorbed_pages,
+            "flushed_pages": self.flushed_pages,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the partition exactly as captured."""
+        self._selected = set(state["selected"])
+        self._dirty = {item: set(pages) for item, pages in state["dirty"]}
+        self.flush_count = state["flush_count"]
+        self.absorbed_pages = state["absorbed_pages"]
+        self.flushed_pages = state["flushed_pages"]
+
 
 class StorageCache:
     """The full cache: LRU + preload + write-delay partitions.
@@ -313,3 +367,17 @@ class StorageCache:
         if page in self.write_delay._dirty.get(item_id, ()):
             return True
         return self.lru.access(item_id, page)
+
+    def snapshot_state(self) -> dict:
+        """Serializable state of all three partitions (:mod:`repro.persistence`)."""
+        return {
+            "lru": self.lru.snapshot_state(),
+            "preload": self.preload.snapshot_state(),
+            "write_delay": self.write_delay.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore every partition exactly as captured."""
+        self.lru.restore_state(state["lru"])
+        self.preload.restore_state(state["preload"])
+        self.write_delay.restore_state(state["write_delay"])

@@ -779,3 +779,65 @@ class StorageController:
         if self.logical_io_count == 0:
             return 0.0
         return self.cache_hit_count / self.logical_io_count
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable controller books: I/O counters, fault/retry state.
+
+        Construction wiring (virtualization, cache, taps, fault clock,
+        throughputs, backoff config) is rebuilt by the resume path and
+        deliberately not captured; the cache and virtualization snapshot
+        themselves as separate components.
+        """
+        return {
+            "logical_io_count": self.logical_io_count,
+            "cache_hit_count": self.cache_hit_count,
+            "migrated_bytes": self.migrated_bytes,
+            "migration_count": self.migration_count,
+            "preloaded_bytes": self.preloaded_bytes,
+            "flushed_bytes": self.flushed_bytes,
+            "battery_failed": self._battery_failed,
+            "emergency_items": sorted(self._emergency_items),
+            "policy_selected": sorted(self._policy_selected),
+            "fault_denied_ios": self.fault_denied_ios,
+            "fault_delayed_ios": self.fault_delayed_ios,
+            "fault_spin_up_retries": self.fault_spin_up_retries,
+            "fault_delay_seconds": self.fault_delay_seconds,
+            "fault_max_queue_delay": self.fault_max_queue_delay,
+            "emergency_buffered_ios": self.emergency_buffered_ios,
+            "emergency_flushes": self.emergency_flushes,
+            "migration_aborts": self.migration_aborts,
+            "at_risk_last_time": self._at_risk_last_time,
+            "at_risk_last_bytes": self._at_risk_last_bytes,
+            "at_risk_peak_bytes": self.at_risk_peak_bytes,
+            "at_risk_byte_seconds": self.at_risk_byte_seconds,
+            "at_risk_samples": list(self.at_risk_samples),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the controller books exactly as captured."""
+        self.logical_io_count = state["logical_io_count"]
+        self.cache_hit_count = state["cache_hit_count"]
+        self.migrated_bytes = state["migrated_bytes"]
+        self.migration_count = state["migration_count"]
+        self.preloaded_bytes = state["preloaded_bytes"]
+        self.flushed_bytes = state["flushed_bytes"]
+        self._battery_failed = state["battery_failed"]
+        self._emergency_items = set(state["emergency_items"])
+        self._policy_selected = set(state["policy_selected"])
+        self.fault_denied_ios = state["fault_denied_ios"]
+        self.fault_delayed_ios = state["fault_delayed_ios"]
+        self.fault_spin_up_retries = state["fault_spin_up_retries"]
+        self.fault_delay_seconds = state["fault_delay_seconds"]
+        self.fault_max_queue_delay = state["fault_max_queue_delay"]
+        self.emergency_buffered_ios = state["emergency_buffered_ios"]
+        self.emergency_flushes = state["emergency_flushes"]
+        self.migration_aborts = state["migration_aborts"]
+        self._at_risk_last_time = state["at_risk_last_time"]
+        self._at_risk_last_bytes = state["at_risk_last_bytes"]
+        self.at_risk_peak_bytes = state["at_risk_peak_bytes"]
+        self.at_risk_byte_seconds = state["at_risk_byte_seconds"]
+        self.at_risk_samples = list(state["at_risk_samples"])

@@ -147,3 +147,17 @@ class MigrationEngine:
             moves_skipped=skipped,
             moves_aborted=aborted,
         )
+
+    def snapshot_state(self) -> dict:
+        """Serializable migration totals (:mod:`repro.persistence`)."""
+        return {
+            "total_bytes_moved": self.total_bytes_moved,
+            "total_moves": self.total_moves,
+            "total_aborts": self.total_aborts,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the totals exactly as captured."""
+        self.total_bytes_moved = state["total_bytes_moved"]
+        self.total_moves = state["total_moves"]
+        self.total_aborts = state["total_aborts"]

@@ -276,3 +276,39 @@ class BlockVirtualization:
         self._next_block[target_enclosure] += units.bytes_to_blocks(size)
         self._route_cache.pop(item_id, None)
         return src, target_enclosure
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.persistence)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable mapping state (:mod:`repro.persistence`).
+
+        Captures volumes, item placement, and capacity books, all in
+        insertion order (``item_ids()``/``items_on()`` report it, so it
+        is observable state).  The enclosure objects themselves and the
+        ``_route_cache`` are not stored — enclosures snapshot separately
+        and the route cache is derived, rebuilt lazily after restore.
+        """
+        return {
+            "volumes": [
+                (vol.name, vol.enclosure) for vol in self._volumes.values()
+            ],
+            "item_volume": list(self._item_volume.items()),
+            "item_size": list(self._item_size.items()),
+            "item_base": list(self._item_base.items()),
+            "used_bytes": dict(self._used_bytes),
+            "next_block": dict(self._next_block),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the mapping exactly as captured (route cache cleared)."""
+        self._volumes = {
+            name: Volume(name, enclosure)
+            for name, enclosure in state["volumes"]
+        }
+        self._item_volume = dict(state["item_volume"])
+        self._item_size = dict(state["item_size"])
+        self._item_base = dict(state["item_base"])
+        self._used_bytes = dict(state["used_bytes"])
+        self._next_block = dict(state["next_block"])
+        self._route_cache.clear()

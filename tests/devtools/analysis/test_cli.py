@@ -19,6 +19,7 @@ FIXTURE_CHECKS = [
     ("d1_dimensions.py", ["D101", "D102", "D103", "D104"]),
     ("d2_determinism.py", ["D202", "D203", "D204", "D204"]),
     ("d2_purity", ["D201"]),
+    ("d205_snapshots.py", ["D205", "D205"]),
 ]
 
 

@@ -1,0 +1,57 @@
+"""Fixture for D205 — policy state invisible to snapshot/restore."""
+
+
+class PowerPolicy:
+    """Planner base class (matched by bare name, like the real one)."""
+
+    def on_checkpoint(self, now: float) -> None:
+        """Entry point invoked at each monitoring checkpoint."""
+
+    def snapshot_state(self) -> dict:
+        """Base capture (stateless planners rely on this)."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Base restore."""
+
+
+class ForgetfulPolicy(PowerPolicy):
+    """D205: grows window state the persistence layer never sees."""
+
+    def __init__(self) -> None:
+        self.windows = 0
+        self.last_checkpoint = 0.0
+
+    def on_checkpoint(self, now: float) -> None:
+        self.windows += 1
+        self.last_checkpoint = now
+
+
+class HalfProtocolPolicy(PowerPolicy):
+    """D205: a capture nobody can restore."""
+
+    def snapshot_state(self) -> dict:
+        return {"half": True}
+
+
+class StatelessPolicy(PowerPolicy):
+    """No finding: nothing mutates, the base capture suffices."""
+
+    def on_checkpoint(self, now: float) -> None:
+        return None
+
+
+class DurablePolicy(PowerPolicy):
+    """No finding: mutable state with the full protocol alongside."""
+
+    def __init__(self) -> None:
+        self.windows = 0
+
+    def on_checkpoint(self, now: float) -> None:
+        self.windows += 1
+
+    def snapshot_state(self) -> dict:
+        return {"windows": self.windows}
+
+    def restore_state(self, state: dict) -> None:
+        self.windows = state["windows"]

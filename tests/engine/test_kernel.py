@@ -8,7 +8,7 @@ from repro.baselines.nopower import NoPowerSavingPolicy
 from repro.config import DEFAULT_CONFIG
 from repro.engine.events import TraceRecordEvent
 from repro.engine.kernel import SimulationKernel
-from repro.errors import ReplayError
+from repro.errors import ReplayError, UsageError
 from repro.faults.plan import CacheBatteryFailure, FaultPlan
 from repro.simulation import build_context, default_volume
 from repro.trace.records import IOType, LogicalIORecord
@@ -162,3 +162,51 @@ class TestReplayValidation:
         policy.bind(context)
         with pytest.raises(ReplayError):
             SimulationKernel(context, policy).replay([], duration=0.0)
+
+
+class TestFinishedKernelMisuse:
+    """A settled kernel is single-use: further driving is a UsageError."""
+
+    def _finished_kernel(self):
+        context = make_context()
+        policy = NoPowerSavingPolicy()
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        kernel.replay([record(5.0)], duration=50.0)
+        assert kernel.finished
+        return kernel
+
+    def test_post_after_finish_raises_usage_error(self):
+        kernel = self._finished_kernel()
+        with pytest.raises(UsageError, match="finished kernel"):
+            kernel.post(TraceRecordEvent(record(60.0)))
+
+    def test_run_until_after_finish_raises_usage_error(self):
+        kernel = self._finished_kernel()
+        with pytest.raises(UsageError, match="finished kernel"):
+            kernel.run_until(100.0)
+
+    def test_resume_replay_after_finish_raises_usage_error(self):
+        kernel = self._finished_kernel()
+        with pytest.raises(UsageError, match="finished kernel"):
+            kernel.resume_replay([], duration=100.0, start_count=1,
+                                 start_ts=5.0)
+
+    def test_run_until_into_the_past_raises_usage_error(self):
+        context = make_context()
+        policy = NoPowerSavingPolicy()
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        kernel.run_until(100.0)
+        with pytest.raises(UsageError, match="in the past"):
+            kernel.run_until(50.0)
+        # The clock did not move: the misuse left no trace.
+        assert kernel.clock.now == 100.0
+
+    def test_run_until_current_time_is_allowed(self):
+        context = make_context()
+        policy = NoPowerSavingPolicy()
+        policy.bind(context)
+        kernel = SimulationKernel(context, policy)
+        kernel.run_until(100.0)
+        assert kernel.run_until(100.0) == 100.0

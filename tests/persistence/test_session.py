@@ -1,0 +1,179 @@
+"""Tests for SnapshotSession: resume bit-identity and refusal paths."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.errors import SnapshotError, ValidationError
+from repro.experiments.testbed import build_workload
+from repro.faults.plan import (
+    CacheBatteryFailure,
+    EnclosureOutage,
+    FaultPlan,
+    MigrationAbort,
+    SlowSpinUp,
+    SpinUpFailure,
+)
+from repro.persistence import (
+    RunSpec,
+    SnapshotSession,
+    find_latest_valid,
+    load_snapshot,
+    snapshot_count,
+)
+
+
+class _InjectedCrash(Exception):
+    pass
+
+
+def _fault_plan() -> FaultPlan:
+    first_item = build_workload("tpcc", False).items[0].item_id
+    return FaultPlan(
+        events=(
+            SpinUpFailure(enclosure="enc-03", after=300.0, failures=2),
+            SlowSpinUp(
+                enclosure="enc-05", start=0.0, end=1800.0, multiplier=2.0
+            ),
+            EnclosureOutage(enclosure="enc-01", start=900.0, end=1200.0),
+            CacheBatteryFailure(time=1500.0),
+            MigrationAbort(item_id=first_item, after=600.0),
+        )
+    )
+
+
+def _surface(result, session):
+    timeline = (
+        tuple(session.timeline.points)
+        if session.timeline is not None
+        else None
+    )
+    return (asdict(result), result.actions, timeline)
+
+
+def _crash_and_resume(spec, snapshot_every, kill_at, directory):
+    session = SnapshotSession(spec)
+
+    def injector(count, ts):
+        if count == kill_at:
+            raise _InjectedCrash()
+
+    with pytest.raises(_InjectedCrash):
+        session.run(snapshot_every, directory, record_hook=injector)
+    latest = find_latest_valid(directory)
+    assert latest is not None
+    fresh = SnapshotSession(spec)
+    return fresh, fresh.resume(load_snapshot(latest)), snapshot_count(latest)
+
+
+class TestResumeBitIdentity:
+    def test_everything_cell_resumes_bit_identically(self, tmp_path):
+        """The maximal configuration: proposed policy, fault plan,
+        timeline, auditor armed across the seam."""
+        spec = RunSpec(
+            workload="tpcc",
+            policy="proposed",
+            audit=True,
+            timeline_interval=300.0,
+            faults_json=_fault_plan().to_json(),
+        )
+        golden_session = SnapshotSession(spec)
+        golden = golden_session.run()
+        fresh, resumed, resumed_from = _crash_and_resume(
+            spec, 3000, golden.io_count * 2 // 3, tmp_path
+        )
+        assert resumed_from > 0
+        assert _surface(resumed, fresh) == _surface(golden, golden_session)
+        # The auditor kept checking after the seam, on restored cursors.
+        assert fresh.auditor.checks_run == golden_session.auditor.checks_run
+
+    def test_columnar_pump_resumes_bit_identically(self, tmp_path):
+        spec = RunSpec(workload="tpcc", policy="ddr", columnar=True)
+        golden_session = SnapshotSession(spec)
+        golden = golden_session.run()
+        fresh, resumed, _ = _crash_and_resume(
+            spec, 4000, golden.io_count // 2, tmp_path
+        )
+        assert _surface(resumed, fresh) == _surface(golden, golden_session)
+
+    def test_crash_before_first_snapshot_leaves_no_file(self, tmp_path):
+        spec = RunSpec(workload="tpcc", policy="no-power-saving")
+        session = SnapshotSession(spec)
+
+        def injector(count, ts):
+            if count == 10:
+                raise _InjectedCrash()
+
+        with pytest.raises(_InjectedCrash):
+            session.run(5000, tmp_path, record_hook=injector)
+        assert find_latest_valid(tmp_path) is None
+
+
+class TestRefusals:
+    def _payload(self):
+        spec = RunSpec(workload="tpcc", policy="pdc")
+        session = SnapshotSession(spec)
+        captured = {}
+
+        def hook(count, ts):
+            if count == 500:
+                captured["payload"] = session.capture(count, ts)
+
+        session.run(record_hook=hook)
+        return spec, captured["payload"]
+
+    def test_resume_with_different_spec_refused(self):
+        _, payload = self._payload()
+        other = SnapshotSession(RunSpec(workload="tpcc", policy="ddr"))
+        with pytest.raises(SnapshotError, match="different run"):
+            other.resume(payload)
+
+    def test_missing_component_state_refused(self):
+        spec, payload = self._payload()
+        del payload["states"]["controller"]
+        with pytest.raises(SnapshotError, match="missing component"):
+            SnapshotSession(spec).resume(payload)
+
+    def test_snapshot_every_without_dir_rejected(self):
+        session = SnapshotSession(RunSpec(workload="tpcc", policy="pdc"))
+        with pytest.raises(ValidationError, match="snapshot_dir"):
+            session.run(snapshot_every=100)
+
+    def test_negative_snapshot_every_rejected(self, tmp_path):
+        session = SnapshotSession(RunSpec(workload="tpcc", policy="pdc"))
+        with pytest.raises(ValidationError, match="non-negative"):
+            session.run(snapshot_every=-1, snapshot_dir=tmp_path)
+
+
+class TestRunSpec:
+    def test_round_trips_through_dict(self):
+        spec = RunSpec(
+            workload="tpch",
+            policy="proposed",
+            full=True,
+            audit=True,
+            columnar=True,
+            timeline_interval=60.0,
+            faults_json=_fault_plan().to_json(),
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValidationError, match="unknown workload"):
+            RunSpec(workload="mysql", policy="proposed")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError, match="unknown policy"):
+            RunSpec(workload="tpcc", policy="magic")
+
+    def test_non_positive_timeline_interval_rejected(self):
+        with pytest.raises(ValidationError, match="timeline_interval"):
+            RunSpec(workload="tpcc", policy="pdc", timeline_interval=0.0)
+
+    def test_fault_plan_decodes(self):
+        plan = _fault_plan()
+        spec = RunSpec(
+            workload="tpcc", policy="pdc", faults_json=plan.to_json()
+        )
+        assert spec.fault_plan() == plan
+        assert RunSpec(workload="tpcc", policy="pdc").fault_plan() is None

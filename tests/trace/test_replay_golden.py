@@ -128,6 +128,86 @@ def capture_all(columnar: bool = False) -> dict:
     return cells
 
 
+# ---------------------------------------------------------------------
+# Snapshot/restore round-trip property (repro.persistence)
+# ---------------------------------------------------------------------
+#
+# The crash-safety claim extends the golden claim: not only must every
+# replay be bit-identical run to run, it must stay bit-identical when
+# snapshotted at an *arbitrary* record boundary and resumed in a fresh
+# process-worth of state.  Hypothesis picks the policy and the boundary;
+# the golden (uninterrupted) surface is computed once per policy.
+
+from functools import lru_cache
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.persistence import RunSpec, SnapshotSession
+
+
+def _snapshot_surface(result, session):
+    """Everything the round-trip property compares, as plain data."""
+    timeline = tuple(session.timeline.points)
+    return (asdict(result), result.actions, timeline)
+
+
+def _snapshot_spec(policy_name: str) -> RunSpec:
+    return RunSpec(
+        workload="tpcc",
+        policy=policy_name,
+        timeline_interval=TIMELINE_INTERVAL,
+    )
+
+
+@lru_cache(maxsize=None)
+def _uninterrupted(policy_name: str):
+    """Golden surface + record count for one policy, computed once."""
+    session = SnapshotSession(_snapshot_spec(policy_name))
+    result = session.run()
+    return _snapshot_surface(result, session), result.io_count
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    policy_name=st.sampled_from(tuple(STANDARD_POLICIES)),
+    fraction=st.floats(min_value=0.001, max_value=0.999),
+)
+def test_snapshot_restore_round_trip_is_bit_identical(
+    policy_name, fraction, tmp_path_factory
+):
+    """Snapshot at any record boundary, restore, finish: same result.
+
+    The snapshot goes through the full on-disk ``.ecsn`` envelope (not
+    just an in-memory dict), so the property also covers the pickle +
+    checksum round trip.
+    """
+    from repro.persistence import load_snapshot, write_snapshot
+    from repro.persistence.format import snapshot_filename
+
+    golden, io_count = _uninterrupted(policy_name)
+    boundary = max(1, min(io_count, int(fraction * io_count)))
+    directory = tmp_path_factory.mktemp("ecsn-prop")
+    path = directory / snapshot_filename(boundary)
+
+    session = SnapshotSession(_snapshot_spec(policy_name))
+
+    def hook(count, ts):
+        if count == boundary:
+            write_snapshot(path, session.capture(count, ts))
+
+    first = session.run(record_hook=hook)
+    assert _snapshot_surface(first, session) == golden
+
+    resumed_session = SnapshotSession(_snapshot_spec(policy_name))
+    resumed = resumed_session.resume(load_snapshot(path))
+    assert _snapshot_surface(resumed, resumed_session) == golden
+
+
 @pytest.mark.parametrize("columnar", [False, True], ids=["object", "columnar"])
 def test_replay_bit_identical_to_golden(columnar):
     golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
