@@ -1,0 +1,39 @@
+"""Columnar-pump throughput gate, measured fresh — never from the file.
+
+The committed ``BENCH_engine.json`` is a *record* of one machine's
+measurement, refreshed when the engine changes; it goes stale the
+moment the code moves and must never be the thing a guard compares
+against.  This gate re-measures both pump modes on the machine running
+the suite — the same interleaved best-of-N measurement ``ecostor
+bench`` ships — and holds the batched columnar pump to at least 95 % of
+the freshly measured object pump (the same bar CI applies to its own
+fresh measurement).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import run_bench
+
+#: The CI bar: columnar may not drop below 95 % of the object pump
+#: (5 % grace absorbs best-of-N jitter on shared machines).
+MIN_COLUMNAR_RATIO = 0.95
+
+
+def test_columnar_pump_keeps_up_with_fresh_object_pump(report):
+    document = run_bench("tpcc", full=False, repeats=5)
+    lines = ["Columnar vs object pump (tpcc smoke, measured fresh)"]
+    failures = []
+    for name, row in document["policies"].items():
+        columnar = row["columnar"]["records_per_second"]
+        obj = row["object"]["records_per_second"]
+        lines.append(
+            f"  {name:<16} columnar {columnar:>9,.0f} rec/s vs object "
+            f"{obj:>9,.0f} rec/s ({row['columnar_speedup']:.2f}x)"
+        )
+        if columnar < MIN_COLUMNAR_RATIO * obj:
+            failures.append(name)
+    report("\n".join(lines))
+    assert not failures, (
+        f"columnar pump slower than the freshly measured object pump "
+        f"for: {failures} (bar: {MIN_COLUMNAR_RATIO:.0%})"
+    )

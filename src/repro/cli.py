@@ -16,7 +16,11 @@ Subcommands::
     ecostor export-trace WORKLOAD PATH [--full]
     ecostor replay-trace PATH POLICY [--enclosures N] [--msr] [--ecot]
     ecostor trace pack INPUT OUTPUT [--msr]
-    ecostor trace info PATH
+    ecostor trace info PATH [--shards N [--router-seed S]]
+    ecostor fleet run WORKLOAD POLICY [--arrays N] [--router-seed S]
+                      [--audit] [--outage-arrays K ...] [--out PATH]
+                      [--jobs N] [--cache-dir DIR]
+    ecostor fleet report PATH
     ecostor intervals WORKLOAD POLICY [--full]
     ecostor bench [--workload W] [--repeats N] [--out BENCH_engine.json]
     ecostor lint [PATHS ...] [--format text|json] [--select RULE ...]
@@ -40,7 +44,13 @@ kill/resume sweep — see ``docs/snapshots.md``); ``export-trace`` /
 MSR-Cambridge block traces with ``--msr``, or packed ``.ecot`` columnar
 traces — see ``docs/trace-format.md``); ``trace pack`` converts a CSV
 or MSR trace into the ``.ecot`` binary format and ``trace info`` prints
-a packed file's header; ``intervals`` draws a
+a packed file's header (``--shards N`` adds the per-array histogram a
+fleet router would produce); ``fleet run`` shards one workload across
+``--arrays`` independent arrays with a deterministic router, merges the
+per-array books, and audits global conservation — fleet energy exactly
+equal to the sum of per-array energies (see ``docs/fleet.md``) —
+while ``fleet report`` re-renders a saved fleet JSON; ``intervals``
+draws a
 Fig 17-19 curve in the terminal; ``lint`` runs the
 :mod:`repro.devtools` domain linter; ``analyze`` runs the whole-program
 dimensional & determinism analyzer (:mod:`repro.devtools.analysis`)
@@ -514,6 +524,122 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
         span = max(trace.timestamps) - min(trace.timestamps)
         print(f"span:      {span:,.1f} s")
         print(f"reads:     {reads} ({reads / count:.0%})")
+    if args.shards:
+        from repro.fleet.routing import HashRouter, array_name
+
+        router = HashRouter(args.shards, args.router_seed)
+        owners = [router.shard_for(item_id) for item_id in trace.items]
+        item_counts = [0] * args.shards
+        record_counts = [0] * args.shards
+        for owner in owners:
+            item_counts[owner] += 1
+        for index in trace.item_index:
+            record_counts[owners[index]] += 1
+        width = max(record_counts) if count else 0
+        print(f"shards:    {args.shards} (router seed {args.router_seed})")
+        for shard in range(args.shards):
+            bar = "#" * (
+                round(40 * record_counts[shard] / width) if width else 0
+            )
+            print(
+                f"  {array_name(shard)}: {record_counts[shard]:>8} records "
+                f"{item_counts[shard]:>6} items  {bar}"
+            )
+    return 0
+
+
+def _render_fleet(data: dict) -> str:
+    """Text table for a fleet report dict (:meth:`FleetResult.to_dict`)."""
+    lines = [
+        f"fleet — {data['workload']} / {data['policy']}, "
+        f"{data['n_arrays']} arrays, router seed {data['router_seed']}",
+        "",
+        f"{'array':<10} {'I/Os':>8} {'encl W':>8} {'resp ms':>8} "
+        f"{'migrated':>10} {'spin-ups':>8} {'denied':>6} {'unavail':>8}",
+    ]
+    for row in data["arrays"]:
+        lines.append(
+            f"{row['array']:<10} {row['io_count']:>8} "
+            f"{row['enclosure_watts']:>8.0f} "
+            f"{row['mean_response'] * 1e3:>8.1f} "
+            f"{gigabytes(row['migrated_bytes']):>10} "
+            f"{row['spin_up_count']:>8} {row['denied_ios']:>6} "
+            f"{row['unavailability_seconds']:>7.0f}s"
+        )
+    lines += [
+        "",
+        f"fleet totals: {data['io_count']} I/Os, "
+        f"{watts(data['enclosure_watts'])} enclosures + "
+        f"{watts(data['controller_watts'])} controllers, "
+        f"mean response {seconds(data['mean_response'])}",
+        f"energy books: {data['enclosure_joules']:,.0f} J enclosures, "
+        f"{data['controller_joules']:,.0f} J controllers "
+        f"(exact per-array sums, audited)",
+        f"migrations:   {gigabytes(data['migrated_bytes'])} in "
+        f"{data['migration_count']} moves, "
+        f"{data['determinations']} determinations",
+    ]
+    if data["actions_by_kind"]:
+        kinds = ", ".join(
+            f"{kind} x{count}"
+            for kind, count in sorted(data["actions_by_kind"].items())
+        )
+        lines.append(f"actions:      {kinds}")
+    if data["denied_ios"] or data["unavailability_seconds"]:
+        lines.append(
+            f"availability: {data['denied_ios']} denied, "
+            f"{data['delayed_ios']} delayed, "
+            f"{data['unavailability_seconds']:,.0f} s unavailable, "
+            f"{data['outage_violations']} outage violations"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.parallel import (
+        ExperimentEngine,
+        PolicySpec,
+        WorkloadSpec,
+    )
+    from repro.fleet import FleetRunner, array_outage_plans
+
+    runner = FleetRunner(args.arrays, router_seed=args.router_seed)
+    plans = None
+    if args.outage_arrays:
+        workload = build_workload(args.workload, args.full)
+        plans = array_outage_plans(
+            workload, runner.router(), args.outage_arrays, seed=args.chaos_seed
+        )
+    engine = ExperimentEngine(
+        jobs=args.jobs, cache_dir=args.cache_dir, progress=_progress
+    )
+    fleet = runner.run(
+        WorkloadSpec(name=args.workload, full=args.full),
+        PolicySpec(name=args.policy),
+        audit=args.audit,
+        faults=plans,
+        engine=engine,
+    )
+    print(_render_fleet(fleet.to_dict()))
+    if args.out is not None:
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json.dumps(fleet.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote fleet report to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    data = json.loads(Path(args.path).read_text(encoding="utf-8"))
+    print(_render_fleet(data))
     return 0
 
 
@@ -790,7 +916,73 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="print the header and summary of a packed .ecot file"
     )
     info.add_argument("path")
+    info.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the per-array record/item histogram an N-array "
+        "fleet router would produce",
+    )
+    info.add_argument(
+        "--router-seed",
+        type=int,
+        default=0,
+        help="router seed for the --shards histogram",
+    )
     info.set_defaults(func=_cmd_trace_info)
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-array fleet runs (repro.fleet)"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="shard one workload across N arrays, merge + audit the books",
+    )
+    fleet_run.add_argument("workload", choices=WORKLOAD_NAMES)
+    fleet_run.add_argument("policy", choices=sorted(STANDARD_POLICIES))
+    fleet_run.add_argument(
+        "--arrays", type=int, default=3, metavar="N",
+        help="fleet width (default: 3)",
+    )
+    fleet_run.add_argument(
+        "--router-seed", type=int, default=0,
+        help="seed of the deterministic item->array router",
+    )
+    fleet_run.add_argument("--full", action="store_true")
+    fleet_run.add_argument(
+        "--audit",
+        action="store_true",
+        help="arm the per-array invariant auditor (the global "
+        "conservation audit always runs)",
+    )
+    fleet_run.add_argument(
+        "--outage-arrays",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="K",
+        help="inject a deterministic whole-array outage plan into "
+        "these array indexes",
+    )
+    fleet_run.add_argument(
+        "--chaos-seed", type=int, default=11,
+        help="seed for --outage-arrays fault plans",
+    )
+    fleet_run.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the fleet report as JSON here",
+    )
+    _add_engine_options(fleet_run)
+    fleet_run.set_defaults(func=_cmd_fleet_run)
+    fleet_report = fleet_sub.add_parser(
+        "report", help="render a saved fleet report JSON as text"
+    )
+    fleet_report.add_argument("path")
+    fleet_report.set_defaults(func=_cmd_fleet_report)
 
     intervals = sub.add_parser(
         "intervals", help="draw a Fig 17-19 interval curve"

@@ -24,12 +24,16 @@ R8     ad-hoc-time           timeline sampling and fault bookkeeping only
                              through the :mod:`repro.engine` kernel
 R9     direct-mutation       storage mutators and power-off enablement
                              only through the :mod:`repro.actions` layer
+R10    cross-array-access    no hardcoded foreign-array component names
+                             outside :mod:`repro.fleet`; ownership comes
+                             from the router, never from a literal
 =====  ====================  ==============================================
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
@@ -810,6 +814,84 @@ class DirectMutationRule(Rule):
                 "through an ActionPlan applied by the repro.actions "
                 "executor, which records, gates, and costs them",
             )
+
+
+# ---------------------------------------------------------------------------
+# R10: cross-array access via hardcoded namespaced names
+# ---------------------------------------------------------------------------
+
+#: The package that owns fleet namespacing: router, splitter, runner,
+#: aggregator, and array-level chaos may spell array-qualified names
+#: (they construct and audit them); everyone else must derive ownership
+#: from the router.
+_FLEET_OWNER_PACKAGE = "repro/fleet/"
+
+#: A fleet-namespaced component name: ``"array-01:enc-00"`` or a
+#: default-volume form like ``"vol/array-01:enc-00"``.  Matching one of
+#: these as a *literal* means the code baked in another array's
+#: identity instead of asking the router.
+_ARRAY_NAME_PATTERN = re.compile(r"(?:^|/)array-\d+:")
+
+#: Storage entry points whose target a literal array name would bypass
+#: the router for: the R9 mutators plus the virtualization/controller
+#: lookups that resolve component names to state.
+_ARRAY_ACCESS_METHODS = frozenset(
+    {
+        "enclosure",
+        "enclosure_of",
+        "items_on",
+        "used_bytes",
+        "free_bytes",
+        "create_volume",
+        "add_item",
+        "move_item",
+        "volume",
+    }
+) | MUTATOR_METHODS
+
+
+@_register
+class CrossArrayAccessRule(Rule):
+    """R10: hardcoded foreign-array names outside :mod:`repro.fleet`."""
+
+    rule_id = "R10"
+    name = "cross-array-access"
+    summary = (
+        "array-qualified component names ('array-01:enc-00') are owned "
+        "by the fleet router; code outside repro.fleet must derive them "
+        "via HashRouter/array_name, never hardcode another array's "
+        "namespace"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Flag storage calls passing a literal array-namespaced name."""
+        if _FLEET_OWNER_PACKAGE in ctx.posix_path:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            method = node.func.attr
+            if method not in _ARRAY_ACCESS_METHODS:
+                continue
+            arguments = [*node.args, *[kw.value for kw in node.keywords]]
+            for argument in arguments:
+                if not (
+                    isinstance(argument, ast.Constant)
+                    and isinstance(argument.value, str)
+                    and _ARRAY_NAME_PATTERN.search(argument.value)
+                ):
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"call to {method}() hardcodes the array-namespaced "
+                    f"name {argument.value!r} — item/enclosure ownership "
+                    "belongs to repro.fleet.routing; resolve names "
+                    "through the HashRouter instead of baking in "
+                    "another array's namespace",
+                )
 
 
 def resolve_rules(selectors: Iterable[str] | None = None) -> list[Rule]:

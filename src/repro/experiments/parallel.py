@@ -53,8 +53,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Bump to invalidate every existing cache entry (key-scheme changes).
 #: Format 2 added the fault-plan fingerprint to the key.  Format 3
 #: tracks serializer format 3 (the :mod:`repro.actions` log rides in
-#: every cached result).
-CACHE_FORMAT = 3
+#: every cached result).  Format 4 added the fleet shard (router seed +
+#: array count + array index + pins) to the key, so per-array cells of
+#: a fleet run can never collide with whole-workload cells.
+CACHE_FORMAT = 4
 
 #: Option value types allowed in specs: JSON-representable scalars.
 SpecValue = bool | int | float | str
@@ -181,6 +183,58 @@ class PolicySpec:
 
 
 @dataclass(frozen=True)
+class ShardSpec:
+    """One array's slice of a fleet run (:mod:`repro.fleet`).
+
+    Attached to an :class:`ExperimentCell`, it makes the worker build
+    the full workload, keep only the records the deterministic router
+    assigns to ``array_index``, and replay them on a context namespaced
+    with that array's id.  Everything that decides the slice — router
+    seed, fleet width, array index, pinning overrides — is part of the
+    cell's cache key.
+    """
+
+    n_arrays: int
+    array_index: int
+    router_seed: int = 0
+    #: Pinning overrides, ``(item_id, array_index)`` pairs (sorted for
+    #: a canonical cache key).
+    pins: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_arrays < 1:
+            raise ValidationError(
+                f"n_arrays must be >= 1, got {self.n_arrays}"
+            )
+        if not 0 <= self.array_index < self.n_arrays:
+            raise ValidationError(
+                f"array index {self.array_index} outside fleet of "
+                f"{self.n_arrays}"
+            )
+        for item_id, target in self.pins:
+            if not 0 <= target < self.n_arrays:
+                raise ValidationError(
+                    f"pin {item_id!r} -> array {target} outside fleet "
+                    f"of {self.n_arrays}"
+                )
+        object.__setattr__(self, "pins", tuple(sorted(self.pins)))
+
+    @property
+    def array_id(self) -> str | None:
+        """Namespace id for this shard; ``None`` for 1-array fleets."""
+        if self.n_arrays == 1:
+            return None
+        from repro.fleet.routing import array_name
+
+        return array_name(self.array_index)
+
+    @property
+    def label(self) -> str:
+        """Short tag used in progress lines (``array 2/3``)."""
+        return f"array {self.array_index + 1}/{self.n_arrays}"
+
+
+@dataclass(frozen=True)
 class ExperimentCell:
     """One independently runnable (workload × policy × config) cell."""
 
@@ -190,11 +244,16 @@ class ExperimentCell:
     audit: bool = False
     #: Fault plan injected into the run; ``None`` means zero faults.
     faults: FaultPlan | None = None
+    #: Fleet shard this cell replays; ``None`` runs the whole workload
+    #: on one unnamespaced array (the legacy single-array path).
+    shard: ShardSpec | None = None
 
     @property
     def label(self) -> str:
         """``workload × policy`` tag used in progress lines and errors."""
         base = f"{self.workload.label} x {self.policy.label}"
+        if self.shard is not None:
+            base = f"{base} @ {self.shard.label}"
         if self.faults is not None and self.faults:
             return f"{base} + faults[{self.faults.label}]"
         return base
@@ -242,6 +301,14 @@ class ExperimentCell:
             "config": asdict(self.config),
             "audit": self.audit,
             "faults": self._faults_fingerprint(),
+            "shard": None
+            if self.shard is None
+            else {
+                "n_arrays": self.shard.n_arrays,
+                "array_index": self.shard.array_index,
+                "router_seed": self.shard.router_seed,
+                "pins": [list(pair) for pair in self.shard.pins],
+            },
         }
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -274,9 +341,19 @@ class CellOutcome:
 
 def _execute_cell(cell: ExperimentCell) -> dict[str, Any]:
     """Run one cell and return its serialized result (worker body)."""
+    workload = cell.workload.build()
+    array_id = None
+    if cell.shard is not None:
+        from repro.fleet.routing import HashRouter
+        from repro.fleet.split import shard_workload
+
+        shard = cell.shard
+        router = HashRouter(shard.n_arrays, shard.router_seed, shard.pins)
+        workload = shard_workload(workload, router, shard.array_index)
+        array_id = shard.array_id
     result = run_cell(
-        cell.workload.build(), cell.policy.build(), cell.config,
-        audit=cell.audit, faults=cell.faults,
+        workload, cell.policy.build(), cell.config,
+        audit=cell.audit, faults=cell.faults, array_id=array_id,
     )
     return result_to_dict(result)
 

@@ -99,6 +99,7 @@ def run_cell(
     config: EcoStorConfig = DEFAULT_CONFIG,
     audit: bool = False,
     faults: FaultPlan | None = None,
+    array_id: str | None = None,
 ) -> ExperimentResult:
     """Replay one workload under one policy on a fresh testbed.
 
@@ -111,8 +112,14 @@ def run_cell(
     ``faults`` injects a :class:`~repro.faults.plan.FaultPlan` into the
     testbed (spin-up failures, outages, battery loss, ...); ``None`` or
     an empty plan replays bit-identically to the pre-fault engine.
+
+    ``array_id`` namespaces the testbed's component names for fleet
+    runs (:mod:`repro.fleet`); ``None`` keeps the legacy names and the
+    legacy bit-identical results.
     """
-    context = build_context(config, workload.enclosure_count, faults=faults)
+    context = build_context(
+        config, workload.enclosure_count, faults=faults, array_id=array_id
+    )
     workload.install(context)
     auditor = None
     if audit:

@@ -1,0 +1,69 @@
+"""Array-level chaos: whole-array fault plans for fleet runs.
+
+Single-array chaos (:mod:`repro.faults.chaos`) injects faults into *one*
+testbed.  A fleet adds a coarser failure domain: an entire array's
+enclosures dropping offline while the rest of the fleet keeps serving.
+:func:`array_outage_plans` derives exactly that — one deterministic
+``"outage"`` :class:`~repro.faults.plan.FaultPlan` per victim array,
+with every event name already in the victim's fleet namespace
+(``"array-01:enc-03"``) so the plan targets the right testbed and the
+merged fleet books stay unambiguous.
+
+Plans are seed-derived (victim ``k`` uses ``seed + k``), so a fleet
+chaos cell is reproducible from ``(workload, n_arrays, victims, seed)``
+alone, exactly like the single-array harness.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ValidationError
+from repro.faults.chaos import _enclosure_names, build_fault_plan
+from repro.faults.plan import FaultPlan
+from repro.fleet.routing import ARRAY_SEPARATOR, HashRouter
+from repro.workloads.items import Workload
+
+__all__ = ["array_outage_plans"]
+
+
+def array_outage_plans(
+    workload: Workload,
+    router: HashRouter,
+    victims: Sequence[int],
+    seed: int = 11,
+) -> Mapping[int, FaultPlan]:
+    """Per-array outage plans for the victim arrays of a fleet run.
+
+    Each victim index maps to a deterministic ``"outage"`` plan (two of
+    the victim's enclosures offline for ~5 % of the run each) built
+    against the *namespaced* enclosure names its testbed will actually
+    carry and the item ids the router assigns to it.  Feed the result
+    straight to :meth:`repro.fleet.runner.FleetRunner.run` — non-victim
+    arrays get no plan and run faultless.
+    """
+    plans: dict[int, FaultPlan] = {}
+    for k in victims:
+        if not 0 <= k < router.n_arrays:
+            raise ValidationError(
+                f"victim array {k} outside fleet of {router.n_arrays}"
+            )
+        if k in plans:
+            raise ValidationError(f"victim array {k} listed twice")
+        array_id = router.array_id(k)
+        prefix = (
+            f"{array_id}{ARRAY_SEPARATOR}" if array_id is not None else ""
+        )
+        names = [
+            f"{prefix}{name}"
+            for name in _enclosure_names(workload.enclosure_count)
+        ]
+        owned = [
+            item.item_id
+            for item in workload.items
+            if router.shard_for(item.item_id) == k
+        ]
+        plans[k] = build_fault_plan(
+            "outage", seed + k, workload.duration, names, owned
+        )
+    return plans

@@ -1,0 +1,132 @@
+"""Deterministic item→array routing for fleet-scale simulation.
+
+The fleet's placement rule is ``shard = f(item_id)``: every data item is
+owned by exactly one array, decided by a seed-stable hash of the item id
+alone.  The hash is SHA-256 (the same draw primitive the fault model
+uses), never Python's process-randomized ``hash()``, so the routing is
+identical across runs, processes, and platforms — a property the
+parallel result cache and the golden bit-identity tests both depend on.
+
+**Router contract** (pinned by tests and documented in
+``docs/fleet.md``)::
+
+    shard_for(item_id, n, seed)
+        = int.from_bytes(sha256(f"{seed}|{item_id}")[:8], "big") % n
+
+:class:`HashRouter` wraps the hash with explicit pinning overrides
+(operators may force specific items onto specific arrays, e.g. to
+co-locate a table with its index) and with the fleet's array naming:
+array ``k`` of an N-array fleet is namespaced ``array-NN``, and every
+component name inside it carries the ``"array-NN:"`` prefix.  A 1-array
+fleet uses *no* namespace at all — its names, and therefore its results,
+are bit-identical to a standalone single-array run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping
+
+from repro.errors import ValidationError
+
+__all__ = ["ARRAY_SEPARATOR", "HashRouter", "array_name", "shard_for"]
+
+#: Separator between an array id and a component name
+#: (``"array-01:enc-03"``).  ``":"`` because ``"/"`` already structures
+#: volume and item names (``"vol/enc-00"``, ``"fs/fsvol-00/hot-1"``).
+ARRAY_SEPARATOR = ":"
+
+#: Number of digest bytes turned into the routing integer.  Eight bytes
+#: (64 bits) keep the modulo bias unmeasurable for any realistic fleet.
+_DIGEST_BYTES = 8
+
+
+def array_name(index: int) -> str:
+    """Canonical id of the fleet array at ``index`` (``"array-NN"``)."""
+    if index < 0:
+        raise ValidationError(f"array index must be non-negative: {index}")
+    return f"array-{index:02d}"
+
+
+def shard_for(item_id: str, n_arrays: int, seed: int = 0) -> int:
+    """Owning array index for ``item_id`` in an ``n_arrays``-wide fleet.
+
+    Deterministic and platform-stable: the same ``(item_id, n_arrays,
+    seed)`` always yields the same shard, in every process and on every
+    machine.  ``n_arrays == 1`` short-circuits to ``0`` without hashing.
+    """
+    if n_arrays < 1:
+        raise ValidationError(f"n_arrays must be >= 1, got {n_arrays}")
+    if n_arrays == 1:
+        return 0
+    digest = hashlib.sha256(f"{seed}|{item_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:_DIGEST_BYTES], "big") % n_arrays
+
+
+class HashRouter:
+    """Seed-stable hash router with explicit pinning overrides.
+
+    ``pins`` maps item ids to forced array indexes (a mapping or an
+    iterable of ``(item_id, index)`` pairs); pinned items bypass the
+    hash entirely.  Conflicting pins for the same item are rejected at
+    construction, as are pins outside ``[0, n_arrays)``.
+    """
+
+    def __init__(
+        self,
+        n_arrays: int,
+        seed: int = 0,
+        pins: "Mapping[str, int] | Iterable[tuple[str, int]]" = (),
+    ) -> None:
+        if n_arrays < 1:
+            raise ValidationError(f"n_arrays must be >= 1, got {n_arrays}")
+        self.n_arrays = n_arrays
+        self.seed = seed
+        pairs = pins.items() if isinstance(pins, Mapping) else pins
+        lookup: dict[str, int] = {}
+        for item_id, index in pairs:
+            if not 0 <= index < n_arrays:
+                raise ValidationError(
+                    f"pin for {item_id!r} targets array {index}, but the "
+                    f"fleet has arrays 0..{n_arrays - 1}"
+                )
+            if lookup.get(item_id, index) != index:
+                raise ValidationError(
+                    f"conflicting pins for {item_id!r}: "
+                    f"{lookup[item_id]} vs {index}"
+                )
+            lookup[item_id] = index
+        self.pins: dict[str, int] = lookup
+
+    def shard_for(self, item_id: str) -> int:
+        """Owning array index for ``item_id`` (pins win over the hash)."""
+        pinned = self.pins.get(item_id)
+        if pinned is not None:
+            return pinned
+        return shard_for(item_id, self.n_arrays, self.seed)
+
+    def array_id(self, index: int) -> str | None:
+        """Namespace id of array ``index``; ``None`` for 1-array fleets.
+
+        ``None`` means "no namespacing": a 1-array fleet keeps the
+        legacy unprefixed component names, which is what makes it
+        bit-identical to a standalone run.
+        """
+        if not 0 <= index < self.n_arrays:
+            raise ValidationError(
+                f"array index {index} outside fleet of {self.n_arrays}"
+            )
+        return None if self.n_arrays == 1 else array_name(index)
+
+    def histogram(self, item_ids: Iterable[str]) -> list[int]:
+        """Items owned per array, in array order (``ecostor trace info``)."""
+        counts = [0] * self.n_arrays
+        for item_id in item_ids:
+            counts[self.shard_for(item_id)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashRouter(n_arrays={self.n_arrays}, seed={self.seed}, "
+            f"pins={len(self.pins)})"
+        )

@@ -1,0 +1,122 @@
+"""FleetRunner: fan per-array replays through the experiment engine.
+
+One fleet run is ``n_arrays`` independent cells — same workload spec,
+same policy, same config, each carrying a
+:class:`~repro.experiments.parallel.ShardSpec` naming its array.  The
+cells go through the ordinary
+:class:`~repro.experiments.parallel.ExperimentEngine`, so a fleet run
+gets the engine's process pool, its content-addressed on-disk result
+cache (the shard is part of every cache key), its JSON serialization,
+and its per-cell failure isolation for free.  The finished per-array
+results merge into a :class:`~repro.fleet.aggregate.FleetResult`, and
+the global conservation audit (:func:`~repro.fleet.aggregate.audit_fleet`)
+runs on every fleet run — it is cheap, pure bookkeeping over the merged
+books and action logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.config import DEFAULT_CONFIG, EcoStorConfig
+from repro.errors import ValidationError
+from repro.experiments.parallel import (
+    ExperimentCell,
+    ExperimentEngine,
+    PolicySpec,
+    ShardSpec,
+    WorkloadSpec,
+    default_engine,
+)
+from repro.faults.plan import FaultPlan
+from repro.fleet.aggregate import FleetResult, audit_fleet, merge_results
+from repro.fleet.routing import HashRouter
+
+__all__ = ["FleetRunner"]
+
+
+@dataclass(frozen=True)
+class FleetRunner:
+    """Runs one workload × policy across an ``n_arrays``-wide fleet."""
+
+    n_arrays: int
+    router_seed: int = 0
+    #: Pinning overrides, ``(item_id, array_index)`` pairs.
+    pins: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Building the router validates n_arrays and every pin.
+        self.router()
+
+    def router(self) -> HashRouter:
+        """The fleet's item→array router."""
+        return HashRouter(self.n_arrays, self.router_seed, self.pins)
+
+    def cells(
+        self,
+        workload: WorkloadSpec,
+        policy: PolicySpec,
+        config: EcoStorConfig = DEFAULT_CONFIG,
+        audit: bool = False,
+        faults: Mapping[int, FaultPlan] | None = None,
+    ) -> list[ExperimentCell]:
+        """One engine cell per array, in array order.
+
+        ``faults`` maps array indexes to the :class:`FaultPlan` injected
+        into that array only (array-level chaos — see
+        :func:`repro.fleet.chaos.array_outage_plans`); arrays without an
+        entry run faultless.
+        """
+        plans = dict(faults) if faults is not None else {}
+        for index in plans:
+            if not 0 <= index < self.n_arrays:
+                raise ValidationError(
+                    f"fault plan targets array {index}, but the fleet "
+                    f"has arrays 0..{self.n_arrays - 1}"
+                )
+        return [
+            ExperimentCell(
+                workload=workload,
+                policy=policy,
+                config=config,
+                audit=audit,
+                faults=plans.get(index),
+                shard=ShardSpec(
+                    n_arrays=self.n_arrays,
+                    array_index=index,
+                    router_seed=self.router_seed,
+                    pins=self.pins,
+                ),
+            )
+            for index in range(self.n_arrays)
+        ]
+
+    def run(
+        self,
+        workload: WorkloadSpec,
+        policy: PolicySpec,
+        config: EcoStorConfig = DEFAULT_CONFIG,
+        audit: bool = False,
+        faults: Mapping[int, FaultPlan] | None = None,
+        engine: ExperimentEngine | None = None,
+    ) -> FleetResult:
+        """Replay every array, merge the books, audit them globally.
+
+        ``audit=True`` additionally arms the per-array
+        :class:`~repro.devtools.audit.InvariantAuditor` inside each
+        cell; the *global* conservation audit runs unconditionally.
+        Any failed array raises
+        :class:`~repro.errors.ExperimentError` with that cell's
+        traceback.
+        """
+        chosen = engine if engine is not None else default_engine()
+        outcomes = chosen.run_cells(
+            self.cells(workload, policy, config, audit, faults)
+        )
+        results = [outcome.require() for outcome in outcomes]
+        fleet = merge_results(
+            results, n_arrays=self.n_arrays, router_seed=self.router_seed
+        )
+        audit_fleet(fleet, self.router())
+        return fleet

@@ -1,0 +1,174 @@
+"""Partition workloads into per-array sub-workloads, bit-stably.
+
+A fleet run replays N independent kernels, each over exactly the slice
+of the workload its array owns.  The slicing here is **order- and
+bit-stable**: filtered records keep their original relative order (the
+trace stays time-ordered), item catalogs keep catalog order, and the
+columnar path (:func:`shard_columnar`) produces byte-for-byte the same
+columns as packing the filtered record objects would — so object and
+``.ecot`` traces shard identically.
+
+The conservation law the fleet auditor later checks is established
+here: every record of the source workload lands in **exactly one**
+sub-workload (the router is a total function of the item id), and a
+1-array split returns the source workload unchanged — same object, no
+renaming — which is what keeps 1-array fleets bit-identical to the
+golden single-array replay.
+
+For N > 1 every component name is namespaced with the owning array's
+id: enclosures are renamed by :func:`repro.simulation.build_context`
+(``array_id`` parameter), and the workload's *explicit* volumes are
+renamed here (``"array-01:fsvol-07"``), so no name collides fleet-wide
+and the global action/fault books stay unambiguous.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import replace
+
+from repro.errors import ValidationError
+from repro.fleet.routing import ARRAY_SEPARATOR, HashRouter
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.records import LogicalIORecord
+from repro.workloads.items import Workload
+
+__all__ = ["shard_columnar", "shard_workload", "split_workload"]
+
+
+def shard_columnar(
+    trace: ColumnarTrace, router: HashRouter, array_index: int
+) -> ColumnarTrace:
+    """The columnar slice of ``trace`` owned by array ``array_index``.
+
+    One pass over the columns; the kept records preserve their original
+    order and item ids are re-interned in first-appearance order, so
+    the result is bit-identical to
+    ``ColumnarTrace.from_records(filtered record objects)``.
+    """
+    if not 0 <= array_index < router.n_arrays:
+        raise ValidationError(
+            f"array index {array_index} outside fleet of {router.n_arrays}"
+        )
+    owners = [router.shard_for(item_id) for item_id in trace.items]
+    timestamps = array("d")
+    item_index = array("I")
+    offsets = array("q")
+    sizes = array("q")
+    flags = bytearray()
+    intern: dict[int, int] = {}
+    items: list[str] = []
+    source_index = trace.item_index
+    for i in range(len(trace)):
+        old = source_index[i]
+        if owners[old] != array_index:
+            continue
+        new = intern.get(old)
+        if new is None:
+            new = len(items)
+            intern[old] = new
+            items.append(trace.items[old])
+        timestamps.append(trace.timestamps[i])
+        item_index.append(new)
+        offsets.append(trace.offsets[i])
+        sizes.append(trace.sizes[i])
+        flags.append(trace.flags[i])
+    return ColumnarTrace(
+        items=tuple(items),
+        timestamps=timestamps,
+        item_index=item_index,
+        offsets=offsets,
+        sizes=sizes,
+        flags=bytes(flags),
+    )
+
+
+def _namespace(array_id: str, name: str) -> str:
+    """Prefix a component name with its owning array's namespace."""
+    return f"{array_id}{ARRAY_SEPARATOR}{name}"
+
+
+def shard_workload(
+    workload: Workload, router: HashRouter, array_index: int
+) -> Workload:
+    """The sub-workload array ``array_index`` owns.
+
+    For a 1-array fleet the source workload is returned **unchanged**
+    (same object — no renaming, no copying), preserving bit-identity
+    with standalone runs.  For N > 1 the result keeps the source's
+    duration, enclosure count, phases, and app metrics; owns exactly
+    the items the router assigns to this array (catalog order
+    preserved) plus their trace records (trace order preserved); and
+    namespaces every explicit volume name with the array id.  Items and
+    records the array does not own appear in exactly one *other*
+    array's sub-workload.
+    """
+    if not 0 <= array_index < router.n_arrays:
+        raise ValidationError(
+            f"array index {array_index} outside fleet of {router.n_arrays}"
+        )
+    if router.n_arrays == 1:
+        return workload
+    array_id = router.array_id(array_index)
+    assert array_id is not None  # n_arrays > 1
+    owned = [
+        item
+        for item in workload.items
+        if router.shard_for(item.item_id) == array_index
+    ]
+    items = [
+        item
+        if item.volume is None
+        else replace(item, volume=_namespace(array_id, item.volume))
+        for item in owned
+    ]
+    volumes = [
+        (_namespace(array_id, name), index)
+        for name, index in workload.volumes
+    ]
+    records: "list[LogicalIORecord] | ColumnarTrace"
+    columnar: ColumnarTrace | None = None
+    if isinstance(workload.records, ColumnarTrace):
+        columnar = shard_columnar(workload.records, router, array_index)
+        records = columnar
+    else:
+        owned_ids = {item.item_id for item in owned}
+        records = [
+            record
+            for record in workload.records
+            if record.item_id in owned_ids
+        ]
+    sub = Workload(
+        name=workload.name,
+        duration=workload.duration,
+        enclosure_count=workload.enclosure_count,
+        items=items,
+        records=records,  # type: ignore[arg-type]
+        volumes=volumes,
+        description=(
+            f"{workload.description} [{array_id} of {router.n_arrays}]"
+            if workload.description
+            else f"{array_id} of {router.n_arrays}"
+        ),
+        app_metrics=dict(workload.app_metrics),
+        phases=list(workload.phases),
+    )
+    if columnar is not None:
+        # The shard *is* its columnar form already; seed the cache so
+        # Workload.columnar() need not re-intern the whole slice.
+        sub.__dict__["_columnar_cache"] = columnar
+    return sub
+
+
+def split_workload(
+    workload: Workload, router: HashRouter
+) -> list[Workload]:
+    """Every array's sub-workload, in array order.
+
+    The partition is exact: each item (and each of its trace records)
+    appears in exactly one element of the returned list.
+    """
+    return [
+        shard_workload(workload, router, index)
+        for index in range(router.n_arrays)
+    ]

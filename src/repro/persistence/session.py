@@ -77,6 +77,14 @@ class RunSpec:
     columnar: bool = False
     timeline_interval: float | None = None
     faults_json: str | None = None
+    #: Fleet coordinates (:mod:`repro.fleet`): this session replays
+    #: array ``array_index`` of an ``n_arrays``-wide fleet routed with
+    #: ``router_seed``.  The defaults (``1``/``0``/``0``) describe a
+    #: standalone single-array run and keep the spec — and any snapshot
+    #: carrying it — bit-compatible with pre-fleet sessions.
+    n_arrays: int = 1
+    array_index: int = 0
+    router_seed: int = 0
 
     def __post_init__(self) -> None:
         from repro.experiments.runner import STANDARD_POLICIES
@@ -94,6 +102,13 @@ class RunSpec:
             )
         if self.timeline_interval is not None and self.timeline_interval <= 0:
             raise ValidationError("timeline_interval must be positive")
+        if self.n_arrays < 1:
+            raise ValidationError("n_arrays must be at least 1")
+        if not 0 <= self.array_index < self.n_arrays:
+            raise ValidationError(
+                f"array_index {self.array_index} outside fleet of "
+                f"{self.n_arrays}"
+            )
 
     def fault_plan(self) -> FaultPlan | None:
         """The spec's fault plan, decoded; ``None`` without faults."""
@@ -121,10 +136,21 @@ class SnapshotSession:
 
         self.spec = spec
         self.workload = build_workload(spec.workload, spec.full, spec.seed)
+        array_id: str | None = None
+        if spec.n_arrays > 1:
+            from repro.fleet.routing import HashRouter
+            from repro.fleet.split import shard_workload
+
+            router = HashRouter(spec.n_arrays, spec.router_seed)
+            self.workload = shard_workload(
+                self.workload, router, spec.array_index
+            )
+            array_id = router.array_id(spec.array_index)
         self.context: SimulationContext = build_context(
             DEFAULT_CONFIG,
             self.workload.enclosure_count,
             faults=spec.fault_plan(),
+            array_id=array_id,
         )
         self.workload.install(self.context)
         self.timeline: PowerTimeline | None = None
@@ -248,7 +274,16 @@ class SnapshotSession:
         component is touched.
         """
         meta = payload["meta"]
-        if meta.get("spec") != self.spec.to_dict():
+        # Normalize through RunSpec so snapshots written before a field
+        # existed (e.g. the fleet coordinates) compare by their default
+        # values instead of by key absence.
+        snapshot_spec = meta.get("spec")
+        if isinstance(snapshot_spec, dict):
+            try:
+                snapshot_spec = RunSpec.from_dict(snapshot_spec).to_dict()
+            except (TypeError, ValidationError):
+                pass  # unparseable spec: compare (and refuse) raw
+        if snapshot_spec != self.spec.to_dict():
             raise SnapshotError(
                 "snapshot was taken for a different run: "
                 f"snapshot spec {meta.get('spec')!r} != session spec "

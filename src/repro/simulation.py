@@ -50,6 +50,13 @@ class SimulationContext:
     #: The single mutation path into the storage layer
     #: (:mod:`repro.actions`); built in ``__post_init__`` when not given.
     executor: ActionExecutor | None = None
+    #: Which fleet array this context simulates (:mod:`repro.fleet`);
+    #: ``None`` for standalone single-array runs.  When set, every
+    #: enclosure (and therefore every default volume) name carries the
+    #: ``"{array_id}:"`` prefix, so N array kernels can coexist in one
+    #: fleet run without any component name colliding in the global
+    #: books (action logs, fault plans, reports).
+    array_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor is None:
@@ -81,6 +88,7 @@ def build_context(
     enclosure_count: int,
     enclosure_prefix: str = "enc",
     faults: FaultPlan | None = None,
+    array_id: str | None = None,
 ) -> SimulationContext:
     """Assemble a fresh storage system with ``enclosure_count`` enclosures.
 
@@ -92,12 +100,19 @@ def build_context(
     into every enclosure and the controller.  A ``None`` or empty plan
     installs nothing at all, so zero-fault runs execute the exact
     pre-fault code paths (bit-identical results).
+
+    ``array_id`` namespaces the array for fleet runs (:mod:`repro.fleet`):
+    enclosures become ``"{array_id}:{enclosure_prefix}-NN"`` and the
+    default volumes follow.  ``None`` keeps the legacy unprefixed names,
+    so standalone runs (and 1-array fleets) stay bit-identical to the
+    golden replay results.
     """
     if enclosure_count <= 0:
         raise ValidationError("enclosure_count must be positive")
+    name_prefix = f"{array_id}:" if array_id is not None else ""
     enclosures = [
         DiskEnclosure(
-            name=f"{enclosure_prefix}-{i:02d}",
+            name=f"{name_prefix}{enclosure_prefix}-{i:02d}",
             power_model=config.enclosure_power,
             iops_random=config.service_iops_random,
             iops_sequential=config.service_iops_sequential,
@@ -144,6 +159,7 @@ def build_context(
         migration_engine=MigrationEngine(controller),
         meter=PowerMeter(enclosures, config.controller_power),
         fault_clock=fault_clock,
+        array_id=array_id,
     )
 
 

@@ -1,0 +1,11 @@
+"""Fixture: trips only R10 (hardcoded cross-array component names)."""
+
+virtualization = object()
+
+virtualization.enclosure("array-01:enc-00")
+virtualization.enclosure_of("array-02:enc-03")
+virtualization.items_on("array-00:enc-05")
+virtualization.used_bytes(name="array-03:enc-01")
+virtualization.free_bytes("array-01:enc-07")
+virtualization.create_volume("vol/array-01:enc-00", "array-01:enc-00")
+virtualization.add_item("item-7", 4097, "array-02:fsvol-03")

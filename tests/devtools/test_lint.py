@@ -29,6 +29,7 @@ FIXTURE_RULES = [
     ("r7_naked_except.py", "R7"),
     ("r8_ad_hoc_time.py", "R8"),
     ("r9_direct_mutation.py", "R9"),
+    ("r10_cross_array.py", "R10"),
 ]
 
 
@@ -51,16 +52,8 @@ def test_src_tree_lints_clean() -> None:
 
 
 def test_registry_has_all_rules() -> None:
-    assert sorted(RULES) == [
-        "R1",
-        "R2",
-        "R3",
-        "R4",
-        "R5",
-        "R6",
-        "R7",
-        "R8",
-        "R9",
+    assert sorted(RULES, key=lambda r: int(r[1:])) == [
+        f"R{i}" for i in range(1, 11)
     ]
     for rule in RULES.values():
         assert rule.name and rule.summary
@@ -123,7 +116,7 @@ def test_json_report_round_trips() -> None:
     payload = json.loads(report.render_json())
     assert payload["files_checked"] == len(FIXTURE_RULES)
     seen = {v["rule_id"] for v in payload["violations"]}
-    assert seen == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"}
+    assert seen == {f"R{i}" for i in range(1, 11)}
     for violation in payload["violations"]:
         assert violation["line"] >= 1
         assert violation["message"]

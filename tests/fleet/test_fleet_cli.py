@@ -1,0 +1,138 @@
+"""CLI surface of the fleet: ``fleet run|report``, ``trace info --shards``,
+and the engine cache's shard awareness."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.parallel import (
+    ExperimentCell,
+    ExperimentEngine,
+    PolicySpec,
+    ShardSpec,
+    WorkloadSpec,
+)
+from repro.errors import ValidationError
+
+
+class TestParser:
+    def test_fleet_run_parses(self):
+        args = build_parser().parse_args(
+            [
+                "fleet", "run", "fileserver", "proposed",
+                "--arrays", "4", "--router-seed", "9", "--audit",
+                "--outage-arrays", "1", "3", "--out", "/tmp/f.json",
+                "--jobs", "2",
+            ]
+        )
+        assert args.workload == "fileserver"
+        assert args.arrays == 4
+        assert args.router_seed == 9
+        assert args.audit
+        assert args.outage_arrays == [1, 3]
+        assert args.jobs == 2
+
+    def test_fleet_report_parses(self):
+        args = build_parser().parse_args(["fleet", "report", "x.json"])
+        assert args.path == "x.json"
+
+    def test_trace_info_shards_parses(self):
+        args = build_parser().parse_args(
+            ["trace", "info", "t.ecot", "--shards", "5", "--router-seed", "3"]
+        )
+        assert args.shards == 5
+        assert args.router_seed == 3
+
+
+def test_fleet_run_and_report_round_trip(capsys, tmp_path: Path):
+    out = tmp_path / "fleet.json"
+    code = main(
+        [
+            "fleet", "run", "fileserver", "proposed",
+            "--arrays", "3", "--router-seed", "7", "--out", str(out),
+        ]
+    )
+    assert code == 0
+    run_output = capsys.readouterr().out
+    assert "3 arrays" in run_output
+    assert "array-02" in run_output
+    data = json.loads(out.read_text(encoding="utf-8"))
+    assert data["n_arrays"] == 3
+    assert data["enclosure_joules"] == sum(
+        row["enclosure_joules"] for row in data["arrays"]
+    )
+    assert main(["fleet", "report", str(out)]) == 0
+    assert "array-02" in capsys.readouterr().out
+
+
+def test_trace_info_shard_histogram(capsys, tmp_path: Path):
+    csv = tmp_path / "fs.csv"
+    ecot = tmp_path / "fs.ecot"
+    assert main(["export-trace", "fileserver", str(csv)]) == 0
+    assert main(["trace", "pack", str(csv), str(ecot)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "info", str(ecot), "--shards", "4"]) == 0
+    output = capsys.readouterr().out
+    assert "shards:    4" in output
+    for shard in range(4):
+        assert f"array-{shard:02d}:" in output
+    # Record counts in the histogram sum to the trace's record count.
+    counts = [
+        int(line.split()[1])
+        for line in output.splitlines()
+        if line.strip().startswith("array-")
+    ]
+    total = int(
+        next(l for l in output.splitlines() if l.startswith("records:"))
+        .split()[1]
+    )
+    assert sum(counts) == total
+
+
+class TestShardCacheKey:
+    def _cell(self, shard: ShardSpec | None) -> ExperimentCell:
+        return ExperimentCell(
+            workload=WorkloadSpec(name="fileserver", full=False),
+            policy=PolicySpec(name="proposed"),
+            shard=shard,
+        )
+
+    def test_shard_changes_cache_key(self):
+        base = self._cell(None).cache_key()
+        one = self._cell(ShardSpec(n_arrays=3, array_index=0)).cache_key()
+        two = self._cell(ShardSpec(n_arrays=3, array_index=1)).cache_key()
+        seeded = self._cell(
+            ShardSpec(n_arrays=3, array_index=0, router_seed=5)
+        ).cache_key()
+        pinned = self._cell(
+            ShardSpec(n_arrays=3, array_index=0, pins=(("vip", 2),))
+        ).cache_key()
+        assert len({base, one, two, seeded, pinned}) == 5
+
+    def test_shard_spec_validates(self):
+        with pytest.raises(ValidationError):
+            ShardSpec(n_arrays=0, array_index=0)
+        with pytest.raises(ValidationError):
+            ShardSpec(n_arrays=2, array_index=2)
+        with pytest.raises(ValidationError):
+            ShardSpec(n_arrays=2, array_index=0, pins=(("x", 9),))
+
+    def test_cached_fleet_cells_do_not_collide(self, tmp_path: Path):
+        engine = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        cells = [
+            self._cell(ShardSpec(n_arrays=2, array_index=index))
+            for index in range(2)
+        ]
+        first = [o.require() for o in engine.run_cells(cells)]
+        second = [o.require() for o in engine.run_cells(cells)]
+        for a, b in zip(first, second):
+            assert a.to_dict() == b.to_dict()
+        assert (
+            first[0].replay.io_count != first[1].replay.io_count
+            or first[0].replay.power.enclosure_joules
+            != first[1].replay.power.enclosure_joules
+        )

@@ -1,0 +1,166 @@
+"""The fleet's hard gates: 1-array bit-identity, N-array conservation.
+
+The 1-array gate holds the fleet path to the very same golden file as
+the replay engine (``tests/trace/golden/replay_fileserver_smoke.json``):
+sharding with a 1-wide router and building the testbed through the
+fleet's ``array_id`` plumbing must change **nothing** — same
+:class:`~repro.trace.replay.ReplayResult`, same action log, same
+:class:`~repro.monitoring.timeline.PowerTimeline` points, float for
+float.  The N-array gate is global conservation: fleet energy exactly
+equal to the sum of per-array energies, every I/O served by the array
+that owns its item.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import AuditError
+from repro.experiments.parallel import (
+    ExperimentEngine,
+    PolicySpec,
+    WorkloadSpec,
+)
+from repro.experiments.runner import STANDARD_POLICIES, run_cell
+from repro.experiments.serialize import result_to_dict
+from repro.experiments.testbed import build_workload
+from repro.fleet import FleetRunner, HashRouter, audit_fleet, merge_results
+from repro.fleet.split import shard_workload
+from repro.monitoring.timeline import PowerTimeline
+from repro.simulation import build_context
+from repro.trace.replay import TraceReplayer
+
+from tests.trace.test_replay_golden import GOLDEN_PATH, TIMELINE_INTERVAL
+
+
+def _engine() -> ExperimentEngine:
+    return ExperimentEngine(jobs=1, cache_dir=None)
+
+
+@pytest.mark.parametrize("policy_name", sorted(STANDARD_POLICIES))
+def test_one_array_fleet_matches_golden_replay(policy_name):
+    """Result + timeline of the fleet path, against the golden file."""
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    workload = build_workload("fileserver", full=False)
+    router = HashRouter(1, seed=7)  # any seed: 1-array routing is total
+    shard = shard_workload(workload, router, 0)
+    assert shard is workload
+    context = build_context(
+        DEFAULT_CONFIG,
+        shard.enclosure_count,
+        array_id=router.array_id(0),  # None: legacy names
+    )
+    shard.install(context)
+    timeline = PowerTimeline(
+        context.enclosures, interval_seconds=TIMELINE_INTERVAL
+    )
+    policy = STANDARD_POLICIES[policy_name]()
+    result = TraceReplayer(context, policy, timeline=timeline).run(
+        shard.records, duration=shard.duration
+    )
+    captured = json.loads(
+        json.dumps(
+            {
+                "replay": asdict(result),
+                "timeline": [
+                    {
+                        "timestamp": point.timestamp,
+                        "total_watts": point.total_watts,
+                        "per_enclosure": point.per_enclosure,
+                    }
+                    for point in timeline.points
+                ],
+            }
+        )
+    )
+    cell = golden[policy_name]
+    assert captured["replay"] == cell["replay"], (
+        "1-array fleet replay diverged from the golden result — the "
+        "fleet plumbing is not bit-transparent"
+    )
+    assert captured["timeline"] == cell["timeline"]
+
+
+def test_one_array_fleet_runner_matches_direct_run():
+    """FleetRunner(1) result — including the action log — is the
+    standalone run, wrapped."""
+    direct = run_cell(
+        build_workload("fileserver", full=False),
+        STANDARD_POLICIES["proposed"](),
+    )
+    fleet = FleetRunner(1).run(
+        WorkloadSpec(name="fileserver", full=False),
+        PolicySpec(name="proposed"),
+        engine=_engine(),
+    )
+    assert fleet.n_arrays == 1
+    assert len(fleet.arrays) == 1
+    assert result_to_dict(fleet.arrays[0]) == result_to_dict(direct)
+    assert fleet.io_count == direct.replay.io_count
+    assert fleet.enclosure_joules == direct.replay.power.enclosure_joules
+    assert fleet.controller_joules == direct.replay.power.controller_joules
+
+
+def test_three_array_fleet_conserves_every_book():
+    fleet = FleetRunner(3, router_seed=7).run(
+        WorkloadSpec(name="fileserver", full=False),
+        PolicySpec(name="proposed"),
+        engine=_engine(),
+    )
+    # Energy: exact sums, not approximate ones.
+    assert fleet.enclosure_joules == sum(
+        r.replay.power.enclosure_joules for r in fleet.arrays
+    )
+    assert fleet.controller_joules == sum(
+        r.replay.power.controller_joules for r in fleet.arrays
+    )
+    assert fleet.io_count == sum(r.replay.io_count for r in fleet.arrays)
+    assert fleet.io_count == build_workload("fileserver", False).io_count
+    assert fleet.response.response_sum == sum(
+        r.replay.response.response_sum for r in fleet.arrays
+    )
+    # The run already audited; re-auditing must also pass.
+    checks = audit_fleet(fleet, HashRouter(3, 7))
+    assert checks > fleet.io_count // 1000  # at least the book checks ran
+    # Every array's enclosures are namespaced with its own id.
+    assert dict(fleet.actions_by_kind)  # policies acted on every array
+
+
+def test_audit_rejects_broken_energy_book():
+    results = FleetRunner(2, router_seed=3).run(
+        WorkloadSpec(name="fileserver", full=False),
+        PolicySpec(name="no-power-saving"),
+        engine=_engine(),
+    ).arrays
+    fleet = merge_results(list(results), n_arrays=2, router_seed=3)
+    broken = replace(fleet, enclosure_joules=fleet.enclosure_joules + 1.0)
+    with pytest.raises(AuditError, match="enclosure energy"):
+        audit_fleet(broken, HashRouter(2, 3))
+
+
+def test_audit_rejects_foreign_item_ownership():
+    fleet = FleetRunner(2, router_seed=3).run(
+        WorkloadSpec(name="fileserver", full=False),
+        PolicySpec(name="proposed"),
+        engine=_engine(),
+    )
+    # A router with a different seed disowns most items: the ownership
+    # sweep must notice the mismatch.
+    with pytest.raises(AuditError):
+        audit_fleet(fleet, HashRouter(2, 12345))
+
+
+def test_merge_results_validates_shape():
+    fleet = FleetRunner(2, router_seed=3).run(
+        WorkloadSpec(name="fileserver", full=False),
+        PolicySpec(name="ddr"),
+        engine=_engine(),
+    )
+    from repro.errors import ValidationError
+
+    with pytest.raises(ValidationError):
+        merge_results(list(fleet.arrays), n_arrays=3, router_seed=3)

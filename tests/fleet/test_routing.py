@@ -1,0 +1,110 @@
+"""Routing: seed-stable hashing, pinning, and validation."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.fleet.routing import ARRAY_SEPARATOR, HashRouter, array_name, shard_for
+
+item_ids = st.text(min_size=1, max_size=40)
+
+
+def test_shard_for_matches_published_hash_contract():
+    """The routing function is sha256-based and platform-independent.
+
+    These values are pinned so any change to the hash contract — which
+    would silently re-home every item in every existing fleet cache —
+    fails loudly here instead.
+    """
+
+    def reference(item_id: str, n: int, seed: int) -> int:
+        digest = hashlib.sha256(f"{seed}|{item_id}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") % n
+
+    pinned = [
+        ("fs-file-000", 3, 0),
+        ("fs-file-000", 3, 7),
+        ("tpcc-stock", 5, 0),
+        ("tpcc-stock", 5, 11),
+        ("", 2, 0),  # empty ids still route (shard_for is total)
+        ("item with spaces", 7, 42),
+    ]
+    for item_id, n, seed in pinned:
+        assert shard_for(item_id, n, seed) == reference(item_id, n, seed)
+    # Concrete pinned values (computed from the contract above, never
+    # from the implementation under test):
+    assert shard_for("fs-file-000", 3, 0) == 2
+    assert shard_for("fs-file-000", 3, 7) == 1
+    assert shard_for("tpcc-stock", 5, 11) == 1
+
+
+@given(item_id=item_ids, n=st.integers(1, 64), seed=st.integers(0, 2**31))
+def test_shard_for_is_stable_and_in_range(item_id, n, seed):
+    first = shard_for(item_id, n, seed)
+    assert first == shard_for(item_id, n, seed)
+    assert 0 <= first < n
+
+
+@given(item_id=item_ids, seed=st.integers(0, 2**31))
+def test_single_array_always_routes_to_zero(item_id, seed):
+    assert shard_for(item_id, 1, seed) == 0
+
+
+@given(
+    item_id=item_ids,
+    n=st.integers(2, 16),
+    seeds=st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)),
+)
+def test_seed_changes_routing_somewhere(item_id, n, seeds):
+    """Different seeds must be *allowed* to differ (same-seed stays equal)."""
+    a, b = seeds
+    if a == b:
+        assert shard_for(item_id, n, a) == shard_for(item_id, n, b)
+
+
+def test_router_pins_override_hash():
+    router = HashRouter(4, seed=0, pins={"vip": 3})
+    assert router.shard_for("vip") == 3
+    plain = HashRouter(4, seed=0)
+    others = ["a", "b", "c", "vip-like"]
+    assert [router.shard_for(i) for i in others] == [
+        plain.shard_for(i) for i in others
+    ]
+
+
+def test_router_validation():
+    with pytest.raises(ValidationError):
+        HashRouter(0)
+    with pytest.raises(ValidationError):
+        shard_for("x", 0)
+    with pytest.raises(ValidationError):
+        HashRouter(2, pins={"x": 2})  # pin outside the fleet
+    with pytest.raises(ValidationError):
+        HashRouter(2, pins=[("x", 0), ("x", 1)])  # conflicting pins
+    with pytest.raises(ValidationError):
+        array_name(-1)
+
+
+def test_array_names_and_separator():
+    assert array_name(0) == "array-00"
+    assert array_name(41) == "array-41"
+    assert ARRAY_SEPARATOR == ":"
+    router = HashRouter(3)
+    assert router.array_id(1) == "array-01"
+    assert HashRouter(1).array_id(0) is None  # single array: legacy names
+
+
+@given(
+    ids=st.lists(item_ids, min_size=1, max_size=50, unique=True),
+    n=st.integers(1, 8),
+)
+def test_histogram_counts_every_item_once(ids, n):
+    router = HashRouter(n, seed=3)
+    histogram = router.histogram(ids)
+    assert len(histogram) == n
+    assert sum(histogram) == len(ids)
