@@ -39,17 +39,40 @@ from repro.actions.records import (
     Action,
     ActionOutcome,
     ActionRecord,
+    ArchiveItem,
     ChargeBlockMigration,
+    DemoteItem,
     EnableWriteDelay,
     FlushItem,
     FlushWriteDelay,
     MigrateItem,
     PreloadItem,
+    PromoteItem,
+    ReplicateItem,
     SetPowerOffEnabled,
     UnpinItem,
 )
 from repro.errors import CapacityError, MigrationAbortedError, UsageError
 from repro.storage.cache import PAGE_BYTES
+from repro.storage.tiers import TierKind
+
+#: Action types whose applied/aborted counts roll into the executor's
+#: migration aggregates: all of them delegate to the controller's
+#: migration machinery, so the auditor's one-directional consistency
+#: check against ``controller.migration_count`` must see them.
+#: :class:`ReplicateItem` is deliberately absent — a replica copy is a
+#: transfer but not a move, and the controller books it under
+#: ``replication_count`` / ``replicated_bytes``, never as a migration.
+_MIGRATION_ACTIONS = (
+    MigrateItem,
+    ChargeBlockMigration,
+    PromoteItem,
+    DemoteItem,
+    ArchiveItem,
+)
+
+#: Inter-tier move actions that chain on the serialized migration clock.
+TierMoveAction = PromoteItem | DemoteItem | ArchiveItem | ReplicateItem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.config import EcoStorConfig
@@ -145,6 +168,15 @@ class ActionExecutor:
         self.migrations_applied = 0
         self.migrations_aborted = 0
         self.migrated_bytes_applied = 0
+        # Tier-lifecycle aggregates (repro.storage.tiers).
+        self.promotes_applied = 0
+        self.demotes_applied = 0
+        self.archives_applied = 0
+        self.replicates_applied = 0
+        #: Items named by any :class:`PromoteItem` record, whatever the
+        #: outcome — the auditor's "no service from an archived copy
+        #: without a promote record" check consults this.
+        self.promote_attempt_items: set[str] = set()
 
         # Degraded-mode gate state (was PowerPolicy._cooldown_until).
         self._cooldown_until: dict[str, float] = {}
@@ -173,6 +205,11 @@ class ActionExecutor:
             "migrated_bytes_applied": self.migrated_bytes_applied,
             "cooldown_until": dict(self._cooldown_until),
             "degraded_cooldowns": self.degraded_cooldowns,
+            "promotes_applied": self.promotes_applied,
+            "demotes_applied": self.demotes_applied,
+            "archives_applied": self.archives_applied,
+            "replicates_applied": self.replicates_applied,
+            "promote_attempt_items": sorted(self.promote_attempt_items),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -187,6 +224,13 @@ class ActionExecutor:
         self.migrated_bytes_applied = state["migrated_bytes_applied"]
         self._cooldown_until = dict(state["cooldown_until"])
         self.degraded_cooldowns = state["degraded_cooldowns"]
+        self.promotes_applied = state.get("promotes_applied", 0)
+        self.demotes_applied = state.get("demotes_applied", 0)
+        self.archives_applied = state.get("archives_applied", 0)
+        self.replicates_applied = state.get("replicates_applied", 0)
+        self.promote_attempt_items = set(
+            state.get("promote_attempt_items", ())
+        )
 
     # ------------------------------------------------------------------
     # public API
@@ -236,12 +280,26 @@ class ActionExecutor:
                 self.actions_vetoed += 1
             else:
                 self.actions_rejected += 1
-            if isinstance(record.action, (MigrateItem, ChargeBlockMigration)):
+            action = record.action
+            if isinstance(action, _MIGRATION_ACTIONS):
                 if outcome is ActionOutcome.APPLIED:
                     self.migrations_applied += 1
                     self.migrated_bytes_applied += record.cost_bytes
                 elif outcome is ActionOutcome.ABORTED_BY_FAULT:
                     self.migrations_aborted += 1
+            if isinstance(action, PromoteItem):
+                self.promote_attempt_items.add(action.item_id)
+                if outcome is ActionOutcome.APPLIED:
+                    self.promotes_applied += 1
+            elif isinstance(action, DemoteItem):
+                if outcome is ActionOutcome.APPLIED:
+                    self.demotes_applied += 1
+            elif isinstance(action, ArchiveItem):
+                if outcome is ActionOutcome.APPLIED:
+                    self.archives_applied += 1
+            elif isinstance(action, ReplicateItem):
+                if outcome is ActionOutcome.APPLIED:
+                    self.replicates_applied += 1
 
     def _delta_watts(self, enclosure: DiskEnclosure) -> float:
         model = enclosure.power_model
@@ -264,6 +322,10 @@ class ActionExecutor:
     ) -> tuple[ActionRecord, float]:
         if isinstance(action, MigrateItem):
             return self._apply_migrate(action, migration_clock, dry_run)
+        if isinstance(
+            action, (PromoteItem, DemoteItem, ArchiveItem, ReplicateItem)
+        ):
+            return self._apply_tier_move(action, migration_clock, dry_run)
         if isinstance(action, PreloadItem):
             return self._apply_preload(now, action, dry_run), migration_clock
         if isinstance(action, UnpinItem):
@@ -373,6 +435,157 @@ class ActionExecutor:
             ),
             completion,
         )
+
+    def _resolve_tier_target(
+        self, action: TierMoveAction
+    ) -> tuple[str | None, str | None]:
+        """Resolve a tier-move action to ``(target device, reject reason)``.
+
+        Pure reads only — safe for dry runs.  Exactly one of the pair is
+        non-``None``.  The target device is chosen deterministically
+        inside the target tier: the device with the most free bytes that
+        fits the item (undeclared-capacity devices count as unbounded),
+        ties broken by name.
+        """
+        virt = self.controller.virtualization
+        item_id = action.item_id
+        if not virt.has_item(item_id):
+            return None, "unknown-item"
+        if isinstance(action, ArchiveItem):
+            archive_tiers = [
+                tier
+                for tier in virt.tiers()
+                if tier.kind is TierKind.ARCHIVE
+            ]
+            if not archive_tiers:
+                return None, "no-archive-tier"
+            target_tier = archive_tiers[0]
+        else:
+            if action.target_tier not in virt.tier_names:
+                return None, "unknown-tier"
+            target_tier = virt.tier(action.target_tier)
+        current_tier = virt.tier_of_item(item_id)
+        if isinstance(action, ReplicateItem):
+            if current_tier.name == target_tier.name:
+                return None, "already-placed"
+        elif current_tier.name == target_tier.name:
+            return None, "already-placed"
+        elif isinstance(action, PromoteItem):
+            if target_tier.kind.rank >= current_tier.kind.rank:
+                return None, "not-a-promotion"
+        elif target_tier.kind.rank <= current_tier.kind.rank:
+            return None, "not-a-demotion"
+        size = virt.item_size(item_id)
+        primary = virt.enclosure_of(item_id).name
+        replicas = (
+            virt.replicas_of(item_id)
+            if isinstance(action, ReplicateItem)
+            else ()
+        )
+        best: tuple[float, str] | None = None
+        for device in target_tier.devices:
+            if device == primary or device in replicas:
+                continue
+            enclosure = virt.enclosure(device)
+            if enclosure.capacity_bytes:
+                free = (
+                    enclosure.capacity_bytes
+                    - virt.used_bytes(device)
+                    - virt.replica_bytes_on(device)
+                )
+                if free < size:
+                    continue
+            else:
+                free = float("inf")
+            # max free bytes wins; the name tuple compare breaks ties
+            # ascending because free is negated.
+            key = (-free, device)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return None, "capacity"
+        return best[1], None
+
+    def _apply_tier_move(
+        self, action: TierMoveAction, start: float, dry_run: bool
+    ) -> tuple[ActionRecord, float]:
+        """Apply one inter-tier move (promote/demote/archive/replicate).
+
+        Mirrors :meth:`_apply_migrate`: chained on the serialized
+        migration clock, fault-abort draws apply, and a resolved target
+        device sitting inside the degraded-mode gate's cool-down window
+        vetoes the move (migrating onto a drive that keeps failing to
+        spin up would strand the data there).
+        """
+        controller = self.controller
+        virt = controller.virtualization
+        item_id = action.item_id
+
+        def finish(
+            outcome: ActionOutcome, completion: float, reason: str = ""
+        ) -> tuple[ActionRecord, float]:
+            return (
+                ActionRecord(
+                    action, outcome, start, completion, reason=reason
+                ),
+                start,
+            )
+
+        target, reject_reason = self._resolve_tier_target(action)
+        if target is None:
+            return finish(ActionOutcome.REJECTED, start, reject_reason or "")
+        if start < self._cooldown_until.get(target, 0.0):
+            return finish(
+                ActionOutcome.VETOED_BY_DEGRADED_MODE, start, "cooldown"
+            )
+        size = virt.item_size(item_id)
+        src = virt.enclosure_of(item_id)
+        dst = virt.enclosure(target)
+        busy = self._bulk_seconds(size)
+        joules = (self._delta_watts(src) + self._delta_watts(dst)) * busy
+
+        def applied(completion: float) -> tuple[ActionRecord, float]:
+            return (
+                ActionRecord(
+                    action,
+                    ActionOutcome.APPLIED,
+                    start,
+                    completion,
+                    cost_seconds=completion - start,
+                    cost_joules=joules,
+                    cost_bytes=size,
+                ),
+                completion,
+            )
+
+        if dry_run:
+            clock = self.fault_clock
+            if clock is not None and any(
+                clock.outage_at(name, start) is not None
+                for name in (src.name, target)
+            ):
+                return finish(
+                    ActionOutcome.ABORTED_BY_FAULT, start, "outage"
+                )
+            return applied(
+                start + size / controller.migration_throughput_bps
+            )
+        try:
+            if isinstance(action, PromoteItem):
+                completion = controller.promote_item(start, item_id, target)
+            elif isinstance(action, DemoteItem):
+                completion = controller.demote_item(start, item_id, target)
+            elif isinstance(action, ArchiveItem):
+                completion = controller.archive_item(start, item_id, target)
+            else:
+                completion = controller.replicate_item(start, item_id, target)
+        except CapacityError:
+            return finish(ActionOutcome.REJECTED, start, "capacity")
+        except MigrationAbortedError:
+            return finish(
+                ActionOutcome.ABORTED_BY_FAULT, start, "migration-abort"
+            )
+        return applied(completion)
 
     def _apply_preload(
         self, now: float, action: PreloadItem, dry_run: bool

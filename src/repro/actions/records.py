@@ -30,12 +30,16 @@ __all__ = [
     "Action",
     "ActionOutcome",
     "ActionRecord",
+    "ArchiveItem",
     "ChargeBlockMigration",
+    "DemoteItem",
     "EnableWriteDelay",
     "FlushItem",
     "FlushWriteDelay",
     "MigrateItem",
     "PreloadItem",
+    "PromoteItem",
+    "ReplicateItem",
     "SetPowerOffEnabled",
     "UnpinItem",
     "action_from_dict",
@@ -186,6 +190,60 @@ class ChargeBlockMigration(Action):
     kind = "charge-block-migration"
 
 
+@dataclass(frozen=True)
+class PromoteItem(Action):
+    """Move one data item *up* to a faster tier (archive/HDD → flash/HDD).
+
+    The executor resolves the concrete target device inside
+    ``target_tier`` deterministically (most free bytes, ties broken by
+    name) and rejects moves that are not actually promotions — the
+    target tier must rank strictly faster than the item's current tier.
+    """
+
+    item_id: str
+    target_tier: str
+
+    kind = "promote-item"
+
+
+@dataclass(frozen=True)
+class DemoteItem(Action):
+    """Move one data item *down* to a slower tier (flash → HDD → archive)."""
+
+    item_id: str
+    target_tier: str
+
+    kind = "demote-item"
+
+
+@dataclass(frozen=True)
+class ArchiveItem(Action):
+    """Move one data item onto the archive tier (coldest placement).
+
+    The target tier is implicit — the executor resolves the configured
+    archive tier and rejects the action when none exists.
+    """
+
+    item_id: str
+
+    kind = "archive-item"
+
+
+@dataclass(frozen=True)
+class ReplicateItem(Action):
+    """Copy one data item to another tier as a redundancy replica.
+
+    The primary placement is untouched; the replica occupies capacity
+    (and cost) on the target tier and the copy I/O is charged like a
+    migration, including its fault-abort draws.
+    """
+
+    item_id: str
+    target_tier: str
+
+    kind = "replicate-item"
+
+
 #: Registry of concrete action classes by serialization tag.
 _ACTION_KINDS: dict[str, type[Action]] = {
     cls.kind: cls
@@ -198,6 +256,10 @@ _ACTION_KINDS: dict[str, type[Action]] = {
         FlushWriteDelay,
         SetPowerOffEnabled,
         ChargeBlockMigration,
+        PromoteItem,
+        DemoteItem,
+        ArchiveItem,
+        ReplicateItem,
     )
 }
 

@@ -8,6 +8,7 @@ from repro.baselines.base import PowerPolicy
 from repro.baselines.ddr import DDRPolicy
 from repro.baselines.nopower import NoPowerSavingPolicy
 from repro.baselines.pdc import PDCPolicy
+from repro.baselines.tiered import TieredLifecyclePolicy
 from repro.baselines.zoned import Zone, ZonedPolicy
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "NoPowerSavingPolicy",
     "PDCPolicy",
     "PowerPolicy",
+    "TieredLifecyclePolicy",
     "Zone",
     "ZonedPolicy",
 ]

@@ -8,6 +8,8 @@ Subcommands::
     ecostor ablations [--full]
     ecostor run WORKLOAD POLICY [--full] [--audit]
                 [--snapshot-every N --snapshot-dir DIR]
+    ecostor tiers WORKLOAD [--full] [--flash N] [--archive N]
+                  [--replicate-hot] [--audit] [--out PATH]
     ecostor resume SNAPSHOT
     ecostor crash-test [--workload W] [--policies P ...] [--trials N]
                        [--snapshot-every N] [--seed S] [--report PATH]
@@ -27,7 +29,8 @@ Subcommands::
     ecostor analyze [PATHS ...] [--format text|json] [--select CHECK ...]
                     [--no-baseline] [--write-baseline]
     ecostor chaos [--workload W] [--seeds N ...] [--faults KIND ...]
-                  [--policies P ...] [--full] [--jobs N] [--cache-dir DIR]
+                  [--policies P ...] [--tiers] [--full] [--jobs N]
+                  [--cache-dir DIR]
 
 ``experiments`` runs a (workload × policy) sweep through the parallel
 experiment engine — ``--jobs`` workers, results memoized on disk under
@@ -57,7 +60,12 @@ dimensional & determinism analyzer (:mod:`repro.devtools.analysis`)
 with the committed ``analysis-baseline.json`` applied; ``chaos`` sweeps
 policies against
 seeded fault plans (:mod:`repro.faults`) with the invariant auditor
-armed and reports the energy-vs-availability frontier.
+armed and reports the energy-vs-availability frontier (``--tiers``
+sweeps tier configurations instead and reports the
+energy-vs-latency-vs-capacity-cost frontier); ``tiers`` replays one
+workload on the multi-tier FLASH/HDD/ARCHIVE testbed under the
+temperature-driven lifecycle policy and prints the per-tier
+energy/capacity/latency books (see ``docs/tiers.md``).
 """
 
 from __future__ import annotations
@@ -266,6 +274,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tiers(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.baselines.tiered import TieredLifecyclePolicy
+    from repro.experiments.runner import run_tiered_cell
+
+    workload = build_workload(args.workload, args.full)
+    policy = TieredLifecyclePolicy(replicate_hot=args.replicate_hot)
+    cell = run_tiered_cell(
+        workload,
+        policy,
+        audit=args.audit,
+        flash_count=args.flash,
+        archive_count=args.archive,
+    )
+    result = cell.result
+    print(f"workload:        {workload.name} ({workload.io_count} I/Os)")
+    print(f"policy:          {result.policy_name}")
+    print(f"enclosure power: {watts(result.enclosure_watts)}")
+    print(f"mean response:   {seconds(result.mean_response)}")
+    print(f"read response:   {seconds(result.mean_read_response)}")
+    print(f"capacity cost:   {cell.capacity_cost:.2f} units")
+    if args.audit:
+        print(
+            f"audit:           {result.audit_checks} invariant checks, "
+            "0 violations"
+        )
+    print()
+    print(
+        f"{'tier':<10} {'devices':>7} {'placed':>10} {'in':>10} "
+        f"{'out':>10} {'energy kJ':>10} {'svc s':>8} {'I/Os':>8}"
+    )
+    for report in cell.tier_reports:
+        print(
+            f"{report.tier:<10} {len(report.devices):>7} "
+            f"{gigabytes(report.placed_bytes):>10} "
+            f"{gigabytes(report.bytes_in):>10} "
+            f"{gigabytes(report.bytes_out):>10} "
+            f"{report.energy_joules / 1e3:>10.1f} "
+            f"{report.service_seconds:>8.1f} {report.serviced_ios:>8}"
+        )
+    if args.out is not None:
+        document = {
+            "format": 1,
+            "workload": workload.name,
+            "policy": result.policy_name,
+            "io_count": workload.io_count,
+            "audit_checks": result.audit_checks,
+            "energy_joules": cell.energy_joules,
+            "capacity_cost": cell.capacity_cost,
+            "mean_read_response": result.mean_read_response,
+            "tiers": [report.to_dict() for report in cell.tier_reports],
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote per-tier report to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.persistence import RunSpec, SnapshotSession, load_snapshot
 
@@ -326,6 +394,16 @@ def _cmd_crash_test(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.chaos import run_chaos
 
+    if args.tiers:
+        from repro.faults.chaos import run_tier_frontier
+
+        frontier = run_tier_frontier(
+            workload=args.workload,
+            full=args.full,
+            progress=_progress,
+        )
+        print(frontier.render())
+        return 0 if frontier.ok else 1
     report = run_chaos(
         workload=args.workload,
         full=args.full,
@@ -512,8 +590,13 @@ def _cmd_trace_pack(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.errors import UsageError
     from repro.trace.columnar import ECOT_VERSION, FLAG_READ, ColumnarTrace
 
+    if args.shards is not None and args.shards <= 0:
+        raise UsageError(
+            f"--shards must be a positive array count, got {args.shards}"
+        )
     trace = ColumnarTrace.load(args.path)
     reads = sum(1 for flag in trace.flags if flag & FLAG_READ)
     count = len(trace)
@@ -524,7 +607,7 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
         span = max(trace.timestamps) - min(trace.timestamps)
         print(f"span:      {span:,.1f} s")
         print(f"reads:     {reads} ({reads / count:.0%})")
-    if args.shards:
+    if args.shards is not None:
         from repro.fleet.routing import HashRouter, array_name
 
         router = HashRouter(args.shards, args.router_seed)
@@ -753,6 +836,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_cmd_run)
 
+    tiers = sub.add_parser(
+        "tiers",
+        help="multi-tier lifecycle replay with per-tier books "
+        "(docs/tiers.md)",
+    )
+    tiers.add_argument("workload", choices=WORKLOAD_NAMES)
+    tiers.add_argument("--full", action="store_true")
+    tiers.add_argument(
+        "--flash", type=int, default=1, metavar="N",
+        help="flash-tier device count (default: 1; 0 disables the tier)",
+    )
+    tiers.add_argument(
+        "--archive", type=int, default=1, metavar="N",
+        help="archive-tier device count (default: 1; 0 disables the tier)",
+    )
+    tiers.add_argument(
+        "--replicate-hot",
+        action="store_true",
+        help="keep an HDD replica of the hottest flash-resident item",
+    )
+    tiers.add_argument(
+        "--audit",
+        action="store_true",
+        help="arm the invariant auditor (incl. per-tier conservation)",
+    )
+    tiers.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the per-tier report as JSON here",
+    )
+    tiers.set_defaults(func=_cmd_tiers)
+
     resume = sub.add_parser(
         "resume",
         help="resume a crashed run from a .ecsn snapshot (bit-identical)",
@@ -822,6 +938,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="policies to stress (default: all four)",
     )
     chaos.add_argument("--full", action="store_true")
+    chaos.add_argument(
+        "--tiers",
+        action="store_true",
+        help="sweep tier configurations under the lifecycle policy "
+        "instead of fault plans: energy vs latency vs capacity cost",
+    )
     _add_engine_options(chaos)
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -919,10 +1041,10 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument(
         "--shards",
         type=int,
-        default=0,
+        default=None,
         metavar="N",
         help="also print the per-array record/item histogram an N-array "
-        "fleet router would produce",
+        "fleet router would produce (N must be positive)",
     )
     info.add_argument(
         "--router-seed",
@@ -1028,12 +1150,15 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``ecostor`` command line interface.
 
     Domain errors — bad traces, invalid arguments, misuse of the
-    simulation API, invariant-audit failures, unusable snapshots — exit
-    with status 2 and a one-line diagnostic on stderr instead of a
-    traceback.  Genuine bugs (anything else) still propagate loudly.
+    simulation API, invariant-audit failures, unusable snapshots,
+    unsatisfiable placements (``PlacementError``, incl. its
+    ``HotSetTooSmall`` subclass) — exit with status 2 and a one-line
+    diagnostic on stderr instead of a traceback.  Genuine bugs
+    (anything else) still propagate loudly.
     """
     from repro.errors import (
         AuditError,
+        PlacementError,
         SnapshotError,
         TraceError,
         UsageError,
@@ -1045,6 +1170,7 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except (
         AuditError,
+        PlacementError,
         SnapshotError,
         TraceError,
         UsageError,

@@ -131,6 +131,26 @@ class EcoStorConfig:
     #: enablement for a tripped enclosure.
     power_off_cooldown: float = 30.0 * units.MINUTE
 
+    # --- multi-tier lifecycle (repro.storage.tiers) ---------------------
+    #: Checkpoint period of the tiered lifecycle policy.
+    tier_monitoring_period: float = 10.0 * units.MINUTE
+    #: Half-life of the exponential temperature decay: an untouched
+    #: item's temperature halves every ``tier_half_life`` seconds.
+    tier_half_life: float = 30.0 * units.MINUTE
+    #: Temperature (decayed access count, paper-magnitude IOPS regime)
+    #: at or above which an item is HOT and belongs on flash.
+    tier_hot_temperature: float = 1800.0
+    #: Temperature below which an item is COLD; between the two
+    #: thresholds the item is WARM and stays on powered HDD.
+    tier_cold_temperature: float = 90.0
+    #: Consecutive COLD checkpoint classifications before an item is
+    #: FROZEN and becomes an archive candidate.
+    tier_frozen_periods: int = 3
+    #: Capacity of one flash-tier device.
+    flash_capacity_bytes: int = int(0.25 * units.TB)
+    #: Capacity of one archive-tier device.
+    archive_capacity_bytes: int = int(10 * units.TB)
+
     # --- baselines ------------------------------------------------------
     #: PDC re-ranking period (paper: 30 min, from [11]).
     pdc_monitoring_period: float = 30.0 * units.MINUTE
@@ -192,6 +212,27 @@ class EcoStorConfig:
                 "spin_up_failure_threshold must be >= 1, got "
                 f"{self.spin_up_failure_threshold}"
             )
+        if self.tier_monitoring_period <= 0 or self.tier_half_life <= 0:
+            raise ConfigurationError(
+                "tier_monitoring_period and tier_half_life must be positive, "
+                f"got {self.tier_monitoring_period} and {self.tier_half_life}"
+            )
+        if not 0 < self.tier_cold_temperature < self.tier_hot_temperature:
+            raise ConfigurationError(
+                "tier temperatures must satisfy 0 < cold < hot, got "
+                f"cold={self.tier_cold_temperature}, "
+                f"hot={self.tier_hot_temperature}"
+            )
+        if self.tier_frozen_periods < 1:
+            raise ConfigurationError(
+                f"tier_frozen_periods must be >= 1, got {self.tier_frozen_periods}"
+            )
+        if self.flash_capacity_bytes <= 0 or self.archive_capacity_bytes <= 0:
+            raise ConfigurationError(
+                "flash_capacity_bytes and archive_capacity_bytes must be "
+                f"positive, got {self.flash_capacity_bytes} and "
+                f"{self.archive_capacity_bytes}"
+            )
         if self.spin_up_failure_window <= 0 or self.power_off_cooldown <= 0:
             raise ConfigurationError(
                 "spin_up_failure_window and power_off_cooldown must be "
@@ -243,6 +284,8 @@ class EcoStorConfig:
             max_iops_random=scale.iops(self.max_iops_random),
             max_iops_sequential=scale.iops(self.max_iops_sequential),
             ddr_target_th=scale.iops(self.ddr_target_th),
+            tier_hot_temperature=scale.iops(self.tier_hot_temperature),
+            tier_cold_temperature=scale.iops(self.tier_cold_temperature),
         )
 
 

@@ -29,6 +29,12 @@ auditor re-derives the books from first principles:
   executor's log claims was applied never exceeds what the controller's
   own books measured (migration counts and bytes), and the log length
   matches the executor's outcome counters.
+* **Tier conservation** (:mod:`repro.storage.tiers`) — per tier, the
+  byte ledger's ``bytes_in − bytes_out`` equals the bytes currently
+  placed on the tier's devices (primaries plus replicas, exact
+  integers), per-kind tier-move counters never exceed the controller's
+  books, and no archived copy has served physical I/O without a
+  promote record in the action log.
 
 Any violation raises :class:`~repro.errors.AuditError` whose message
 embeds a dump of the violating state.  Overhead is one settle + O(items)
@@ -106,6 +112,7 @@ class InvariantAuditor:
         self._check_capacity(problems)
         self._check_faults(now, problems)
         self._check_actions(problems)
+        self._check_tiers(problems)
         self.checks_run += 1
         self._last_now = max(self._last_now, now)
         for enclosure in self.context.enclosures:
@@ -334,4 +341,64 @@ class InvariantAuditor:
             problems.append(
                 f"action log length {len(executor.log)} disagrees with "
                 f"outcome counters summing to {outcome_total}"
+            )
+
+    def _check_tiers(self, problems: list[str]) -> None:
+        ctx = self.context
+        virt = ctx.virtualization
+        ledger = virt.tier_ledger
+        # Per-tier byte conservation: what the ledger says flowed in and
+        # never left must equal what is placed there right now.  All
+        # integer arithmetic, so this is an *exact* identity even on a
+        # legacy single-tier context (where it degenerates to "the one
+        # HDD tier holds every byte ever added and not removed").
+        for tier in virt.tiers():
+            placed = sum(
+                virt.used_bytes(device) + virt.replica_bytes_on(device)
+                for device in tier.devices
+            )
+            net = ledger.net_bytes(tier.name)
+            if placed != net:
+                problems.append(
+                    f"tier {tier.name} byte conservation broken: ledger "
+                    f"net {net} bytes, devices hold {placed} bytes"
+                )
+        executor = ctx.executor
+        if executor is None:
+            return
+        controller = ctx.controller
+        # Same one-directional bound as migrations: the log may
+        # under-claim tier moves, never over-claim them.
+        bounds = (
+            ("promotes", executor.promotes_applied, controller.promotion_count),
+            ("demotes", executor.demotes_applied, controller.demotion_count),
+            (
+                "archive moves",
+                executor.archives_applied,
+                controller.archive_move_count,
+            ),
+            (
+                "replications",
+                executor.replicates_applied,
+                controller.replication_count,
+            ),
+        )
+        for label, claimed, counted in bounds:
+            if claimed > counted:
+                problems.append(
+                    f"action log claims more {label} than the controller "
+                    f"performed: {claimed} applied vs {counted} counted"
+                )
+        # No service from an archived copy without a promote record:
+        # every item the controller marked as served-from-archive must
+        # appear in some PromoteItem record (whatever its outcome — a
+        # capacity-rejected promote is still an auditable decision).
+        unpromoted = sorted(
+            controller.archive_serviced_items
+            - executor.promote_attempt_items
+        )
+        if unpromoted:
+            problems.append(
+                "archived copies served I/O with no promote record: "
+                + ", ".join(unpromoted)
             )

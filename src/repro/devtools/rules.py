@@ -2,7 +2,7 @@
 
 Each rule inspects one module's :mod:`ast` tree and yields
 :class:`Violation` records.  Rules are registered in :data:`RULES` and
-addressed by a short id (``R1`` … ``R9``) or a descriptive name — both
+addressed by a short id (``R1`` … ``R11``) or a descriptive name — both
 work in ``--select`` and in suppression comments
 (``# lint: ignore[R2]`` / ``# lint: ignore[magic-number]``).
 
@@ -27,6 +27,9 @@ R9     direct-mutation       storage mutators and power-off enablement
 R10    cross-array-access    no hardcoded foreign-array component names
                              outside :mod:`repro.fleet`; ownership comes
                              from the router, never from a literal
+R11    tier-mutation         tier placement (promote/demote/archive/
+                             replicate) only through the
+                             :mod:`repro.actions` layer
 =====  ====================  ==============================================
 """
 
@@ -43,6 +46,7 @@ from repro.errors import ValidationError
 __all__ = [
     "MUTATOR_METHODS",
     "RULES",
+    "TIER_MUTATOR_METHODS",
     "LintContext",
     "Rule",
     "Violation",
@@ -892,6 +896,73 @@ class CrossArrayAccessRule(Rule):
                     "through the HashRouter instead of baking in "
                     "another array's namespace",
                 )
+
+
+# ---------------------------------------------------------------------------
+# R11: tier placement mutated outside the action layer
+# ---------------------------------------------------------------------------
+
+#: Modules that *define* the tier mutators: the controller implements
+#: the moves (and the replicate path calls the virtualization's replica
+#: bookkeeping on itself), so self-calls there are implementation, not
+#: bypass.
+_TIER_MUTATION_OWNER_FILES = (
+    "repro/storage/controller.py",
+    "repro/storage/virtualization.py",
+)
+
+#: Tier-placement mutators: inter-tier item moves on the controller and
+#: the replica bookkeeping on the virtualization layer.  Disjoint from
+#: :data:`MUTATOR_METHODS` so every lint fixture trips exactly one rule;
+#: a call site can violate R9 *or* R11, never both for the same method.
+TIER_MUTATOR_METHODS = frozenset(
+    {
+        "promote_item",
+        "demote_item",
+        "archive_item",
+        "replicate_item",
+        "add_replica",
+        "remove_replica",
+    }
+)
+
+
+@_register
+class TierMutationRule(Rule):
+    """R11: tier-placement mutators called outside ``repro.actions``."""
+
+    rule_id = "R11"
+    name = "tier-mutation"
+    summary = (
+        "inter-tier moves (promote/demote/archive/replicate) and replica "
+        "bookkeeping are applied only by the repro.actions executor; "
+        "direct calls bypass the action log, the per-tier ledger, and "
+        "the auditor's conservation checks"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Flag tier-mutator calls outside the action layer."""
+        path = ctx.posix_path
+        if _MUTATION_OWNER_PACKAGE in path:
+            return
+        if any(path.endswith(p) for p in _TIER_MUTATION_OWNER_FILES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            method = node.func.attr
+            if method not in TIER_MUTATOR_METHODS:
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"direct call to {method}() — tier placement changes go "
+                "through a PromoteItem/DemoteItem/ArchiveItem/"
+                "ReplicateItem plan applied by the repro.actions "
+                "executor, which records, gates, and costs them",
+            )
 
 
 def resolve_rules(selectors: Iterable[str] | None = None) -> list[Rule]:

@@ -18,10 +18,14 @@ from repro.experiments.parallel import (
     workload_fingerprint,
 )
 from repro.experiments.runner import (
+    ALL_POLICIES,
     ExperimentResult,
     STANDARD_POLICIES,
+    TIERED_POLICIES,
+    TieredCellResult,
     run_cell,
     run_comparison,
+    run_tiered_cell,
 )
 from repro.experiments.serialize import (
     result_from_dict,
@@ -32,12 +36,15 @@ from repro.experiments.serialize import (
 from repro.experiments.testbed import build_workload, comparison
 
 __all__ = [
+    "ALL_POLICIES",
     "CellOutcome",
     "ExperimentCell",
     "ExperimentEngine",
     "ExperimentResult",
     "PolicySpec",
     "STANDARD_POLICIES",
+    "TIERED_POLICIES",
+    "TieredCellResult",
     "WorkloadSpec",
     "build_workload",
     "comparison",
@@ -49,5 +56,6 @@ __all__ = [
     "result_to_json",
     "run_cell",
     "run_comparison",
+    "run_tiered_cell",
     "workload_fingerprint",
 ]

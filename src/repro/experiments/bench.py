@@ -27,6 +27,14 @@ floor exceeded the real logging cost — there is nothing to gate).
 ``benchmarks/test_action_overhead.py`` holds the clamped fraction to
 ≤ 2 %.
 
+Since the multi-tier refactor generalized placement to ``(tier,
+device)``, the document also carries a ``tier_layer`` section: the
+legacy HDD-only columnar pump timed on a plain context versus the
+tiered single-HDD-tier equivalent (same clamping convention;
+``benchmarks/test_tier_overhead.py`` holds it to ≤ 5 %), plus a
+``tier_lifecycle`` throughput metric — a full FLASH/HDD/ARCHIVE replay
+under :class:`~repro.baselines.tiered.TieredLifecyclePolicy`.
+
 Wall-clock timing lives here, *outside* the kernel: virtual time inside
 the simulation never touches ``perf_counter``.
 """
@@ -39,9 +47,9 @@ import time
 from pathlib import Path
 
 from repro.config import DEFAULT_CONFIG
-from repro.experiments.runner import STANDARD_POLICIES
+from repro.experiments.runner import ALL_POLICIES, STANDARD_POLICIES
 from repro.experiments.testbed import build_workload
-from repro.simulation import build_context
+from repro.simulation import build_context, build_tiered_context
 from repro.trace.replay import TraceReplayer
 
 __all__ = ["BENCH_FORMAT", "DEFAULT_BENCH_POLICIES", "run_bench", "main"]
@@ -52,8 +60,14 @@ __all__ = ["BENCH_FORMAT", "DEFAULT_BENCH_POLICIES", "run_bench", "main"]
 #: ``columnar_speedup``; the headline ``records_per_second`` is the
 #: columnar pump's) and splits the action-layer fraction into
 #: ``overhead_fraction_raw`` (signed, as measured) and
-#: ``overhead_fraction`` (clamped at zero for gating).
-BENCH_FORMAT = 3
+#: ``overhead_fraction`` (clamped at zero for gating).  Format 4 adds
+#: the ``tier_layer`` section: a ``tier_lifecycle`` throughput metric
+#: (full FLASH/HDD/ARCHIVE replay under the lifecycle policy) and the
+#: generalized-placement overhead — the legacy HDD-only columnar pump
+#: on a plain context vs the same replay on a tiered single-HDD-tier
+#: context with per-device tier metering armed, gated at ≤ 5 % by
+#: ``benchmarks/test_tier_overhead.py``.
+BENCH_FORMAT = 4
 
 #: Policies benchmarked by default: the do-nothing floor and the paper's
 #: method (the heaviest per-I/O and per-checkpoint work).
@@ -82,6 +96,93 @@ def _time_one_replay(
     started = time.perf_counter()  # analysis: ignore[D203]
     replayer.run(records, duration=workload.duration)
     return time.perf_counter() - started  # analysis: ignore[D203]
+
+
+def _time_tiered_replay(
+    workload_name: str,
+    full: bool,
+    policy_name: str,
+    flash_count: int,
+    archive_count: int,
+) -> float:
+    """Wall-clock one columnar replay on a tiered testbed."""
+    workload = build_workload(workload_name, full)
+    context = build_tiered_context(
+        DEFAULT_CONFIG,
+        workload.enclosure_count,
+        flash_count=flash_count,
+        archive_count=archive_count,
+    )
+    workload.install(context)
+    policy = ALL_POLICIES[policy_name]()
+    replayer = TraceReplayer(context, policy)
+    records = workload.columnar()
+    started = time.perf_counter()  # analysis: ignore[D203]
+    replayer.run(records, duration=workload.duration)
+    return time.perf_counter() - started  # analysis: ignore[D203]
+
+
+def _bench_tier_layer(
+    workload_name: str, full: bool, record_count: int, rounds: int
+) -> dict:
+    """The ``tier_layer`` section: lifecycle throughput + path overhead.
+
+    The overhead half re-runs the legacy HDD-only columnar pump
+    (no-power-saving, the pump's fastest consumer) on a plain context
+    and on a tiered context shaped to be its single-HDD-tier equivalent
+    (``flash_count=0, archive_count=0`` — same devices, but placement
+    runs through the generalized ``(tier, device)`` path with per-device
+    tier metering armed).  Interleaved per round like the action-layer
+    comparison, so machine drift cannot masquerade as path cost.
+    """
+    legacy_times: list[float] = []
+    tiered_times: list[float] = []
+    for round_index in range(rounds):
+        order = (False, True) if round_index % 2 == 0 else (True, False)
+        for tiered in order:
+            if tiered:
+                seconds = _time_tiered_replay(
+                    workload_name,
+                    full,
+                    "no-power-saving",
+                    flash_count=0,
+                    archive_count=0,
+                )
+                tiered_times.append(seconds)
+            else:
+                seconds = _time_one_replay(
+                    workload_name, full, "no-power-saving", columnar=True
+                )
+                legacy_times.append(seconds)
+    legacy = min(legacy_times)
+    tiered = min(tiered_times)
+    raw_fraction = (tiered - legacy) / legacy
+    lifecycle_times = [
+        _time_tiered_replay(
+            workload_name,
+            full,
+            "tiered-lifecycle",
+            flash_count=1,
+            archive_count=1,
+        )
+        for _ in range(rounds)
+    ]
+    lifecycle_best = min(lifecycle_times)
+    return {
+        "policy": "no-power-saving",
+        "legacy_seconds": legacy,
+        "tiered_seconds": tiered,
+        "overhead_fraction_raw": raw_fraction,
+        "overhead_fraction": max(0.0, raw_fraction),
+        "tier_lifecycle": {
+            "policy": "tiered-lifecycle",
+            "flash_count": 1,
+            "archive_count": 1,
+            "best_seconds": lifecycle_best,
+            "records_per_second": record_count / lifecycle_best,
+        },
+        "repeats": rounds,
+    }
 
 
 def run_bench(
@@ -170,6 +271,7 @@ def run_bench(
         "overhead_fraction": max(0.0, raw_fraction),
         "repeats": rounds,
     }
+    tier_layer = _bench_tier_layer(workload_name, full, record_count, rounds)
     return {
         "format": BENCH_FORMAT,
         "benchmark": "replay-throughput",
@@ -180,6 +282,7 @@ def run_bench(
         "python": platform.python_version(),
         "policies": results,
         "action_layer": action_layer,
+        "tier_layer": tier_layer,
     }
 
 
@@ -204,6 +307,15 @@ def main(
         f"({overhead['overhead_fraction']:.2%} gated) logging overhead on "
         f"{overhead['policy']} ({overhead['logged_seconds']:.4f} s logged, "
         f"{overhead['unlogged_seconds']:.4f} s unlogged)"
+    )
+    tier_layer = document["tier_layer"]
+    lifecycle = tier_layer["tier_lifecycle"]
+    print(
+        f"    tier layer:   {tier_layer['overhead_fraction_raw']:+.2%} raw "
+        f"({tier_layer['overhead_fraction']:.2%} gated) generalized-"
+        f"placement overhead ({tier_layer['legacy_seconds']:.4f} s legacy, "
+        f"{tier_layer['tiered_seconds']:.4f} s tiered); tier_lifecycle "
+        f"{lifecycle['records_per_second']:,.0f} records/s"
     )
     if out is not None:
         path = Path(out)

@@ -287,6 +287,182 @@ class ChaosReport:
         return "\n".join(lines)
 
 
+#: Default (flash_count, archive_count) grid the tier frontier sweeps.
+#: ``(0, 0)`` is the HDD-only control cell; the rest add flash and/or
+#: archive devices so the three cost axes actually trade off.
+TIER_CONFIGS = ((0, 0), (1, 0), (0, 1), (1, 1), (2, 1))
+
+
+@dataclass(frozen=True)
+class TierFrontierCell:
+    """Outcome of one tier-configuration cell of the frontier sweep."""
+
+    flash: int
+    archive: int
+    #: Total enclosure energy across every tier, in joules.
+    energy_joules: float
+    #: Mean read response time, in seconds.
+    mean_read_response: float
+    #: Total placed-byte capacity cost across tiers (docs/tiers.md).
+    capacity_cost: float
+    audit_checks: int
+    #: Traceback when the cell failed (audit violation, crash); else None.
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell replayed with every invariant intact."""
+        return self.error is None
+
+    @property
+    def label(self) -> str:
+        """Compact ``flash/archive`` coordinates for tables."""
+        return f"f{self.flash}a{self.archive}"
+
+
+@dataclass
+class TierFrontierReport:
+    """Energy vs latency vs capacity cost across tier configurations."""
+
+    workload: str
+    cells: list[TierFrontierCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every configuration passed its invariant audit."""
+        return all(cell.ok for cell in self.cells)
+
+    def pareto(self) -> set[str]:
+        """Labels of configurations not dominated on all three axes."""
+        survivors = [cell for cell in self.cells if cell.ok]
+        frontier = set()
+        for cell in survivors:
+            dominated = any(
+                other is not cell
+                and other.energy_joules <= cell.energy_joules
+                and other.mean_read_response <= cell.mean_read_response
+                and other.capacity_cost <= cell.capacity_cost
+                and (
+                    other.energy_joules < cell.energy_joules
+                    or other.mean_read_response < cell.mean_read_response
+                    or other.capacity_cost < cell.capacity_cost
+                )
+                for other in survivors
+            )
+            if not dominated:
+                frontier.add(cell.label)
+        return frontier
+
+    def render(self) -> str:
+        """Per-configuration table with Pareto-frontier markers."""
+        frontier = self.pareto()
+        lines = [
+            f"tier frontier — {self.workload}, tiered-lifecycle, "
+            "auditor armed",
+            "",
+            f"{'config':<8} {'flash':>5} {'archive':>7} {'energy kJ':>10} "
+            f"{'read ms':>8} {'cap cost':>9} {'checks':>6}  frontier",
+        ]
+        for cell in self.cells:
+            if not cell.ok:
+                lines.append(
+                    f"{cell.label:<8} {cell.flash:>5} {cell.archive:>7} "
+                    f"{'FAILED':>10}"
+                )
+                continue
+            marker = "*" if cell.label in frontier else ""
+            lines.append(
+                f"{cell.label:<8} {cell.flash:>5} {cell.archive:>7} "
+                f"{cell.energy_joules / 1e3:>10.1f} "
+                f"{cell.mean_read_response * 1e3:>8.2f} "
+                f"{cell.capacity_cost:>9.2f} {cell.audit_checks:>6}  "
+                f"{marker}"
+            )
+        lines.append("")
+        lines.append(
+            "* = Pareto-optimal: no other configuration is at least as "
+            "good on energy, latency, and capacity cost at once"
+        )
+        if not self.ok:
+            lines.append("")
+            for cell in self.cells:
+                if not cell.ok:
+                    lines.append(f"FAILED {cell.label}:")
+                    lines.append(str(cell.error))
+        return "\n".join(lines)
+
+
+def run_tier_frontier(
+    workload: str = "fileserver",
+    full: bool = False,
+    configs: Sequence[tuple[int, int]] = TIER_CONFIGS,
+    progress: ProgressFn | None = None,
+) -> TierFrontierReport:
+    """Sweep tier configurations under the lifecycle policy, audited.
+
+    Each cell replays ``workload`` on a tiered testbed with the given
+    ``(flash_count, archive_count)`` shape under
+    :class:`~repro.baselines.tiered.TieredLifecyclePolicy` with the
+    :class:`~repro.devtools.audit.InvariantAuditor` armed, then reads
+    the closing per-tier books.  The report marks the Pareto frontier
+    over (energy, read latency, capacity cost) — the tier-shape
+    counterpart of the fault sweep's energy-vs-availability frontier.
+    """
+    import traceback
+
+    from repro.baselines.tiered import TieredLifecyclePolicy
+    from repro.errors import ReproError
+    from repro.experiments.runner import run_tiered_cell
+
+    if workload not in WORKLOAD_NAMES:
+        raise ValidationError(
+            f"unknown workload {workload!r}; choose from {WORKLOAD_NAMES}"
+        )
+    built = build_workload(workload, full)
+    report = TierFrontierReport(workload=workload)
+    for flash, archive in configs:
+        label = f"f{flash}a{archive}"
+        try:
+            cell = run_tiered_cell(
+                built,
+                TieredLifecyclePolicy(),
+                audit=True,
+                flash_count=flash,
+                archive_count=archive,
+            )
+        except ReproError:
+            report.cells.append(
+                TierFrontierCell(
+                    flash=flash,
+                    archive=archive,
+                    energy_joules=0.0,
+                    mean_read_response=0.0,
+                    capacity_cost=0.0,
+                    audit_checks=0,
+                    error=traceback.format_exc(),
+                )
+            )
+            if progress is not None:
+                progress(f"tier-frontier {label}: FAILED")
+            continue
+        report.cells.append(
+            TierFrontierCell(
+                flash=flash,
+                archive=archive,
+                energy_joules=cell.energy_joules,
+                mean_read_response=cell.result.mean_read_response,
+                capacity_cost=cell.capacity_cost,
+                audit_checks=cell.result.audit_checks,
+            )
+        )
+        if progress is not None:
+            progress(
+                f"tier-frontier {label}: ok "
+                f"({cell.result.audit_checks} checks)"
+            )
+    return report
+
+
 def run_chaos(
     workload: str = "tpcc",
     full: bool = False,

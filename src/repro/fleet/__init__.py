@@ -17,7 +17,13 @@ it reproduces the golden single-array replay results byte for byte.
 See ``docs/fleet.md``.
 """
 
-from repro.fleet.aggregate import FleetResult, audit_fleet, merge_results
+from repro.fleet.aggregate import (
+    FleetResult,
+    audit_fleet,
+    audit_tier_books,
+    merge_results,
+    merge_tier_reports,
+)
 from repro.fleet.chaos import array_outage_plans
 from repro.fleet.routing import (
     ARRAY_SEPARATOR,
@@ -36,7 +42,9 @@ __all__ = [
     "array_name",
     "array_outage_plans",
     "audit_fleet",
+    "audit_tier_books",
     "merge_results",
+    "merge_tier_reports",
     "shard_columnar",
     "shard_for",
     "shard_workload",

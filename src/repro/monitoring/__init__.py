@@ -3,6 +3,7 @@
 from repro.monitoring.application import ApplicationMonitor, ResponseStats
 from repro.monitoring.repository import TraceRepository
 from repro.monitoring.storage import EnclosureWindowStats, StorageMonitor
+from repro.monitoring.tiers import TierBooks, TierReport
 from repro.monitoring.timeline import PowerTimeline, TimelinePoint
 
 __all__ = [
@@ -11,6 +12,8 @@ __all__ = [
     "PowerTimeline",
     "ResponseStats",
     "StorageMonitor",
+    "TierBooks",
+    "TierReport",
     "TimelinePoint",
     "TraceRepository",
 ]

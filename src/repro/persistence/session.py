@@ -87,7 +87,7 @@ class RunSpec:
     router_seed: int = 0
 
     def __post_init__(self) -> None:
-        from repro.experiments.runner import STANDARD_POLICIES
+        from repro.experiments.runner import ALL_POLICIES
         from repro.experiments.testbed import WORKLOAD_NAMES
 
         if self.workload not in WORKLOAD_NAMES:
@@ -95,10 +95,10 @@ class RunSpec:
                 f"unknown workload {self.workload!r}; "
                 f"expected one of {WORKLOAD_NAMES}"
             )
-        if self.policy not in STANDARD_POLICIES:
+        if self.policy not in ALL_POLICIES:
             raise ValidationError(
                 f"unknown policy {self.policy!r}; "
-                f"expected one of {tuple(STANDARD_POLICIES)}"
+                f"expected one of {tuple(ALL_POLICIES)}"
             )
         if self.timeline_interval is not None and self.timeline_interval <= 0:
             raise ValidationError("timeline_interval must be positive")
@@ -130,9 +130,9 @@ class SnapshotSession:
     """One snapshot-capable replay, built from a :class:`RunSpec`."""
 
     def __init__(self, spec: RunSpec) -> None:
-        from repro.experiments.runner import STANDARD_POLICIES
+        from repro.experiments.runner import ALL_POLICIES, TIERED_POLICIES
         from repro.experiments.testbed import build_workload
-        from repro.simulation import build_context
+        from repro.simulation import build_context, build_tiered_context
 
         self.spec = spec
         self.workload = build_workload(spec.workload, spec.full, spec.seed)
@@ -146,12 +146,23 @@ class SnapshotSession:
                 self.workload, router, spec.array_index
             )
             array_id = router.array_id(spec.array_index)
-        self.context: SimulationContext = build_context(
-            DEFAULT_CONFIG,
-            self.workload.enclosure_count,
-            faults=spec.fault_plan(),
-            array_id=array_id,
-        )
+        # Tier-needing policies get the flash+HDD+archive testbed; the
+        # construction wiring is rebuilt identically on resume, so the
+        # tier structure itself never travels in a snapshot.
+        if spec.policy in TIERED_POLICIES:
+            self.context: SimulationContext = build_tiered_context(
+                DEFAULT_CONFIG,
+                self.workload.enclosure_count,
+                faults=spec.fault_plan(),
+                array_id=array_id,
+            )
+        else:
+            self.context = build_context(
+                DEFAULT_CONFIG,
+                self.workload.enclosure_count,
+                faults=spec.fault_plan(),
+                array_id=array_id,
+            )
         self.workload.install(self.context)
         self.timeline: PowerTimeline | None = None
         if spec.timeline_interval is not None:
@@ -159,7 +170,7 @@ class SnapshotSession:
                 self.context.enclosures,
                 interval_seconds=spec.timeline_interval,
             )
-        self.policy = STANDARD_POLICIES[spec.policy]()
+        self.policy = ALL_POLICIES[spec.policy]()
         self.policy.bind(self.context)
         self.auditor: InvariantAuditor | None = None
         self.kernel = SimulationKernel(

@@ -19,6 +19,13 @@ from repro.storage.enclosure import DiskEnclosure, IOResult
 from repro.storage.meter import PowerMeter, PowerReading
 from repro.storage.migration import MigrationEngine, Move, PlacementPlan
 from repro.storage.power import ControllerPowerModel, PowerModel, PowerState
+from repro.storage.tiers import (
+    ArchiveTier,
+    FlashTier,
+    StorageTier,
+    TierKind,
+    TierLedger,
+)
 from repro.storage.virtualization import (
     BlockVirtualization,
     PhysicalExtent,
@@ -26,9 +33,11 @@ from repro.storage.virtualization import (
 )
 
 __all__ = [
+    "ArchiveTier",
     "BlockVirtualization",
     "ControllerPowerModel",
     "DiskEnclosure",
+    "FlashTier",
     "FlushPlan",
     "IOResult",
     "LRUBlockCache",
@@ -43,6 +52,9 @@ __all__ = [
     "PreloadPartition",
     "StorageCache",
     "StorageController",
+    "StorageTier",
+    "TierKind",
+    "TierLedger",
     "Volume",
     "WriteDelayPartition",
 ]

@@ -99,6 +99,26 @@ class StorageController:
         self.preloaded_bytes: Bytes = 0
         self.flushed_bytes: Bytes = 0
 
+        # Tier lifecycle books (:mod:`repro.storage.tiers`).  All of this
+        # is inert — one attribute load and a None/emptiness check on the
+        # hot path — until :meth:`enable_tier_tracking` arms it, so
+        # legacy single-tier replays execute unchanged float operations.
+        self.promotion_count = 0
+        self.demotion_count = 0
+        self.archive_move_count = 0
+        self.replication_count = 0
+        self.replicated_bytes: Bytes = 0
+        #: Devices of the archive tier; service routed to one of these
+        #: records the item in :attr:`archive_serviced_items`.
+        self._archive_devices: frozenset[str] = frozenset()
+        #: Items whose primary copy was serviced while on an archive
+        #: device — the auditor requires a promote record for each.
+        self.archive_serviced_items: set[str] = set()
+        #: Per-device latency books (service seconds / served I/Os) for
+        #: the per-tier report; ``None`` until tier tracking is enabled.
+        self._device_service_seconds: dict[str, float] | None = None
+        self._device_service_ios: dict[str, int] = {}
+
         # Fault handling (:mod:`repro.faults`).  All of this is inert —
         # strictly zero-cost on the hot path — until a fault clock is
         # attached, so zero-fault runs take the pre-fault code paths.
@@ -151,6 +171,45 @@ class StorageController:
     def set_fault_clock(self, clock: "FaultClock") -> None:
         """Attach the simulation's fault oracle (:mod:`repro.faults`)."""
         self._fault_clock = clock
+
+    def enable_tier_tracking(self, archive_devices: frozenset[str]) -> None:
+        """Arm per-device latency books and archive-service tracking.
+
+        Called by the tiered context builder; legacy single-tier
+        contexts never call it, which keeps the application I/O path
+        free of tier bookkeeping.
+        """
+        self._archive_devices = archive_devices
+        self._device_service_seconds = {
+            name: 0.0 for name in self.virtualization.enclosure_names
+        }
+        self._device_service_ios = {
+            name: 0 for name in self.virtualization.enclosure_names
+        }
+
+    @property
+    def tier_tracking_enabled(self) -> bool:
+        """Whether per-device latency/archive-service books are armed."""
+        return self._device_service_seconds is not None
+
+    def device_service_seconds(self, device: str) -> float:
+        """Accumulated application service seconds on one device."""
+        if self._device_service_seconds is None:
+            return 0.0
+        return self._device_service_seconds.get(device, 0.0)
+
+    def device_service_ios(self, device: str) -> int:
+        """Application I/Os served physically by one device."""
+        return self._device_service_ios.get(device, 0)
+
+    def _note_tier_service(
+        self, device: str, item_id: str, response: float
+    ) -> None:
+        """Accrue one served I/O into the armed tier books."""
+        self._device_service_seconds[device] += response
+        self._device_service_ios[device] += 1
+        if device in self._archive_devices:
+            self.archive_serviced_items.add(item_id)
 
     @property
     def battery_failed(self) -> bool:
@@ -325,7 +384,10 @@ class StorageController:
         )
         issued = now + delay
         self._emit_physical(issued, enclosure_name, block, 1, io_type, item_id)
-        return result.mean_response_time + delay
+        response = result.mean_response_time + delay
+        if self._device_service_seconds is not None:
+            self._note_tier_service(enclosure_name, item_id, response)
+        return response
 
     def _bulk_transfer(
         self,
@@ -467,6 +529,8 @@ class StorageController:
                 io_type,
                 item_id,
             )
+        if self._device_service_seconds is not None:
+            self._note_tier_service(name, item_id, response)
         return response
 
     def _submit_slow(self, record: LogicalIORecord) -> Seconds:
@@ -667,7 +731,9 @@ class StorageController:
         # Validate capacity before any I/O is charged: a failing move
         # must leave the energy accounting untouched.
         if dst.capacity_bytes and (
-            self.virtualization.used_bytes(target_enclosure) + size
+            self.virtualization.used_bytes(target_enclosure)
+            + self.virtualization.replica_bytes_on(target_enclosure)
+            + size
             > dst.capacity_bytes
         ):
             raise CapacityError(
@@ -713,6 +779,104 @@ class StorageController:
         # data was already flushed by the caller before migration.
         self.migrated_bytes += size
         self.migration_count += 1
+        return completion
+
+    # ------------------------------------------------------------------
+    # tier lifecycle primitives (repro.storage.tiers)
+    # ------------------------------------------------------------------
+    def promote_item(
+        self, now: Seconds, item_id: str, target_enclosure: str
+    ) -> Seconds:
+        """Move an item's primary copy up to a faster tier's device.
+
+        Physically identical to :meth:`migrate_item` (same throttled
+        copy, same fault-abort draws); counted separately so per-tier
+        books can distinguish promotions from demotions.  If the item
+        was serviced from an archive device, the promotion clears its
+        archive-service mark — the auditor has seen the promote record.
+        Returns the completion time.
+        """
+        completion = self.migrate_item(now, item_id, target_enclosure)
+        self.promotion_count += 1
+        self.archive_serviced_items.discard(item_id)
+        return completion
+
+    def demote_item(
+        self, now: Seconds, item_id: str, target_enclosure: str
+    ) -> Seconds:
+        """Move an item's primary copy down to a slower tier's device."""
+        completion = self.migrate_item(now, item_id, target_enclosure)
+        self.demotion_count += 1
+        return completion
+
+    def archive_item(
+        self, now: Seconds, item_id: str, target_enclosure: str
+    ) -> Seconds:
+        """Move an item's primary copy onto an archive-tier device."""
+        completion = self.migrate_item(now, item_id, target_enclosure)
+        self.archive_move_count += 1
+        return completion
+
+    def replicate_item(
+        self, now: Seconds, item_id: str, target_enclosure: str
+    ) -> Seconds:
+        """Copy an item to another tier's device as a replica (§V-A cost).
+
+        The copy is charged exactly like a migration (throttled
+        background transfer on source and target, migration-abort and
+        outage draws apply), but the primary mapping is untouched: the
+        replica occupies capacity on the target and enters the tier
+        ledger.  Returns the completion time.
+        """
+        src_name = self.virtualization.enclosure_of(item_id).name
+        if target_enclosure == src_name:
+            raise MappingError(
+                f"item {item_id!r} already has its primary copy on "
+                f"{target_enclosure!r}"
+            )
+        if target_enclosure in self.virtualization.replicas_of(item_id):
+            raise MappingError(
+                f"item {item_id!r} already has a replica on "
+                f"{target_enclosure!r}"
+            )
+        size = self.virtualization.item_size(item_id)
+        src = self.virtualization.enclosure(src_name)
+        dst = self.virtualization.enclosure(target_enclosure)
+        occupied = self.virtualization.used_bytes(
+            target_enclosure
+        ) + self.virtualization.replica_bytes_on(target_enclosure)
+        if dst.capacity_bytes and occupied + size > dst.capacity_bytes:
+            raise CapacityError(
+                f"cannot replicate {item_id!r} to {target_enclosure!r}: "
+                "insufficient space"
+            )
+        if self._fault_clock is not None:
+            if self._fault_clock.migration_abort(item_id, now):
+                self.migration_aborts += 1
+                raise MigrationAbortedError(item_id, now)
+            for name in (src_name, target_enclosure):
+                if self._fault_clock.outage_at(name, now) is not None:
+                    self.migration_aborts += 1
+                    raise MigrationAbortedError(item_id, now)
+        duration = size / self.migration_throughput_bps
+        busy = size / self.bulk_bandwidth_bps
+        count = max(1, size // BULK_IO_UNIT)
+        src.background_transfer(now, duration, busy, count, read=True)
+        dst.background_transfer(now, duration, busy, count, read=False)
+        completion = now + duration
+        marker = now
+        per_marker = max(1, int(count // max(1, duration // 60.0 + 1)))
+        while marker < completion:
+            self._emit_physical(
+                marker, src_name, 0, per_marker, IOType.READ, item_id
+            )
+            self._emit_physical(
+                marker, target_enclosure, 0, per_marker, IOType.WRITE, item_id
+            )
+            marker += 60.0
+        self.virtualization.add_replica(item_id, target_enclosure)
+        self.replicated_bytes += size
+        self.replication_count += 1
         return completion
 
     def charge_block_migration(
@@ -815,6 +979,18 @@ class StorageController:
             "at_risk_peak_bytes": self.at_risk_peak_bytes,
             "at_risk_byte_seconds": self.at_risk_byte_seconds,
             "at_risk_samples": list(self.at_risk_samples),
+            "promotion_count": self.promotion_count,
+            "demotion_count": self.demotion_count,
+            "archive_move_count": self.archive_move_count,
+            "replication_count": self.replication_count,
+            "replicated_bytes": self.replicated_bytes,
+            "archive_serviced_items": sorted(self.archive_serviced_items),
+            "device_service_seconds": (
+                None
+                if self._device_service_seconds is None
+                else dict(self._device_service_seconds)
+            ),
+            "device_service_ios": dict(self._device_service_ios),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -841,3 +1017,16 @@ class StorageController:
         self.at_risk_peak_bytes = state["at_risk_peak_bytes"]
         self.at_risk_byte_seconds = state["at_risk_byte_seconds"]
         self.at_risk_samples = list(state["at_risk_samples"])
+        self.promotion_count = state.get("promotion_count", 0)
+        self.demotion_count = state.get("demotion_count", 0)
+        self.archive_move_count = state.get("archive_move_count", 0)
+        self.replication_count = state.get("replication_count", 0)
+        self.replicated_bytes = state.get("replicated_bytes", 0)
+        self.archive_serviced_items = set(
+            state.get("archive_serviced_items", ())
+        )
+        service_seconds = state.get("device_service_seconds")
+        self._device_service_seconds = (
+            None if service_seconds is None else dict(service_seconds)
+        )
+        self._device_service_ios = dict(state.get("device_service_ios", {}))

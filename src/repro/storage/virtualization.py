@@ -21,6 +21,12 @@ from dataclasses import dataclass
 from repro import units
 from repro.errors import CapacityError, MappingError, ValidationError
 from repro.storage.enclosure import DiskEnclosure
+from repro.storage.tiers import (
+    HDD_COST_PER_BYTE,
+    StorageTier,
+    TierKind,
+    TierLedger,
+)
 
 
 @dataclass(frozen=True)
@@ -46,9 +52,21 @@ class PhysicalExtent:
 
 
 class BlockVirtualization:
-    """Mapping between data items, volumes, and disk enclosures."""
+    """Mapping between data items, volumes, enclosures, and tiers.
 
-    def __init__(self, enclosures: list[DiskEnclosure]) -> None:
+    Placement is ``(tier, device)``: every enclosure belongs to exactly
+    one :class:`~repro.storage.tiers.StorageTier`.  Legacy callers pass
+    only the enclosure list and get one implicit HDD tier holding every
+    device — their behaviour (and every float in a replay) is unchanged,
+    because the per-tier :class:`~repro.storage.tiers.TierLedger` books
+    are maintained with integer arithmetic only.
+    """
+
+    def __init__(
+        self,
+        enclosures: list[DiskEnclosure],
+        tiers: tuple[StorageTier, ...] | None = None,
+    ) -> None:
         if not enclosures:
             raise ValidationError("at least one enclosure is required")
         names = [enc.name for enc in enclosures]
@@ -57,12 +75,51 @@ class BlockVirtualization:
         self._enclosures: dict[str, DiskEnclosure] = {
             enc.name: enc for enc in enclosures
         }
+        if tiers is None:
+            tiers = (
+                StorageTier(
+                    name="hdd",
+                    kind=TierKind.HDD,
+                    devices=tuple(names),
+                    cost_per_byte=HDD_COST_PER_BYTE,
+                ),
+            )
+        self._tiers: dict[str, StorageTier] = {}
+        self._device_tier: dict[str, str] = {}
+        self.tier_ledger = TierLedger()
+        for tier in tiers:
+            if tier.name in self._tiers:
+                raise ValidationError(f"duplicate tier name {tier.name!r}")
+            for device in tier.devices:
+                if device not in self._enclosures:
+                    raise ValidationError(
+                        f"tier {tier.name!r} lists unknown device {device!r}"
+                    )
+                if device in self._device_tier:
+                    raise ValidationError(
+                        f"device {device!r} belongs to two tiers: "
+                        f"{self._device_tier[device]!r} and {tier.name!r}"
+                    )
+                self._device_tier[device] = tier.name
+            self._tiers[tier.name] = tier
+            self.tier_ledger.register_tier(tier.name)
+        untiered = sorted(set(names) - set(self._device_tier))
+        if untiered:
+            raise ValidationError(
+                f"enclosures belong to no tier: {untiered}"
+            )
         self._volumes: dict[str, Volume] = {}
         self._item_volume: dict[str, str] = {}
         self._item_size: dict[str, int] = {}
         self._item_base: dict[str, int] = {}
         self._used_bytes: dict[str, int] = {name: 0 for name in names}
         self._next_block: dict[str, int] = {name: 0 for name in names}
+        #: Replica copies (item → {enclosure → size bytes}): redundancy
+        #: registered by :class:`~repro.actions.records.ReplicateItem`.
+        #: Replicas occupy capacity and tier books but never serve I/O —
+        #: routing always resolves to the primary copy.
+        self._replicas: dict[str, dict[str, int]] = {}
+        self._replica_bytes: dict[str, int] = {name: 0 for name in names}
         # Hot-path routing cache: item id → (enclosure, name, base block,
         # size bytes).  One dict probe replaces the three-map chain of
         # :meth:`resolve` on every served I/O; entries are dropped the
@@ -87,6 +144,45 @@ class BlockVirtualization:
     def enclosures(self) -> list[DiskEnclosure]:
         """All registered enclosures, in registration order."""
         return list(self._enclosures.values())
+
+    # ------------------------------------------------------------------
+    # tiers
+    # ------------------------------------------------------------------
+    @property
+    def tier_names(self) -> list[str]:
+        """Names of all registered tiers, in declaration order."""
+        return list(self._tiers)
+
+    @property
+    def is_tiered(self) -> bool:
+        """Whether more than one tier is configured (multi-tier mode)."""
+        return len(self._tiers) > 1
+
+    def tier(self, name: str) -> StorageTier:
+        """Look up a tier by name."""
+        try:
+            return self._tiers[name]
+        except KeyError:
+            raise MappingError(f"unknown tier {name!r}") from None
+
+    def tiers(self) -> list[StorageTier]:
+        """All registered tiers, in declaration order."""
+        return list(self._tiers.values())
+
+    def tier_of_device(self, device: str) -> StorageTier:
+        """Tier owning one enclosure/device."""
+        try:
+            return self._tiers[self._device_tier[device]]
+        except KeyError:
+            raise MappingError(f"unknown enclosure {device!r}") from None
+
+    def tier_of_item(self, item_id: str) -> StorageTier:
+        """Tier holding an item's primary copy (via its enclosure)."""
+        return self.tier_of_device(self.enclosure_of(item_id).name)
+
+    def devices_in_tier(self, tier_name: str) -> tuple[str, ...]:
+        """Device names of one tier, in declaration order."""
+        return self.tier(tier_name).devices
 
     def create_volume(self, name: str, enclosure: str) -> Volume:
         """Create a volume on an enclosure (paper Table I creates 36)."""
@@ -125,12 +221,11 @@ class BlockVirtualization:
             raise ValidationError(f"item size must be positive: {size_bytes}")
         vol = self.volume(volume)
         enc = self.enclosure(vol.enclosure)
-        if enc.capacity_bytes and self._used_bytes[enc.name] + size_bytes > (
-            enc.capacity_bytes
-        ):
+        occupied = self._used_bytes[enc.name] + self._replica_bytes[enc.name]
+        if enc.capacity_bytes and occupied + size_bytes > enc.capacity_bytes:
             raise CapacityError(
                 f"enclosure {enc.name!r} cannot hold item {item_id!r}: "
-                f"used {self._used_bytes[enc.name]} + {size_bytes} > "
+                f"used {occupied} + {size_bytes} > "
                 f"{enc.capacity_bytes}"
             )
         self._item_volume[item_id] = volume
@@ -140,6 +235,7 @@ class BlockVirtualization:
         blocks = units.bytes_to_blocks(size_bytes)
         self._next_block[enc.name] += blocks
         self._used_bytes[enc.name] += size_bytes
+        self.tier_ledger.record_in(self._device_tier[enc.name], size_bytes)
 
     def remove_item(self, item_id: str) -> None:
         """Delete an item and release its space on the enclosure."""
@@ -147,9 +243,18 @@ class BlockVirtualization:
         if volume is None:
             raise MappingError(f"unknown data item {item_id!r}")
         enclosure = self._volumes[volume].enclosure
-        self._used_bytes[enclosure] -= self._item_size.pop(item_id)
+        size = self._item_size.pop(item_id)
+        self._used_bytes[enclosure] -= size
         self._item_base.pop(item_id)
         self._route_cache.pop(item_id, None)
+        self.tier_ledger.record_out(self._device_tier[enclosure], size)
+        for replica_enclosure, replica_size in self._replicas.pop(
+            item_id, {}
+        ).items():
+            self._replica_bytes[replica_enclosure] -= replica_size
+            self.tier_ledger.record_out(
+                self._device_tier[replica_enclosure], replica_size
+            )
 
     def has_item(self, item_id: str) -> bool:
         """Whether the item is mapped to a volume."""
@@ -235,13 +340,86 @@ class BlockVirtualization:
             raise MappingError(f"unknown enclosure {enclosure!r}") from None
 
     def free_bytes(self, enclosure: str) -> int:
-        """Remaining capacity of the enclosure in bytes."""
+        """Remaining capacity of the enclosure in bytes.
+
+        Replica copies occupy capacity too, so free space is capacity
+        minus primary bytes minus replica bytes.
+        """
         enc = self.enclosure(enclosure)
         if not enc.capacity_bytes:
             raise MappingError(
                 f"enclosure {enclosure!r} has no declared capacity"
             )
-        return enc.capacity_bytes - self._used_bytes[enclosure]
+        return (
+            enc.capacity_bytes
+            - self._used_bytes[enclosure]
+            - self._replica_bytes[enclosure]
+        )
+
+    # ------------------------------------------------------------------
+    # replicas
+    # ------------------------------------------------------------------
+    def add_replica(self, item_id: str, enclosure: str) -> int:
+        """Register a replica copy of an item on another enclosure.
+
+        Returns the replica's size in bytes.  The replica occupies
+        capacity and enters its tier's ledger books, but routing keeps
+        resolving to the primary copy — replicas are redundancy, not
+        load-balancing.  Raises :class:`MappingError` for unknown items
+        or enclosures, a replica on the primary's own enclosure, or a
+        duplicate replica; :class:`CapacityError` when the target is
+        full.
+        """
+        size = self.item_size(item_id)
+        if enclosure not in self._enclosures:
+            raise MappingError(f"unknown enclosure {enclosure!r}")
+        primary = self.enclosure_of(item_id).name
+        if enclosure == primary:
+            raise MappingError(
+                f"item {item_id!r} already has its primary copy on "
+                f"{enclosure!r}"
+            )
+        copies = self._replicas.setdefault(item_id, {})
+        if enclosure in copies:
+            raise MappingError(
+                f"item {item_id!r} already has a replica on {enclosure!r}"
+            )
+        enc = self._enclosures[enclosure]
+        occupied = self._used_bytes[enclosure] + self._replica_bytes[enclosure]
+        if enc.capacity_bytes and occupied + size > enc.capacity_bytes:
+            raise CapacityError(
+                f"enclosure {enclosure!r} cannot hold a replica of "
+                f"{item_id!r}: used {occupied} + {size} > {enc.capacity_bytes}"
+            )
+        copies[enclosure] = size
+        self._replica_bytes[enclosure] += size
+        self.tier_ledger.record_in(self._device_tier[enclosure], size)
+        return size
+
+    def remove_replica(self, item_id: str, enclosure: str) -> int:
+        """Drop a replica copy; returns the bytes released."""
+        copies = self._replicas.get(item_id)
+        if not copies or enclosure not in copies:
+            raise MappingError(
+                f"item {item_id!r} has no replica on {enclosure!r}"
+            )
+        size = copies.pop(enclosure)
+        if not copies:
+            self._replicas.pop(item_id)
+        self._replica_bytes[enclosure] -= size
+        self.tier_ledger.record_out(self._device_tier[enclosure], size)
+        return size
+
+    def replicas_of(self, item_id: str) -> tuple[str, ...]:
+        """Enclosures holding replica copies of an item (sorted)."""
+        return tuple(sorted(self._replicas.get(item_id, ())))
+
+    def replica_bytes_on(self, enclosure: str) -> int:
+        """Bytes of replica data stored on the enclosure."""
+        try:
+            return self._replica_bytes[enclosure]
+        except KeyError:
+            raise MappingError(f"unknown enclosure {enclosure!r}") from None
 
     def move_item(self, item_id: str, target_enclosure: str) -> tuple[str, str]:
         """Re-map a data item to (a volume on) another enclosure.
@@ -258,12 +436,14 @@ class BlockVirtualization:
             return src, src
         size = self._item_size[item_id]
         target = self.enclosure(target_enclosure)
-        if target.capacity_bytes and (
-            self._used_bytes[target_enclosure] + size > target.capacity_bytes
-        ):
+        occupied = (
+            self._used_bytes[target_enclosure]
+            + self._replica_bytes[target_enclosure]
+        )
+        if target.capacity_bytes and occupied + size > target.capacity_bytes:
             raise CapacityError(
                 f"cannot move {item_id!r} to {target_enclosure!r}: "
-                f"used {self._used_bytes[target_enclosure]} + {size} > "
+                f"used {occupied} + {size} > "
                 f"{target.capacity_bytes}"
             )
         volume_name = f"_migration/{target_enclosure}"
@@ -275,6 +455,11 @@ class BlockVirtualization:
         self._item_base[item_id] = self._next_block[target_enclosure]
         self._next_block[target_enclosure] += units.bytes_to_blocks(size)
         self._route_cache.pop(item_id, None)
+        source_tier = self._device_tier[src]
+        target_tier = self._device_tier[target_enclosure]
+        if source_tier != target_tier:
+            self.tier_ledger.record_out(source_tier, size)
+            self.tier_ledger.record_in(target_tier, size)
         return src, target_enclosure
 
     # ------------------------------------------------------------------
@@ -298,6 +483,11 @@ class BlockVirtualization:
             "item_base": list(self._item_base.items()),
             "used_bytes": dict(self._used_bytes),
             "next_block": dict(self._next_block),
+            "replicas": [
+                (item, list(copies.items()))
+                for item, copies in self._replicas.items()
+            ],
+            "tier_ledger": self.tier_ledger.snapshot_state(),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -311,4 +501,14 @@ class BlockVirtualization:
         self._item_base = dict(state["item_base"])
         self._used_bytes = dict(state["used_bytes"])
         self._next_block = dict(state["next_block"])
+        self._replicas = {
+            item: dict(copies) for item, copies in state.get("replicas", ())
+        }
+        self._replica_bytes = {name: 0 for name in self._enclosures}
+        for copies in self._replicas.values():
+            for enclosure, size in copies.items():
+                self._replica_bytes[enclosure] += size
+        ledger_state = state.get("tier_ledger")
+        if ledger_state is not None:
+            self.tier_ledger.restore_state(ledger_state)
         self._route_cache.clear()

@@ -10,12 +10,16 @@ import pytest
 from repro.actions.records import (
     ActionOutcome,
     ActionRecord,
+    ArchiveItem,
     ChargeBlockMigration,
+    DemoteItem,
     EnableWriteDelay,
     FlushItem,
     FlushWriteDelay,
     MigrateItem,
     PreloadItem,
+    PromoteItem,
+    ReplicateItem,
     SetPowerOffEnabled,
     UnpinItem,
     action_from_dict,
@@ -33,6 +37,10 @@ ALL_ACTIONS = [
     SetPowerOffEnabled("enc-00", True),
     SetPowerOffEnabled("enc-01", False),
     ChargeBlockMigration("item-0", 8192, "enc-00", "enc-01"),
+    PromoteItem("item-0", "flash"),
+    DemoteItem("item-0", "hdd"),
+    ArchiveItem("item-0"),
+    ReplicateItem("item-0", "hdd"),
 ]
 
 
@@ -64,6 +72,10 @@ class TestActions:
             "flush-write-delay",
             "set-power-off-enabled",
             "charge-block-migration",
+            "promote-item",
+            "demote-item",
+            "archive-item",
+            "replicate-item",
         }
 
     def test_unknown_kind_rejected(self):

@@ -30,6 +30,7 @@ FIXTURE_RULES = [
     ("r8_ad_hoc_time.py", "R8"),
     ("r9_direct_mutation.py", "R9"),
     ("r10_cross_array.py", "R10"),
+    ("r11_tier_mutation.py", "R11"),
 ]
 
 
@@ -53,7 +54,7 @@ def test_src_tree_lints_clean() -> None:
 
 def test_registry_has_all_rules() -> None:
     assert sorted(RULES, key=lambda r: int(r[1:])) == [
-        f"R{i}" for i in range(1, 11)
+        f"R{i}" for i in range(1, 12)
     ]
     for rule in RULES.values():
         assert rule.name and rule.summary
@@ -116,7 +117,7 @@ def test_json_report_round_trips() -> None:
     payload = json.loads(report.render_json())
     assert payload["files_checked"] == len(FIXTURE_RULES)
     seen = {v["rule_id"] for v in payload["violations"]}
-    assert seen == {f"R{i}" for i in range(1, 11)}
+    assert seen == {f"R{i}" for i in range(1, 12)}
     for violation in payload["violations"]:
         assert violation["line"] >= 1
         assert violation["message"]

@@ -10,7 +10,8 @@ import pytest
 
 import repro.cli as cli
 from repro.cli import main
-from repro.errors import AuditError
+from repro.core.placement import HotSetTooSmall
+from repro.errors import AuditError, PlacementError
 
 
 class TestDomainErrorsExitTwo:
@@ -58,6 +59,38 @@ class TestDomainErrorsExitTwo:
         # Only the first line of a multi-line error is printed.
         assert "invariant violated at t=120.0" in err
         assert "detail" not in err
+
+    @pytest.mark.parametrize("shards", ["0", "-3"])
+    def test_non_positive_shards_rejected_before_load(
+        self, capsys, tmp_path, shards
+    ):
+        # The guard fires before the trace is opened, so the file's
+        # content (or existence) never matters.
+        status = main(
+            ["trace", "info", str(tmp_path / "any.ecot"), "--shards", shards]
+        )
+        assert status == 2
+        err = capsys.readouterr().err
+        assert err.startswith("ecostor: error: ")
+        assert "--shards must be a positive array count" in err
+
+    def test_placement_error_maps_to_exit_two(self, capsys, monkeypatch):
+        def fail(args):
+            raise PlacementError("no feasible hot/cold split")
+
+        monkeypatch.setattr(cli, "_cmd_run", fail)
+        assert main(["run", "fileserver", "proposed"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("ecostor: error: ")
+        assert "no feasible hot/cold split" in err
+
+    def test_hot_set_too_small_maps_to_exit_two(self, capsys, monkeypatch):
+        def fail(args):
+            raise HotSetTooSmall("2 hot enclosures cannot absorb the load")
+
+        monkeypatch.setattr(cli, "_cmd_run", fail)
+        assert main(["run", "fileserver", "proposed"]) == 2
+        assert "hot enclosures" in capsys.readouterr().err
 
     def test_empty_message_falls_back_to_class_name(
         self, capsys, monkeypatch

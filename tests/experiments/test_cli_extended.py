@@ -1,5 +1,7 @@
 """Tests for the extended CLI commands."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -66,3 +68,39 @@ class TestStudyCommands:
     def test_intervals_requires_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["intervals", "tpcc"])
+
+
+class TestTiersCommand:
+    def test_tiers_run_reports_every_tier_and_writes_json(
+        self, tmp_path, capsys
+    ):
+        out_path = tmp_path / "tiers.json"
+        assert (
+            main(["tiers", "fileserver", "--audit", "--out", str(out_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        for tier in ("flash", "hdd", "archive"):
+            assert tier in out
+        assert "capacity cost" in out
+        document = json.loads(out_path.read_text())
+        assert document["format"] == 1
+        assert document["workload"] == "fileserver"
+        assert document["policy"] == "tiered-lifecycle"
+        assert document["audit_checks"] > 0
+        assert {row["tier"] for row in document["tiers"]} == {
+            "flash",
+            "hdd",
+            "archive",
+        }
+        # The JSON is the artifact CI archives; its books must satisfy
+        # the ledger identity like the in-process reports do.
+        for row in document["tiers"]:
+            assert (
+                row["bytes_in"] - row["bytes_out"]
+                == row["used_bytes"] + row["replica_bytes"]
+            )
+
+    def test_tiers_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tiers", "no-such-workload"])

@@ -1,0 +1,105 @@
+"""Tests for the tier-configuration frontier sweep (``chaos --tiers``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults.chaos import (
+    TierFrontierCell,
+    TierFrontierReport,
+    run_tier_frontier,
+)
+
+
+def cell(flash, archive, energy, latency, cost, error=None):
+    return TierFrontierCell(
+        flash=flash,
+        archive=archive,
+        energy_joules=energy,
+        mean_read_response=latency,
+        capacity_cost=cost,
+        audit_checks=7,
+        error=error,
+    )
+
+
+class TestPareto:
+    def test_dominated_cell_is_off_the_frontier(self):
+        report = TierFrontierReport(
+            workload="fileserver",
+            cells=[
+                cell(0, 0, energy=100.0, latency=0.010, cost=1.0),
+                # Strictly worse on every axis.
+                cell(1, 0, energy=110.0, latency=0.011, cost=2.0),
+            ],
+        )
+        assert report.pareto() == {"f0a0"}
+
+    def test_tradeoff_cells_all_survive(self):
+        report = TierFrontierReport(
+            workload="fileserver",
+            cells=[
+                cell(0, 0, energy=100.0, latency=0.010, cost=1.0),
+                cell(1, 0, energy=120.0, latency=0.005, cost=2.0),
+                cell(0, 1, energy=80.0, latency=0.020, cost=0.5),
+            ],
+        )
+        assert report.pareto() == {"f0a0", "f1a0", "f0a1"}
+
+    def test_failed_cells_never_reach_the_frontier(self):
+        report = TierFrontierReport(
+            workload="fileserver",
+            cells=[
+                cell(0, 0, energy=100.0, latency=0.010, cost=1.0),
+                cell(1, 1, energy=1.0, latency=0.001, cost=0.1, error="boom"),
+            ],
+        )
+        assert not report.ok
+        assert report.pareto() == {"f0a0"}
+        rendered = report.render()
+        assert "FAILED f1a1:" in rendered
+        assert "boom" in rendered
+
+    def test_equal_cells_both_survive(self):
+        # Non-domination needs a strict win somewhere; exact ties on
+        # all three axes leave both configurations on the frontier.
+        report = TierFrontierReport(
+            workload="fileserver",
+            cells=[
+                cell(1, 1, energy=100.0, latency=0.010, cost=1.0),
+                cell(2, 1, energy=100.0, latency=0.010, cost=1.0),
+            ],
+        )
+        assert report.pareto() == {"f1a1", "f2a1"}
+
+    def test_render_marks_frontier_rows(self):
+        report = TierFrontierReport(
+            workload="fileserver",
+            cells=[
+                cell(0, 0, energy=100.0, latency=0.010, cost=1.0),
+                cell(1, 0, energy=110.0, latency=0.011, cost=2.0),
+            ],
+        )
+        lines = report.render().splitlines()
+        winner = next(line for line in lines if line.startswith("f0a0"))
+        loser = next(line for line in lines if line.startswith("f1a0"))
+        assert winner.rstrip().endswith("*")
+        assert not loser.rstrip().endswith("*")
+
+
+class TestRunTierFrontier:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValidationError):
+            run_tier_frontier(workload="no-such-workload")
+
+    def test_single_config_sweep_passes_audited(self):
+        report = run_tier_frontier(
+            workload="fileserver", configs=((1, 1),)
+        )
+        assert report.ok
+        (only,) = report.cells
+        assert only.label == "f1a1"
+        assert only.audit_checks > 0
+        assert only.energy_joules > 0
+        assert report.pareto() == {"f1a1"}

@@ -87,6 +87,25 @@ class TestResumeBitIdentity:
         # The auditor kept checking after the seam, on restored cursors.
         assert fresh.auditor.checks_run == golden_session.auditor.checks_run
 
+    def test_tiered_lifecycle_resumes_bit_identically(self, tmp_path):
+        """The multi-tier testbed: promote/demote/archive records and
+        the policy's temperature state all cross the seam, auditor
+        (with its per-tier conservation checks) armed throughout."""
+        spec = RunSpec(
+            workload="fileserver",
+            policy="tiered-lifecycle",
+            audit=True,
+            columnar=True,
+        )
+        golden_session = SnapshotSession(spec)
+        golden = golden_session.run()
+        fresh, resumed, resumed_from = _crash_and_resume(
+            spec, 3000, golden.io_count * 2 // 3, tmp_path
+        )
+        assert resumed_from > 0
+        assert _surface(resumed, fresh) == _surface(golden, golden_session)
+        assert fresh.auditor.checks_run == golden_session.auditor.checks_run
+
     def test_columnar_pump_resumes_bit_identically(self, tmp_path):
         spec = RunSpec(workload="tpcc", policy="ddr", columnar=True)
         golden_session = SnapshotSession(spec)
